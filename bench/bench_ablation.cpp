@@ -1,0 +1,171 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//   A1 retry budget        - Stage-6 alternative-selection budget 0/1/3/10
+//   A2 sub-pipelines       - coordinator decision-making on/off
+//   A3 selection strategy  - top log-likelihood vs random pick
+//   A4 scheduler policy    - FIFO vs backfill under the concurrent load
+//   A5 MSA mode            - full MSA vs single-sequence (EvoPro-style)
+//   A6 feature reuse       - retries reuse MSA/features vs recompute
+//
+// Each row runs the 4-PDZ campaign and reports the science (final median
+// pTM, net delta) and the cost (fold tasks, makespan, CPU%).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+#include "core/crossover_generator.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+namespace {
+
+struct Row {
+  std::string group;
+  std::string variant;
+  core::CampaignResult result;
+};
+
+void report(common::Table& table, const Row& row, int cycles) {
+  table.add_row({
+      row.group,
+      row.variant,
+      common::format_fixed(
+          core::median_at_cycle(row.result, core::Metric::kPtm, cycles, cycles), 3),
+      common::format_fixed(core::net_delta(row.result, core::Metric::kPtm, cycles), 3),
+      common::format_fixed(
+          core::median_at_cycle(row.result, core::Metric::kIpae, cycles, cycles), 2),
+      std::to_string(row.result.total_trajectories()),
+      std::to_string(row.result.fold_tasks),
+      std::to_string(row.result.fold_retries),
+      common::format_fixed(row.result.makespan_h, 1),
+      common::format_fixed(row.result.utilization.cpu_active * 100.0, 1) + "%",
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  if (argc > 1) seed = std::stoull(argv[1]);
+  const int cycles = core::calibration::kCycles;
+  const auto targets = protein::four_pdz_domains();
+
+  common::Table table({"ablation", "variant", "final pTM", "pTM net D",
+                       "final pAE", "traj", "fold tasks", "retries",
+                       "time (h)", "CPU %"});
+  for (std::size_t c = 2; c < table.columns(); ++c)
+    table.set_align(c, common::Table::Align::kRight);
+
+  auto run = [&](const std::string& group, const std::string& variant,
+                 const std::function<void(core::CampaignConfig&)>& tweak) {
+    auto cfg = core::im_rp_campaign(seed);
+    cfg.name = group + "/" + variant;
+    tweak(cfg);
+    core::Campaign campaign(cfg);
+    report(table, Row{group, variant, campaign.run(targets)}, cycles);
+  };
+
+  // A1: retry budget.
+  for (int budget : {0, 1, 3, 10})
+    run("A1-retry-budget", std::to_string(budget),
+        [&](core::CampaignConfig& c) { c.protocol.max_retries = budget; });
+
+  // A2: sub-pipeline spawning.
+  for (bool on : {true, false})
+    run("A2-subpipelines", on ? "on" : "off",
+        [&](core::CampaignConfig& c) { c.protocol.spawn_subpipelines = on; });
+
+  // A3: selection strategy (both arms adaptive otherwise).
+  for (bool random : {false, true})
+    run("A3-selection", random ? "random" : "top-LL",
+        [&](core::CampaignConfig& c) { c.protocol.random_selection = random; });
+
+  // A4: scheduler policy on a FIXED heterogeneous workload (no adaptive
+  // feedback, so the two rows run byte-identical task sets): 24 wide
+  // CPU-bound feature-style tasks interleaved with 24 narrow GPU tasks.
+  for (auto policy :
+       {rp::SchedulerPolicy::kBackfill, rp::SchedulerPolicy::kFifo}) {
+    rp::SessionConfig sc;
+    sc.seed = seed;
+    rp::Session session(sc);
+    auto pd = core::calibration::amarel_pilot(policy);
+    auto pilot = session.submit_pilot(pd);
+    std::vector<rp::TaskDescription> tds;
+    for (int i = 0; i < 24; ++i) {
+      tds.push_back(rp::make_simple_task("wide" + std::to_string(i), 7, 0,
+                                         3600.0));
+      tds.push_back(rp::make_simple_task("narrow" + std::to_string(i), 2, 1,
+                                         900.0));
+    }
+    session.task_manager().submit(std::move(tds));
+    session.run();
+    const double makespan_s = pilot->recorder().latest_end();
+    const auto util = pilot->recorder().summarize(0.0, makespan_s);
+    table.add_row({"A4-scheduler", std::string(rp::to_string(policy)),
+                   "-", "-", "-", "-", "48", "-",
+                   common::format_fixed(makespan_s / 3600.0, 1),
+                   common::format_fixed(util.cpu_active * 100.0, 1) + "%"});
+  }
+
+  // A5: MSA mode (EvoPro-style single-sequence prediction).
+  for (double msa : {1.0, 0.55})
+    run("A5-msa-mode", msa == 1.0 ? "full-MSA" : "single-seq",
+        [&](core::CampaignConfig& c) { c.predictor.msa_quality = msa; });
+
+  // A6: feature reuse on Stage-6 retries.
+  for (bool reuse : {false, true})
+    run("A6-feature-reuse", reuse ? "reuse" : "recompute",
+        [&](core::CampaignConfig& c) {
+          c.protocol.reuse_features_on_retry = reuse;
+        });
+
+  // A7: backbone refinement stage (paper SI: "iterative runs of
+  // ProteinMPNN and backbone refinement techniques").
+  for (bool refine : {false, true})
+    run("A7-refinement", refine ? "on" : "off",
+        [&](core::CampaignConfig& c) {
+          c.protocol.backbone_refinement = refine;
+        });
+
+  // A9: population crossover (the GA taken literally: recombine strong
+  // accepted designs instead of only mutating the current one).
+  for (bool crossover : {false, true})
+    run("A9-crossover", crossover ? "on" : "off",
+        [&](core::CampaignConfig& c) {
+          if (crossover)
+            c.generator = std::make_shared<core::CrossoverGenerator>(
+                std::make_shared<core::MpnnGenerator>(c.sampler));
+        });
+
+  // A8: predictor noise sensitivity — how robust is the Stage-6 gate to
+  // AlphaFold's measurement noise?
+  for (double noise : {1.0, 2.0, 3.5, 5.0})
+    run("A8-metric-noise", common::format_fixed(noise, 1),
+        [&](core::CampaignConfig& c) { c.predictor.metric_noise = noise; });
+
+  std::printf("# Ablation sweeps (4 PDZ domains, seed %llu)\n\n%s\n",
+              static_cast<unsigned long long>(seed), table.render().c_str());
+  std::printf(
+      "reading guide: A1 higher budgets rescue declining cycles (more fold "
+      "tasks, better final quality); A2 sub-pipelines add trajectories and "
+      "lift below-median targets; A3 random selection wastes the ranking "
+      "signal; A4 FIFO serializes behind wide feature stages; A5 single-seq "
+      "mode blurs the classifier the protocol relies on; A6 reuse trades "
+      "CPU hours for risk of stale features (modeled as time only); A7 "
+      "refinement cuts false Stage-6 declines (fewer retries) at one extra "
+      "CPU task per prediction; A8 the retry machinery is exactly the "
+      "system's response to predictor noise — retries scale with it while "
+      "final quality stays defended; A9 naive uniform crossover is a "
+      "*negative result*: recombining two good designs breaks the pocket's "
+      "epistatic couplings, the gate rejects most recombinants (retries "
+      "explode), and quality drops — evidence for the paper's mutate-and-"
+      "select design over recombination.\n");
+  return 0;
+}

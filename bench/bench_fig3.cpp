@@ -1,0 +1,76 @@
+// Fig 3 reproduction: the expanded IM-RP workflow over 70 PDZ-peptide
+// complexes (alpha-synuclein 4-mer target, EPEA), four design cycles,
+// with adaptivity NOT enforced in the final cycle — the paper's setup.
+//
+// Expected shape: all three metrics improve over the first three
+// iterations, then deteriorate at iteration 4 where the selection
+// criteria are absent. The paper reports 354 trajectories across 96
+// sub-pipelines at this scale.
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "common/stats.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  std::size_t n_targets = 70;
+  if (argc > 1) seed = std::stoull(argv[1]);
+  if (argc > 2) n_targets = std::stoull(argv[2]);
+  const int cycles = core::calibration::kCycles;
+
+  const auto targets = protein::pdz_benchmark(n_targets);
+
+  auto cfg = core::im_rp_campaign(seed);
+  cfg.name = "IM-RP-70";
+  cfg.protocol.adaptivity_in_final_cycle = false;  // the Fig-3 setup
+  // At 70 targets the coordinator budgets re-processing more tightly than
+  // in the 4-target study (the paper reports 96 sub-pipelines for 70
+  // complexes vs 7 for 4 structures — about one per target).
+  cfg.protocol.max_subpipelines_per_target = 1;
+  core::Campaign campaign(cfg);
+  const auto result = campaign.run(targets);
+
+  std::printf("# Fig 3: expanded IM-RP workflow (%zu PDZ-peptide complexes, "
+              "EPEA target, adaptivity off in final cycle, seed %llu)\n\n",
+              n_targets, static_cast<unsigned long long>(seed));
+  const std::vector<const core::CampaignResult*> arms{&result};
+  for (const auto metric :
+       {core::Metric::kPlddt, core::Metric::kPtm, core::Metric::kIpae})
+    std::printf("%s\n",
+                core::render_metric_figure("Fig 3", arms, metric, cycles).c_str());
+
+  std::printf("## numeric series (median +/- stddev/2 per iteration)\n");
+  for (const auto metric :
+       {core::Metric::kPlddt, core::Metric::kPtm, core::Metric::kIpae}) {
+    std::printf("%-16s", std::string(core::metric_name(metric)).c_str());
+    const auto matrix = core::metric_by_cycle(result, metric, cycles);
+    for (int c = 0; c < cycles; ++c) {
+      const auto& vals = matrix[static_cast<std::size_t>(c)];
+      std::printf("  %7.2f+/-%.2f", common::median(vals),
+                  common::stddev(vals) / 2.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nscale: %zu trajectories across %zu sub-pipelines "
+              "(paper: 354 across 96); %zu fold tasks, %zu retries, "
+              "makespan %.1f h\n",
+              result.total_trajectories(), result.subpipelines,
+              result.fold_tasks, result.fold_retries, result.makespan_h);
+
+  // The headline property of Fig 3: iteration 4 regresses without
+  // adaptivity. Report it explicitly.
+  const double p3 = core::median_at_cycle(result, core::Metric::kPlddt, 3, cycles);
+  const double p4 = core::median_at_cycle(result, core::Metric::kPlddt, 4, cycles);
+  std::printf("final-cycle check: median pLDDT iter3=%.2f iter4=%.2f (%s)\n",
+              p3, p4,
+              p4 < p3 ? "deteriorated without adaptivity, as in the paper"
+                      : "no deterioration");
+  return 0;
+}

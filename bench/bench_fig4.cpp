@@ -1,0 +1,34 @@
+// Fig 4 reproduction: CONT-V total CPU/GPU resource utilization over the
+// campaign and its execution time. Paper: average CPU ~18.3%, GPU ~1%
+// (one GPU occasionally busy), makespan 27.7 h. Expected shape: long
+// CPU-only stretches (AlphaFold feature construction) with sparse, short
+// GPU bursts, and large idle capacity throughout.
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  if (argc > 1) seed = std::stoull(argv[1]);
+
+  const auto targets = protein::four_pdz_domains();
+  core::Campaign campaign(core::cont_v_campaign(seed));
+  const auto result = campaign.run(targets);
+
+  std::printf("# Fig 4: CONT-V total GPU/CPU resource utilization and "
+              "execution time (seed %llu)\n\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%s\n",
+              core::render_utilization_figure(
+                  result, "CONT-V utilization timeline (intensity ramp "
+                          "' .:-=+*#%@' = 0-100%)")
+                  .c_str());
+  std::printf("paper reference: CPU ~18.3%%, GPU ~1%%, 27.7 h\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Surrogate-model microbenchmarks (google-benchmark): the per-call cost
+// of the science kernels — landscape fitness, ProteinMPNN design,
+// AlphaFold prediction, Kabsch superposition and PDB round-trip — which
+// bound how fast campaigns replay on the virtual clock.
+
+#include <benchmark/benchmark.h>
+
+#include "fold/fold.hpp"
+#include "mpnn/mpnn.hpp"
+#include "protein/datasets.hpp"
+#include "protein/geometry.hpp"
+#include "protein/pdb.hpp"
+
+using namespace impress;
+
+namespace {
+
+const protein::DesignTarget& target() {
+  static const auto t = protein::make_target(
+      "BENCH", 96, protein::alpha_synuclein().tail(10));
+  return t;
+}
+
+void BM_LandscapeFitness(benchmark::State& state) {
+  const auto& t = target();
+  const auto seq = t.start_receptor;
+  for (auto _ : state) benchmark::DoNotOptimize(t.landscape.fitness(seq));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LandscapeFitness);
+
+void BM_MpnnDesign(benchmark::State& state) {
+  const auto& t = target();
+  const auto cx = t.start_complex();
+  mpnn::SamplerConfig cfg;
+  cfg.num_sequences = static_cast<std::size_t>(state.range(0));
+  const mpnn::Mpnn model(cfg);
+  common::Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.design(cx, t.landscape, rng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MpnnDesign)->Arg(10)->Arg(100);
+
+void BM_AlphaFoldPredict(benchmark::State& state) {
+  const auto& t = target();
+  const auto cx = t.start_complex();
+  const fold::AlphaFold model;
+  common::Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.predict(cx, t.landscape, rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlphaFoldPredict);
+
+void BM_KabschRmsd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = protein::ideal_helix(n);
+  auto b = a;
+  for (auto& p : b) p = protein::Vec3{p.z, p.x, p.y + 3.0};  // rotated+shifted
+  for (auto _ : state)
+    benchmark::DoNotOptimize(protein::rmsd_superposed(a, b));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KabschRmsd)->Arg(100)->Arg(1000);
+
+void BM_PdbRoundTrip(benchmark::State& state) {
+  const auto cx = target().start_complex();
+  for (auto _ : state) {
+    const auto text = protein::to_pdb(cx.structure);
+    benchmark::DoNotOptimize(protein::from_pdb(text));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PdbRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

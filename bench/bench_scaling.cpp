@@ -1,0 +1,64 @@
+// Scaling study (beyond the paper's single node; its stated future
+// direction is "adaptive execution of heterogeneous workflows across
+// diverse platforms"): the 16-complex IM-RP campaign on pilots of 1-8
+// Amarel-class nodes. Reports makespan, speedup, efficiency and
+// utilization per node count.
+//
+// Expected shape: near-linear speedup while the concurrent pipeline count
+// exceeds node capacity, flattening once every pipeline chain runs
+// unblocked (the critical path — one trajectory's serial chain — bounds
+// makespan from below).
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  std::size_t n_targets = 16;
+  if (argc > 1) seed = std::stoull(argv[1]);
+  if (argc > 2) n_targets = std::stoull(argv[2]);
+
+  const auto targets = protein::pdz_benchmark(n_targets);
+
+  common::Table table({"nodes", "cores", "gpus", "time (h)", "speedup",
+                       "efficiency", "CPU %", "GPU %", "fold tasks"});
+  for (std::size_t c = 0; c < table.columns(); ++c)
+    table.set_align(c, common::Table::Align::kRight);
+
+  double base_makespan = 0.0;
+  for (const std::size_t nodes : {1u, 2u, 4u, 8u}) {
+    auto cfg = core::im_rp_campaign(seed);
+    cfg.name = "IM-RP-" + std::to_string(nodes) + "n";
+    cfg.pilot.nodes.assign(nodes, hpc::amarel_node());
+    const auto r = core::Campaign(cfg).run(targets);
+    if (nodes == 1) base_makespan = r.makespan_h;
+    const double speedup = base_makespan / r.makespan_h;
+    table.add_row({
+        std::to_string(nodes),
+        std::to_string(nodes * 28),
+        std::to_string(nodes * 4),
+        common::format_fixed(r.makespan_h, 1),
+        common::format_fixed(speedup, 2),
+        common::format_fixed(speedup / static_cast<double>(nodes), 2),
+        common::format_fixed(r.utilization.cpu_active * 100.0, 1) + "%",
+        common::format_fixed(r.utilization.gpu_active * 100.0, 1) + "%",
+        std::to_string(r.fold_tasks),
+    });
+  }
+
+  std::printf("# IM-RP scaling over pilot size (%zu PDZ complexes, seed "
+              "%llu)\n\n%s\n",
+              n_targets, static_cast<unsigned long long>(seed),
+              table.render().c_str());
+  std::printf("speedup saturates once concurrency is no longer "
+              "resource-bound: the critical path is one trajectory's serial "
+              "MPNN->AF(->retry) chain.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Plugging a custom sequence generator into the pipeline — the paper's
+// closing claim: "IMPRESS allows any sequence generation method to be
+// plugged into the design pipeline."
+//
+//   $ ./examples/custom_generator [seed]
+//
+// Three generators run the same campaign:
+//   1. the ProteinMPNN surrogate (default),
+//   2. EvoPro-style random mutagenesis (built-in alternative),
+//   3. a user-defined "charge-greedy" generator written right here.
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+namespace {
+
+/// A deliberately simple user generator: mutate pocket positions toward
+/// residues whose charge complements the peptide's net charge. Shows the
+/// full extent of the SequenceGenerator contract.
+class ChargeGreedyGenerator final : public core::SequenceGenerator {
+ public:
+  explicit ChargeGreedyGenerator(std::size_t num_sequences = 10)
+      : num_sequences_(num_sequences) {}
+
+  std::vector<mpnn::ScoredSequence> generate(
+      const protein::Complex& complex,
+      const protein::FitnessLandscape& landscape,
+      common::Rng& rng) const override {
+    int peptide_charge = 0;
+    for (auto aa : complex.peptide().sequence)
+      peptide_charge += protein::charge(aa);
+    // Complementary-charge residues to sprinkle into the pocket.
+    const auto pool = peptide_charge < 0
+                          ? std::vector<protein::AminoAcid>{
+                                protein::AminoAcid::kArg,
+                                protein::AminoAcid::kLys}
+                          : std::vector<protein::AminoAcid>{
+                                protein::AminoAcid::kAsp,
+                                protein::AminoAcid::kGlu};
+    std::vector<mpnn::ScoredSequence> out;
+    for (std::size_t s = 0; s < num_sequences_; ++s) {
+      auto seq = complex.receptor().sequence;
+      for (int m = 0; m < 3; ++m) {
+        const auto& iface = landscape.interface_positions();
+        const auto pos = iface[rng.below(static_cast<std::uint32_t>(iface.size()))];
+        seq.set(pos, pool[rng.below(static_cast<std::uint32_t>(pool.size()))]);
+      }
+      // Score by salt-bridge count (the generator's own belief).
+      double score = 0.0;
+      for (auto pos : landscape.interface_positions())
+        score += protein::charge(seq[pos]) * (peptide_charge < 0 ? 1 : -1);
+      out.push_back({std::move(seq), score});
+    }
+    return out;
+  }
+
+  std::string name() const override { return "charge-greedy"; }
+
+ private:
+  std::size_t num_sequences_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  if (argc > 1) seed = std::stoull(argv[1]);
+  const int cycles = core::calibration::kCycles;
+
+  std::vector<protein::DesignTarget> targets;
+  targets.push_back(protein::make_target(
+      "PLUGIN-T", 92, protein::alpha_synuclein().tail(10)));
+
+  struct Arm {
+    std::string label;
+    std::shared_ptr<const core::SequenceGenerator> generator;
+  };
+  const std::vector<Arm> arms{
+      {"proteinmpnn (default)", nullptr},
+      {"random-mutagenesis (EvoPro-style)",
+       std::make_shared<core::RandomMutagenesisGenerator>(10, 3)},
+      {"charge-greedy (user-defined)",
+       std::make_shared<ChargeGreedyGenerator>(10)},
+  };
+
+  std::printf("generator plug-in comparison (target %s, %d cycles)\n\n",
+              targets[0].name.c_str(), cycles);
+  std::printf("%-36s %10s %10s %10s %8s\n", "generator", "pLDDT", "pTM",
+              "ipAE", "traj");
+  for (const auto& arm : arms) {
+    auto cfg = core::im_rp_campaign(seed);
+    cfg.generator = arm.generator;
+    cfg.protocol.spawn_subpipelines = false;
+    const auto r = core::Campaign(cfg).run(targets);
+    std::printf("%-36s %10.1f %10.3f %10.2f %8zu\n", arm.label.c_str(),
+                core::median_at_cycle(r, core::Metric::kPlddt, cycles, cycles),
+                core::median_at_cycle(r, core::Metric::kPtm, cycles, cycles),
+                core::median_at_cycle(r, core::Metric::kIpae, cycles, cycles),
+                r.total_trajectories());
+  }
+  std::printf("\nstructure-conditioned generation should dominate; the "
+              "pipeline machinery is identical across rows.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// impress_analyze: re-render reports from stored session dumps without
+// re-simulating (the radical.analytics-style post-processing workflow).
+//
+//   impress_analyze DUMP.json [DUMP2.json] [--cycles M] [--csv DIR]
+//                   [--gantt]
+//
+// With one dump: metric series, utilization figure and (optionally) the
+// task gantt. With two dumps: a side-by-side Table-I style comparison,
+// first dump treated as the baseline.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/export.hpp"
+#include "core/report.hpp"
+#include "core/session_dump.hpp"
+
+using namespace impress;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> dumps;
+  int cycles = core::calibration::kCycles;
+  std::optional<std::string> csv_dir;
+  bool gantt = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cycles" && i + 1 < argc) {
+      cycles = std::stoi(argv[++i]);
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_dir = argv[++i];
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s DUMP.json [DUMP2.json] [--cycles M] "
+                   "[--csv DIR] [--gantt]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      dumps.push_back(arg);
+    }
+  }
+  if (dumps.empty() || dumps.size() > 2) {
+    std::fprintf(stderr, "expected one or two session dumps\n");
+    return 2;
+  }
+
+  std::vector<core::CampaignResult> results;
+  for (const auto& path : dumps) {
+    try {
+      results.push_back(core::load_session_dump(path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    std::printf("loaded %s: campaign '%s', %zu trajectories, %.1f h\n",
+                path.c_str(), results.back().name.c_str(),
+                results.back().total_trajectories(),
+                results.back().makespan_h);
+  }
+  std::printf("\n");
+
+  if (results.size() == 2) {
+    std::printf("%s\n",
+                core::table1(results[0], results[1], cycles).render().c_str());
+  }
+
+  std::vector<const core::CampaignResult*> arms;
+  for (const auto& r : results) arms.push_back(&r);
+  for (const auto metric :
+       {core::Metric::kPlddt, core::Metric::kPtm, core::Metric::kIpae})
+    std::printf("%s\n",
+                core::render_metric_figure("stored sessions", arms, metric,
+                                           cycles)
+                    .c_str());
+
+  for (const auto& r : results)
+    std::printf("%s\n",
+                core::render_utilization_figure(r, r.name + " utilization")
+                    .c_str());
+
+  if (gantt)
+    for (const auto& r : results)
+      std::printf("%s\n", r.gantt.c_str());
+
+  if (csv_dir)
+    for (const auto& r : results) {
+      const auto paths = core::export_campaign_csv(r, *csv_dir, cycles);
+      for (const auto& p : paths) std::printf("wrote %s\n", p.c_str());
+    }
+  return 0;
+}

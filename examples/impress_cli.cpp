@@ -1,0 +1,196 @@
+// impress_cli: run IMPRESS campaigns from the command line.
+//
+//   impress_cli [--protocol imrp|contv] [--targets four|<N>]
+//               [--cycles M] [--seed S] [--mode sim|threaded]
+//               [--nodes K] [--csv DIR] [--gantt] [--verbose]
+//
+// Examples:
+//   impress_cli                              # the Table-I IM-RP arm
+//   impress_cli --protocol contv             # the control arm
+//   impress_cli --targets 70 --csv out/      # Fig-3 campaign + CSV export
+//   impress_cli --nodes 4 --targets 16       # multi-node pilot
+//   impress_cli --mode threaded --gantt      # real threads + task gantt
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/logging.hpp"
+#include "core/campaign.hpp"
+#include "core/export.hpp"
+#include "core/session_dump.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+namespace {
+
+struct CliOptions {
+  std::string protocol = "imrp";
+  std::string targets = "four";
+  int cycles = core::calibration::kCycles;
+  std::uint64_t seed = 5;
+  std::string mode = "sim";
+  std::size_t nodes = 1;
+  std::optional<std::string> csv_dir;
+  std::optional<std::string> dump_path;
+  bool gantt = false;
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--protocol imrp|contv] [--targets four|<N>] [--cycles M]\n"
+      "          [--seed S] [--mode sim|threaded] [--nodes K] [--csv DIR]\n"
+      "          [--dump FILE.json] [--gantt] [--verbose]\n",
+      argv0);
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    try {
+      if (arg == "--protocol") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.protocol = v;
+      } else if (arg == "--targets") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.targets = v;
+      } else if (arg == "--cycles") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.cycles = std::stoi(v);
+      } else if (arg == "--seed") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.seed = std::stoull(v);
+      } else if (arg == "--mode") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.mode = v;
+      } else if (arg == "--nodes") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.nodes = std::stoull(v);
+      } else if (arg == "--csv") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.csv_dir = v;
+      } else if (arg == "--dump") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.dump_path = v;
+      } else if (arg == "--gantt") {
+        opts.gantt = true;
+      } else if (arg == "--verbose") {
+        opts.verbose = true;
+      } else if (arg == "--help" || arg == "-h") {
+        return std::nullopt;
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        return std::nullopt;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad value for %s: %s\n", arg.c_str(), e.what());
+      return std::nullopt;
+    }
+  }
+  if (opts.protocol != "imrp" && opts.protocol != "contv") {
+    std::fprintf(stderr, "unknown protocol '%s'\n", opts.protocol.c_str());
+    return std::nullopt;
+  }
+  if (opts.mode != "sim" && opts.mode != "threaded") {
+    std::fprintf(stderr, "unknown mode '%s'\n", opts.mode.c_str());
+    return std::nullopt;
+  }
+  if (opts.cycles < 1 || opts.nodes < 1) {
+    std::fprintf(stderr, "cycles and nodes must be >= 1\n");
+    return std::nullopt;
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) {
+    usage(argv[0]);
+    return 2;
+  }
+  const CliOptions& opts = *parsed;
+  if (opts.verbose) common::set_log_level(common::LogLevel::kInfo);
+
+  // Targets.
+  std::vector<protein::DesignTarget> targets;
+  if (opts.targets == "four") {
+    targets = protein::four_pdz_domains();
+  } else {
+    try {
+      targets = protein::pdz_benchmark(std::stoull(opts.targets));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "--targets must be 'four' or a number\n");
+      return 2;
+    }
+  }
+
+  // Campaign configuration.
+  auto cfg = opts.protocol == "imrp" ? core::im_rp_campaign(opts.seed)
+                                     : core::cont_v_campaign(opts.seed);
+  cfg.protocol.cycles = opts.cycles;
+  cfg.pilot.nodes.assign(opts.nodes, hpc::amarel_node());
+  if (opts.mode == "threaded") {
+    cfg.session.mode = rp::ExecutionMode::kThreaded;
+    cfg.session.time_scale = 1e-6;  // one simulated hour ~ 3.6 ms wall
+    cfg.session.worker_threads = 16;
+  }
+
+  std::printf("running %s on %zu target(s), %d cycle(s), %zu node(s), "
+              "seed %llu, %s executor...\n",
+              cfg.name.c_str(), targets.size(), opts.cycles, opts.nodes,
+              static_cast<unsigned long long>(opts.seed), opts.mode.c_str());
+  core::Campaign campaign(cfg);
+  const auto result = campaign.run(targets);
+
+  // Report.
+  std::printf("\n");
+  for (const auto metric :
+       {core::Metric::kPlddt, core::Metric::kPtm, core::Metric::kIpae}) {
+    std::printf("  %-16s", std::string(core::metric_name(metric)).c_str());
+    for (int c = 1; c <= opts.cycles; ++c)
+      std::printf(" %8.2f",
+                  core::median_at_cycle(result, metric, c, opts.cycles));
+    std::printf("   (medians per cycle)\n");
+  }
+  std::printf(
+      "\n  trajectories=%zu sub-pipelines=%zu fold-tasks=%zu retries=%zu "
+      "failed=%zu\n  makespan=%.1fh CPU=%.1f%% GPU=%.1f%%\n",
+      result.total_trajectories(), result.subpipelines, result.fold_tasks,
+      result.fold_retries, result.failed_tasks, result.makespan_h,
+      result.utilization.cpu_active * 100.0,
+      result.utilization.gpu_active * 100.0);
+
+  if (opts.gantt) std::printf("\n%s", result.gantt.c_str());
+
+  if (opts.csv_dir) {
+    const auto paths =
+        core::export_campaign_csv(result, *opts.csv_dir, opts.cycles);
+    std::printf("\nwrote:\n");
+    for (const auto& p : paths) std::printf("  %s\n", p.c_str());
+  }
+  if (opts.dump_path) {
+    core::save_session_dump(result, *opts.dump_path);
+    std::printf("\nsession dump: %s (re-render with impress_analyze)\n",
+                opts.dump_path->c_str());
+  }
+  return result.failed_tasks == 0 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// The paper's Future Work protocol (§V), implemented: "ProteinMPNN runs
+// must fix the catalytic residues rather than design the entire protein."
+//
+//   $ ./examples/protease_redesign [seed]
+//
+// We declare a synthetic protease whose catalytic triad must stay intact,
+// fix those positions in the sampler, and verify after the campaign that
+// every accepted design preserves them while the rest of the pocket was
+// optimized.
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  if (argc > 1) seed = std::stoull(argv[1]);
+
+  // A protease-like target: 110 residues, substrate peptide.
+  std::vector<protein::DesignTarget> targets;
+  targets.push_back(protein::make_target(
+      "PROTEASE-1", 110, protein::Sequence::from_string("AAPV"),
+      /*start_fitness=*/0.30));
+  const auto& target = targets.front();
+
+  // Pick a catalytic "triad" inside the pocket so fixing it actually
+  // constrains the design space.
+  const auto& iface = target.landscape.interface_positions();
+  const std::vector<std::size_t> triad{iface[0], iface[iface.size() / 2],
+                                       iface.back()};
+  std::printf("catalytic residues fixed at positions %zu, %zu, %zu: %c%c%c\n",
+              triad[0], triad[1], triad[2],
+              protein::to_char(target.start_receptor[triad[0]]),
+              protein::to_char(target.start_receptor[triad[1]]),
+              protein::to_char(target.start_receptor[triad[2]]));
+
+  auto cfg = core::im_rp_campaign(seed);
+  cfg.sampler.fixed_positions = triad;  // the one-line protocol change
+  core::Campaign campaign(cfg);
+  const auto result = campaign.run(targets);
+
+  // Verify the constraint held through every accepted design.
+  bool violated = false;
+  for (const auto& traj : result.trajectories) {
+    for (const auto& rec : traj.history) {
+      const auto seq = protein::Sequence::from_string(rec.sequence);
+      for (auto pos : triad)
+        if (seq[pos] != target.start_receptor[pos]) violated = true;
+    }
+  }
+  const int cycles = core::calibration::kCycles;
+  std::printf("catalytic triad preserved in all %zu accepted designs: %s\n",
+              result.total_trajectories(), violated ? "NO (BUG)" : "yes");
+  std::printf("design still improved around the fixed residues: pTM "
+              "%.3f -> %.3f, ipAE %.2f -> %.2f\n",
+              core::median_at_cycle(result, core::Metric::kPtm, 1, cycles),
+              core::median_at_cycle(result, core::Metric::kPtm, cycles, cycles),
+              core::median_at_cycle(result, core::Metric::kIpae, 1, cycles),
+              core::median_at_cycle(result, core::Metric::kIpae, cycles, cycles));
+  return violated ? 1 : 0;
+}

@@ -1,0 +1,111 @@
+// Binding-specificity matrix: design one receptor per (domain, peptide)
+// pair and cross-evaluate every optimized design against every peptide —
+// the selectivity question that motivates PDZ engineering in the paper's
+// introduction ("designing them for high affinity AND selectivity for a
+// particular C-terminus").
+//
+//   $ ./examples/specificity_matrix [seed]
+//
+// A good design protocol should produce on-target designs that score
+// higher against their own peptide than against the others (a diagonal-
+// dominant matrix). Evaluation uses the AlphaFold surrogate's pTM plus
+// the geometric interface analysis from protein/contacts.hpp.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "protein/contacts.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 5;
+  if (argc > 1) seed = std::stoull(argv[1]);
+
+  // Three peptide targets with distinct chemistry: the alpha-synuclein
+  // acidic tail, a hydrophobic C-terminus, and a basic one.
+  const std::vector<std::pair<std::string, std::string>> peptides{
+      {"a-syn (acidic)", "EGYQDYEPEA"},
+      {"hydrophobic", "LLVVILFAML"},
+      {"basic", "GKRKSRRKQA"},
+  };
+
+  // Design one receptor per peptide (same scaffold size, distinct
+  // landscapes derived from the pairing).
+  struct Design {
+    std::string label;
+    protein::DesignTarget target;
+    protein::Sequence receptor;
+  };
+  std::vector<Design> designs;
+  for (const auto& [label, pep] : peptides) {
+    auto target = protein::make_target("SPEC-" + label.substr(0, 5), 90,
+                                       protein::Sequence::from_string(pep));
+    std::vector<protein::DesignTarget> targets{target};
+    auto cfg = core::im_rp_campaign(seed);
+    cfg.protocol.spawn_subpipelines = false;
+    const auto result = core::Campaign(cfg).run(targets);
+    const auto& history = result.trajectories.front().history;
+    if (history.empty()) {
+      std::fprintf(stderr, "design failed for %s\n", label.c_str());
+      return 1;
+    }
+    designs.push_back(
+        Design{label, std::move(target),
+               protein::Sequence::from_string(history.back().sequence)});
+  }
+
+  // Cross-evaluate: each design vs each peptide's landscape.
+  std::printf("binding-specificity matrix (rows = designs, cols = peptides; "
+              "surrogate pTM)\n\n%-22s", "");
+  for (const auto& [label, pep] : peptides) std::printf(" %14s", label.c_str());
+  std::printf("\n");
+
+  bool diagonal_dominant = true;
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    std::printf("design@%-15s", designs[d].label.c_str());
+    double own = 0.0;
+    std::vector<double> row;
+    for (std::size_t p = 0; p < peptides.size(); ++p) {
+      // Evaluate the design against peptide p's landscape: rebuild the
+      // complex with that peptide and ask the predictor.
+      const auto& landscape = designs[p].target.landscape;
+      const auto cx = protein::Complex::make(
+          "eval", designs[d].receptor,
+          protein::Sequence::from_string(peptides[p].second));
+      common::Rng rng(common::stable_hash("spec") + d * 13 + p);
+      fold::AlphaFold af;
+      double ptm = 0.0;
+      for (int i = 0; i < 5; ++i)
+        ptm += af.predict(cx, landscape, rng).best().metrics.ptm;
+      ptm /= 5.0;
+      row.push_back(ptm);
+      if (p == d) own = ptm;
+      std::printf(" %14.3f", ptm);
+    }
+    for (std::size_t p = 0; p < row.size(); ++p)
+      if (p != d && row[p] >= own) diagonal_dominant = false;
+    std::printf("\n");
+  }
+
+  // Geometric sanity on the on-target complexes.
+  std::printf("\non-target interface analysis:\n");
+  for (const auto& design : designs) {
+    const auto cx = protein::Complex::make("iface", design.receptor,
+                                           design.target.peptide);
+    const auto stats = protein::analyze_interface(cx);
+    std::printf("  %-16s contacts=%zu salt_bridges=%zu hydrophobic=%zu "
+                "packing=%.2f\n",
+                design.label.c_str(), stats.contacts, stats.salt_bridges,
+                stats.hydrophobic_pairs, stats.packing_score());
+  }
+
+  std::printf("\nmatrix is %sdiagonal-dominant: designs bind their own "
+              "peptide best%s\n",
+              diagonal_dominant ? "" : "NOT ",
+              diagonal_dominant ? "" : " (selectivity failed)");
+  return diagonal_dominant ? 0 : 1;
+}

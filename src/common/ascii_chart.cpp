@@ -1,0 +1,75 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace impress::common {
+
+std::string BarChart::render(std::size_t width) const {
+  double max_abs = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& g : groups_) {
+    label_w = std::max(label_w, g.label.size());
+    for (const auto& b : g.bars) {
+      max_abs = std::max(max_abs, std::fabs(b.value));
+      label_w = std::max(label_w, b.series.size() + 2);
+    }
+  }
+  if (max_abs <= 0.0) max_abs = 1.0;
+
+  std::string out = "## " + title_ + (unit_.empty() ? "" : " [" + unit_ + "]") + "\n";
+  for (const auto& g : groups_) {
+    out += g.label + "\n";
+    for (const auto& b : g.bars) {
+      const auto cells = static_cast<std::size_t>(
+          std::llround(std::fabs(b.value) / max_abs * static_cast<double>(width)));
+      out += "  " + pad_right(b.series, label_w) + " |";
+      out += repeat('#', cells);
+      out += repeat(' ', width - std::min(cells, width));
+      out += "| " + format_fixed(b.value, 2);
+      if (b.error > 0.0) out += " +/- " + format_fixed(b.error, 2);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string TimelineChart::render() const {
+  // Ten-step intensity ramp from idle to saturated.
+  static constexpr const char kRamp[] = " .:-=+*#%@";
+  std::size_t label_w = 0;
+  for (const auto& r : rows_) label_w = std::max(label_w, r.label.size());
+
+  std::string out = "## " + title_ + "\n";
+  std::size_t bins = 0;
+  for (const auto& r : rows_) {
+    bins = std::max(bins, r.values.size());
+    out += pad_right(r.label, label_w) + " |";
+    for (double v : r.values) {
+      const double clamped = std::clamp(v, 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(
+          std::min(9.0, std::floor(clamped * 10.0)));
+      out += kRamp[idx];
+    }
+    // Row average, matching the "~18.3 %" style annotations in the paper.
+    out += "| avg " +
+           format_fixed(mean({r.values.data(), r.values.size()}) * 100.0, 1) +
+           "%\n";
+  }
+  // Time axis: start, middle, end in hours.
+  out += repeat(' ', label_w) + " |";
+  std::string axis(bins, '-');
+  out += axis + "|\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%*s 0h%*s%.1fh\n", static_cast<int>(label_w),
+                "", static_cast<int>(bins > 6 ? bins - 5 : 1), "",
+                total_hours_);
+  out += buf;
+  return out;
+}
+
+}  // namespace impress::common

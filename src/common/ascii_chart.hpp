@@ -1,0 +1,65 @@
+// Terminal chart rendering for the figure-reproduction benches.
+//
+// Fig 2/3 are grouped bar charts (median metric per iteration, with
+// half-standard-deviation error bars); Fig 4/5 are utilization-vs-time
+// strips. Both render to plain ASCII so the bench binaries reproduce the
+// figures directly in a terminal or log file.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace impress::common {
+
+/// Grouped horizontal bar chart with optional +/- error annotation.
+class BarChart {
+ public:
+  struct Bar {
+    std::string series;  ///< e.g. "CONT-V" / "IM-RP"
+    double value = 0.0;
+    double error = 0.0;  ///< rendered as "+/- e"; 0 hides the annotation
+  };
+  struct Group {
+    std::string label;  ///< e.g. "iter 1"
+    std::vector<Bar> bars;
+  };
+
+  BarChart(std::string title, std::string unit)
+      : title_(std::move(title)), unit_(std::move(unit)) {}
+
+  void add_group(Group g) { groups_.push_back(std::move(g)); }
+
+  /// Render with bars scaled so the largest |value| spans `width` cells.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  std::string title_;
+  std::string unit_;
+  std::vector<Group> groups_;
+};
+
+/// Utilization strip: a sequence of per-bin values in [0, 1] drawn as an
+/// intensity ramp, one row per resource class (e.g. CPU / GPU), with a
+/// time axis in hours underneath.
+class TimelineChart {
+ public:
+  struct Row {
+    std::string label;           ///< e.g. "CPU (28 cores)"
+    std::vector<double> values;  ///< one utilization sample per bin, [0,1]
+  };
+
+  TimelineChart(std::string title, double total_time_hours)
+      : title_(std::move(title)), total_hours_(total_time_hours) {}
+
+  void add_row(Row r) { rows_.push_back(std::move(r)); }
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  double total_hours_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace impress::common

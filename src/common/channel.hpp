@@ -1,0 +1,130 @@
+// Bounded multi-producer / multi-consumer channel.
+//
+// The IMPRESS coordinator communicates with the runtime over exactly two
+// channels, mirroring the paper's implementation section: one carries new
+// pipeline instances toward the execution backend, the other carries
+// completed-task notifications back to the decision-making loop. The same
+// primitive backs the threaded executor's work queue.
+//
+// Semantics follow Go channels: send blocks when full, receive blocks when
+// empty, close() wakes everyone and makes further receives drain-then-fail.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace impress::common {
+
+template <typename T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking send. Returns false (and drops the value) if the channel is
+  /// closed before space becomes available.
+  bool send(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || has_space_locked(); });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send. Returns false if full or closed.
+  bool try_send(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || !has_space_locked()) return false;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive. Returns nullopt once the channel is closed *and*
+  /// drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::unique_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Receive with a deadline. Returns nullopt on timeout or closed+drained.
+  template <typename Rep, typename Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !queue_.empty(); }))
+      return std::nullopt;
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Close the channel: senders fail fast, receivers drain then get
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  [[nodiscard]] bool has_space_locked() const {
+    return capacity_ == 0 || queue_.size() < capacity_;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace impress::common

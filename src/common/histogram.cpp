@@ -1,0 +1,70 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace impress::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>(
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin + 1);
+}
+
+std::string Histogram::render(std::size_t width, const std::string& unit) const {
+  const std::size_t max_count =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::string label = "[" + format_fixed(bin_low(b), 1) + ", " +
+                              format_fixed(bin_high(b), 1) + ")" +
+                              (unit.empty() ? "" : " " + unit);
+    const std::size_t cells =
+        max_count == 0
+            ? 0
+            : static_cast<std::size_t>(std::llround(
+                  static_cast<double>(counts_[b]) /
+                  static_cast<double>(max_count) * static_cast<double>(width)));
+    out += pad_left(label, 22) + " |" + repeat('#', cells) + " " +
+           std::to_string(counts_[b]) + "\n";
+  }
+  if (underflow_ > 0)
+    out += pad_left("< range", 22) + " | " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0)
+    out += pad_left(">= range", 22) + " | " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace impress::common

@@ -1,0 +1,46 @@
+// Fixed-bin histogram with ASCII rendering, used by the analytics layer
+// (e.g. the task wait-time distribution under Fig 5).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace impress::common {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); samples outside the range
+  /// land in the under/overflow counters. Requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  /// Horizontal bar rendering; the fullest bin spans `width` characters.
+  /// `unit` labels the x-axis values (e.g. "s", "h").
+  [[nodiscard]] std::string render(std::size_t width = 40,
+                                   const std::string& unit = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace impress::common

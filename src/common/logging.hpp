@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The runtime's progress output (pilot state changes, scheduler decisions)
+// goes through this so examples can run verbosely while tests and
+// benchmarks stay quiet. Thread-safe: concurrent log lines never interleave.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace impress::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; defaults to kWarn so library consumers are
+/// quiet unless they opt in.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Emit one line at the given level (no trailing newline needed).
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+/// RAII line builder backing the IMPRESS_LOG macro: streams into a buffer,
+/// flushes one atomic line on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace impress::common
+
+/// Usage: IMPRESS_LOG(kInfo, "scheduler") << "placed task " << uid;
+#define IMPRESS_LOG(level, component)                                       \
+  if (::impress::common::LogLevel::level < ::impress::common::log_level()) \
+    ;                                                                       \
+  else                                                                      \
+    ::impress::common::detail::LogLine(                                     \
+        ::impress::common::LogLevel::level, (component))

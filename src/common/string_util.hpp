@@ -1,0 +1,35 @@
+// Small string helpers shared across modules (FASTA/PDB parsing, report
+// rendering). Kept deliberately minimal: no locale dependence, ASCII only.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impress::common {
+
+/// Split on a single delimiter; adjacent delimiters yield empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; never yields empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Left/right pad to a width with spaces (no truncation).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// Repeat a single character n times.
+[[nodiscard]] std::string repeat(char c, std::size_t n);
+
+}  // namespace impress::common

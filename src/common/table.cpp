@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace impress::common {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {}
+
+void Table::set_align(std::size_t col, Align a) {
+  if (col < aligns_.size()) aligns_[col] = a;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    headers_.resize(cells.size());
+    aligns_.resize(cells.size(), Align::kLeft);
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : headers_[c];
+      line += ' ';
+      line += aligns_[c] == Align::kRight ? pad_left(cell, widths[c])
+                                          : pad_right(cell, widths[c]);
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += aligns_[c] == Align::kRight
+               ? repeat('-', widths[c] + 1) + ":|"
+               : repeat('-', widths[c] + 2) + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace impress::common

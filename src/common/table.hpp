@@ -1,0 +1,39 @@
+// Fixed-width table renderer for benchmark reports (Table I etc.).
+//
+// Produces GitHub-style pipe tables so bench output can be pasted straight
+// into EXPERIMENTS.md next to the paper's numbers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace impress::common {
+
+class Table {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Define the header row; each column defaults to left alignment.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Set alignment for one column (0-based).
+  void set_align(std::size_t col, Align a);
+
+  /// Append a row; short rows are padded with empty cells, long rows
+  /// extend the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render as a pipe table with aligned columns.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace impress::common

@@ -1,0 +1,61 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace impress::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) futures.push_back(pool.submit(fn, i));
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace impress::common

@@ -1,0 +1,15 @@
+#include "common/time_util.hpp"
+
+#include "common/stats.hpp"
+
+namespace impress::common {
+
+std::string format_duration(double seconds) {
+  if (seconds >= kSecondsPerHour)
+    return format_fixed(seconds / kSecondsPerHour, 1) + " h";
+  if (seconds >= kSecondsPerMinute)
+    return format_fixed(seconds / kSecondsPerMinute, 1) + " min";
+  return format_fixed(seconds, 1) + " s";
+}
+
+}  // namespace impress::common

@@ -1,0 +1,26 @@
+// Time formatting helpers. All simulated time in IMPRESS is kept in
+// seconds (double); these convert to the human units used in reports.
+
+#pragma once
+
+#include <string>
+
+namespace impress::common {
+
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerMinute = 60.0;
+
+[[nodiscard]] constexpr double hours_to_seconds(double h) noexcept {
+  return h * kSecondsPerHour;
+}
+[[nodiscard]] constexpr double minutes_to_seconds(double m) noexcept {
+  return m * kSecondsPerMinute;
+}
+[[nodiscard]] constexpr double seconds_to_hours(double s) noexcept {
+  return s / kSecondsPerHour;
+}
+
+/// "27.7 h", "12.4 min" or "38.0 s" depending on magnitude.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace impress::common

@@ -1,0 +1,32 @@
+#include "common/uid.hpp"
+
+#include <cstdio>
+
+namespace impress::common {
+
+std::string UidGenerator::next(std::string_view ns) {
+  std::uint64_t n;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = counters_.find(ns);
+    if (it == counters_.end())
+      it = counters_.emplace(std::string(ns), 0).first;
+    n = it->second++;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".%06llu", static_cast<unsigned long long>(n));
+  return std::string(ns) + buf;
+}
+
+std::uint64_t UidGenerator::count(std::string_view ns) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(ns);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string_view uid_namespace(std::string_view uid) noexcept {
+  const auto dot = uid.rfind('.');
+  return dot == std::string_view::npos ? uid : uid.substr(0, dot);
+}
+
+}  // namespace impress::common

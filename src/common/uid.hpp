@@ -1,0 +1,36 @@
+// RADICAL-Pilot style unique id generation: "task.000042", "pipeline.0007".
+//
+// Ids are unique per UidGenerator (one lives in each Session) rather than
+// process-global, so independent sessions in one process — e.g. the CONT-V
+// and IM-RP campaigns inside a single benchmark binary — number their
+// entities identically and deterministically.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace impress::common {
+
+class UidGenerator {
+ public:
+  /// Next id for the namespace, e.g. next("task") -> "task.000000".
+  [[nodiscard]] std::string next(std::string_view ns);
+
+  /// How many ids have been handed out for a namespace.
+  [[nodiscard]] std::uint64_t count(std::string_view ns) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// Split "task.000042" into its namespace ("task"); returns the whole
+/// string when there is no dot.
+[[nodiscard]] std::string_view uid_namespace(std::string_view uid) noexcept;
+
+}  // namespace impress::common

@@ -1,0 +1,116 @@
+#include "core/campaign.hpp"
+
+#include <map>
+
+#include "common/time_util.hpp"
+#include "hpc/gantt.hpp"
+#include "runtime/session.hpp"
+
+namespace impress::core {
+
+CampaignConfig im_rp_campaign(std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.name = "IM-RP";
+  cfg.protocol = calibration::im_rp_protocol();
+  cfg.coordinator.sequential = false;
+  cfg.pilot = calibration::amarel_pilot(rp::SchedulerPolicy::kBackfill);
+  cfg.session.seed = seed;
+  return cfg;
+}
+
+CampaignConfig cont_v_campaign(std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.name = "CONT-V";
+  cfg.protocol = calibration::cont_v_protocol();
+  cfg.coordinator.sequential = true;
+  cfg.pilot = calibration::amarel_pilot(rp::SchedulerPolicy::kFifo);
+  cfg.session.seed = seed;
+  return cfg;
+}
+
+std::size_t CampaignResult::total_trajectories() const {
+  std::size_t n = 0;
+  for (const auto& t : trajectories) n += t.history.size();
+  return n;
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+CampaignResult resume_campaign(const CampaignConfig& config,
+                               const CampaignResult& previous,
+                               const std::vector<protein::DesignTarget>& targets) {
+  // Best recorded design per target (by composite score across all
+  // trajectories of the previous run).
+  std::map<std::string, std::pair<double, std::string>> best;
+  for (const auto& t : previous.trajectories) {
+    for (const auto& rec : t.history) {
+      const double comp = rec.metrics.composite();
+      auto [it, inserted] =
+          best.emplace(t.target_name, std::make_pair(comp, rec.sequence));
+      if (!inserted && comp > it->second.first)
+        it->second = {comp, rec.sequence};
+    }
+  }
+
+  // Rebuild the target list with the resumed starting receptors. The
+  // landscape (and therefore the ground truth) is unchanged; only the
+  // starting point moves.
+  auto resumed = targets;
+  for (auto& target : resumed) {
+    const auto it = best.find(target.name);
+    if (it == best.end()) continue;
+    target.start_receptor = protein::Sequence::from_string(it->second.second);
+  }
+
+  auto cfg = config;
+  if (cfg.name == previous.name) cfg.name += "-resumed";
+  Campaign campaign(cfg);
+  return campaign.run(resumed);
+}
+
+CampaignResult Campaign::run(
+    const std::vector<protein::DesignTarget>& targets) {
+  rp::Session session(config_.session);
+  const auto pilot = session.submit_pilot(config_.pilot);
+  Coordinator coordinator(session, config_.coordinator);
+
+  std::shared_ptr<const SequenceGenerator> generator = config_.generator;
+  if (!generator)
+    generator = std::make_shared<MpnnGenerator>(config_.sampler);
+
+  for (const auto& target : targets) {
+    auto pipeline = std::make_unique<Pipeline>(
+        target.name, target, target.start_complex(), config_.protocol,
+        generator, fold::AlphaFold(config_.predictor),
+        session.fork_rng("pipeline." + target.name));
+    coordinator.add_pipeline(std::move(pipeline));
+  }
+
+  coordinator.run();
+
+  CampaignResult r;
+  r.name = config_.name;
+  r.trajectories = coordinator.results();
+  r.targets = targets.size();
+
+  const double makespan_s = pilot->recorder().latest_end();
+  r.makespan_h = common::seconds_to_hours(makespan_s);
+  r.utilization = pilot->recorder().summarize(0.0, makespan_s);
+  for (const auto& [phase, seconds] : session.profiler().phase_durations())
+    r.phase_hours[phase] = common::seconds_to_hours(seconds);
+  r.cpu_series = pilot->recorder().cpu_series(100);
+  r.gpu_series = pilot->recorder().gpu_series(100);
+  r.gantt = hpc::render_gantt(session.profiler(), makespan_s);
+  r.energy_kwh = pilot->recorder().energy_kwh();
+
+  r.root_pipelines = coordinator.pipelines_submitted();
+  r.subpipelines = coordinator.subpipelines_spawned();
+  r.generator_tasks = coordinator.generator_tasks();
+  r.refine_tasks = coordinator.refine_tasks();
+  r.fold_tasks = coordinator.fold_tasks();
+  r.fold_retries = coordinator.fold_retries();
+  r.failed_tasks = coordinator.failed_tasks();
+  return r;
+}
+
+}  // namespace impress::core

@@ -1,0 +1,99 @@
+// Campaign: one full experimental arm (CONT-V or IM-RP) over a set of
+// design targets — session + pilot + coordinator + pipelines, executed to
+// completion, with the computational and scientific results collected
+// into a CampaignResult that the benches and tests consume.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/coordinator.hpp"
+#include "core/generator.hpp"
+#include "core/pipeline.hpp"
+#include "core/protocol.hpp"
+#include "hpc/utilization.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+
+struct CampaignConfig {
+  std::string name = "IM-RP";
+  ProtocolConfig protocol = calibration::im_rp_protocol();
+  CoordinatorConfig coordinator{
+      .sequential = false,
+      .mpnn_durations = calibration::mpnn_durations(),
+      .fold_durations = calibration::fold_durations(),
+      .refine_durations = RefineDurationModel{},
+      .refined_noise_factor = 0.65};
+  rp::PilotDescription pilot = calibration::amarel_pilot();
+  rp::SessionConfig session{};  // simulated mode, seed 42
+  mpnn::SamplerConfig sampler = calibration::sampler_config();
+  fold::PredictorConfig predictor = calibration::predictor_config();
+  /// Optional generator override (defaults to the ProteinMPNN surrogate
+  /// built from `sampler`).
+  std::shared_ptr<const SequenceGenerator> generator;
+};
+
+/// The paper's two arms, pre-configured.
+[[nodiscard]] CampaignConfig im_rp_campaign(std::uint64_t seed = 42);
+[[nodiscard]] CampaignConfig cont_v_campaign(std::uint64_t seed = 42);
+
+struct CampaignResult {
+  std::string name;
+  std::vector<TrajectoryResult> trajectories;
+
+  // Computational metrics (Table I right half, Figs 4-5).
+  double makespan_h = 0.0;
+  hpc::UtilizationSummary utilization;
+  std::map<std::string, double> phase_hours;  ///< bootstrap/exec_setup/running
+  std::vector<double> cpu_series;  ///< binned active CPU utilization [0,1]
+  std::vector<double> gpu_series;
+  /// Task-level Gantt rendering of the run (profiler events).
+  std::string gantt;
+  /// Estimated dynamic energy of the campaign (kWh; see
+  /// hpc::UtilizationRecorder::energy_kwh).
+  double energy_kwh = 0.0;
+
+  // Workload bookkeeping (Table I left half).
+  std::size_t root_pipelines = 0;
+  std::size_t subpipelines = 0;
+  std::size_t generator_tasks = 0;
+  std::size_t refine_tasks = 0;
+  std::size_t fold_tasks = 0;
+  std::size_t fold_retries = 0;
+  std::size_t failed_tasks = 0;
+  std::size_t targets = 0;
+
+  /// Trajectories in the paper's counting: accepted design iterations.
+  [[nodiscard]] std::size_t total_trajectories() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  /// Run the campaign over the targets and collect everything. The
+  /// targets vector must outlive the call (pipelines hold pointers).
+  [[nodiscard]] CampaignResult run(
+      const std::vector<protein::DesignTarget>& targets);
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+/// Resume a finished (or interrupted) campaign from its result: each
+/// target restarts from the best design recorded in `previous`, running
+/// this campaign's configured number of cycles on top. Targets without
+/// any recorded design start from their original structure. Use with a
+/// result freshly computed or loaded via core/session_dump.hpp.
+[[nodiscard]] CampaignResult resume_campaign(
+    const CampaignConfig& config, const CampaignResult& previous,
+    const std::vector<protein::DesignTarget>& targets);
+
+}  // namespace impress::core

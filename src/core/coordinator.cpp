@@ -1,0 +1,288 @@
+#include "core/coordinator.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace impress::core {
+
+Coordinator::Coordinator(rp::Session& session, CoordinatorConfig config)
+    : session_(session), config_(std::move(config)) {
+  session_.task_manager().add_callback([this](const rp::TaskPtr& task) {
+    completion_channel_.send(Completion{task});
+    notify_runtime();
+  });
+}
+
+void Coordinator::notify_runtime() {
+  if (session_.mode() == rp::ExecutionMode::kSimulated)
+    session_.engine().schedule_after(0.0, [this] { drain_channels(); });
+}
+
+void Coordinator::add_pipeline(std::unique_ptr<Pipeline> pipeline) {
+  ++root_pipelines_;
+  pipeline_channel_.send(std::move(pipeline));
+}
+
+void Coordinator::run() {
+  if (started_) throw std::logic_error("Coordinator::run: already run");
+  started_ = true;
+  if (session_.mode() == rp::ExecutionMode::kSimulated) {
+    drain_channels();  // submit root pipelines, creating the first events
+    session_.run();
+    drain_channels();  // nothing should remain; defensive
+    return;
+  }
+  // Threaded mode: this thread is the decision-making loop.
+  using namespace std::chrono_literals;
+  while (!campaign_done()) {
+    while (auto p = pipeline_channel_.try_receive())
+      register_pipeline(std::move(*p));
+    if (auto msg = completion_channel_.receive_for(20ms))
+      handle_completion(msg->task);
+  }
+}
+
+void Coordinator::drain_channels() {
+  for (;;) {
+    bool progressed = false;
+    while (auto p = pipeline_channel_.try_receive()) {
+      register_pipeline(std::move(*p));
+      progressed = true;
+    }
+    while (auto msg = completion_channel_.try_receive()) {
+      handle_completion(msg->task);
+      progressed = true;
+    }
+    if (!progressed) return;
+  }
+}
+
+void Coordinator::register_pipeline(std::unique_ptr<Pipeline> pipeline) {
+  Pipeline* p = pipeline.get();
+  pipelines_.push_back(std::move(pipeline));
+  ++active_pipelines_;
+  IMPRESS_LOG(kInfo, "coordinator")
+      << "pipeline " << p->id() << (p->is_subpipeline() ? " (sub)" : "")
+      << " starting at cycle " << p->cycle() + 1;
+  process_action(p, p->start());
+}
+
+void Coordinator::handle_completion(const rp::TaskPtr& task) {
+  const auto it = inflight_.find(task->uid());
+  if (it == inflight_.end()) return;  // not ours (foreign task on session)
+  Pipeline* p = it->second;
+  inflight_.erase(it);
+
+  if (task->state() != rp::TaskState::kDone) {
+    ++failed_tasks_;
+    IMPRESS_LOG(kWarn, "coordinator")
+        << "task " << task->uid() << " " << rp::to_string(task->state())
+        << " (" << task->error() << "); terminating pipeline " << p->id();
+    p->abort();
+    on_pipeline_finished(p);
+    maybe_submit_queued();
+    return;
+  }
+
+  const auto& app = task->description().metadata.at("app");
+  const int cycle_before = p->cycle();
+  Pipeline::Action action = [&] {
+    if (app == "proteinmpnn" || app == "generator")
+      return p->on_generator_result(
+          task->result_as<std::vector<mpnn::ScoredSequence>>());
+    if (app == "refine")
+      return p->on_refine_result(task->result_as<protein::Complex>());
+    if (app == "alphafold")
+      return p->on_fold_result(task->result_as<fold::Prediction>());
+    throw std::logic_error("Coordinator: unknown app '" + app + "'");
+  }();
+
+  if (app == "alphafold" && action.kind == Pipeline::Action::Kind::kRunFold)
+    ++fold_retries_;  // Stage-6 declining branch: next-ranked sequence
+
+  // Decision-making runs whenever a design iteration lands, not only at
+  // pipeline completion: a mid-campaign acceptance that still leaves the
+  // target below the pool median triggers re-processing on idle resources.
+  const bool accepted_iteration = p->cycle() > cycle_before;
+  process_action(p, std::move(action));
+  if (accepted_iteration && !p->finished()) consider_subpipeline(p);
+  maybe_submit_queued();
+}
+
+void Coordinator::process_action(Pipeline* pipeline, Pipeline::Action action) {
+  switch (action.kind) {
+    case Pipeline::Action::Kind::kRunGenerator:
+      submit_generator_task(pipeline);
+      return;
+    case Pipeline::Action::Kind::kRunRefine:
+      submit_refine_task(pipeline, std::move(*action.fold_input));
+      return;
+    case Pipeline::Action::Kind::kRunFold:
+      submit_fold_task(pipeline, std::move(*action.fold_input),
+                       action.reuse_features, action.refined);
+      return;
+    case Pipeline::Action::Kind::kCompleted:
+    case Pipeline::Action::Kind::kTerminated:
+      on_pipeline_finished(pipeline);
+      return;
+  }
+}
+
+void Coordinator::submit_generator_task(Pipeline* pipeline) {
+  ++generator_tasks_;
+  auto gen = pipeline->generator_ptr();
+  const protein::FitnessLandscape* landscape = &pipeline->target().landscape;
+  protein::Complex input = pipeline->current();
+  common::Rng rng = pipeline->fork_task_rng();
+
+  auto work = [gen, landscape, input = std::move(input),
+               rng](rp::Task&) mutable -> std::any {
+    return gen->generate(input, *landscape, rng);
+  };
+
+  auto td = mpnn::make_mpnn_task(
+      pipeline->id() + ".gen.c" + std::to_string(pipeline->cycle() + 1),
+      /*n_structures=*/1, config_.mpnn_durations, std::move(work));
+  td.metadata["pipeline"] = pipeline->id();
+  submit_or_queue(pipeline, std::move(td));
+}
+
+void Coordinator::submit_refine_task(Pipeline* pipeline,
+                                     protein::Complex input) {
+  ++refine_tasks_;
+  // Surrogate relaxation: on our idealized backbones the minimization is
+  // a fixed point, so the science payload passes the complex through; the
+  // physical effect is the cleaner predictor input (refined flag) and the
+  // CPU time spent.
+  auto work = [input = std::move(input)](rp::Task&) mutable -> std::any {
+    return std::move(input);
+  };
+  rp::TaskDescription td;
+  td.name = pipeline->id() + ".refine.c" + std::to_string(pipeline->cycle() + 1);
+  td.resources = hpc::ResourceRequest{.cores = config_.refine_durations.cores,
+                                      .gpus = 0,
+                                      .mem_gb = 4.0};
+  td.phases.push_back(rp::TaskPhase{
+      .name = "relax",
+      .duration_s = config_.refine_durations.seconds,
+      .jitter_sigma = config_.refine_durations.jitter_sigma,
+      .cores = config_.refine_durations.cores,
+      .gpus = 0,
+      .cpu_intensity = config_.refine_durations.cpu_intensity,
+      .gpu_intensity = 0.0,
+  });
+  td.work = std::move(work);
+  td.metadata["app"] = "refine";
+  td.metadata["pipeline"] = pipeline->id();
+  submit_or_queue(pipeline, std::move(td));
+}
+
+void Coordinator::submit_fold_task(Pipeline* pipeline, protein::Complex input,
+                                   bool reuse_features, bool refined) {
+  ++fold_tasks_;
+  fold::AlphaFold folder = [&] {
+    if (!refined) return pipeline->folder();
+    // Refined backbones give the predictor a cleaner input.
+    auto cfg = pipeline->folder().config();
+    cfg.metric_noise *= config_.refined_noise_factor;
+    return fold::AlphaFold(cfg);
+  }();
+  const protein::FitnessLandscape* landscape = &pipeline->target().landscape;
+  common::Rng rng = pipeline->fork_task_rng();
+
+  auto work = [folder, landscape, input,
+               rng](rp::Task&) mutable -> std::any {
+    return folder.predict(input, *landscape, rng);
+  };
+
+  fold::FoldDurationModel durations = config_.fold_durations;
+  durations.reuse_features = reuse_features;
+  auto td = fold::make_fold_task(
+      pipeline->id() + ".fold.c" + std::to_string(pipeline->cycle() + 1),
+      durations, std::move(work));
+  td.metadata["pipeline"] = pipeline->id();
+  submit_or_queue(pipeline, std::move(td));
+}
+
+void Coordinator::submit_or_queue(Pipeline* pipeline,
+                                  rp::TaskDescription description) {
+  if (config_.sequential && !inflight_.empty()) {
+    queued_.emplace_back(pipeline, std::move(description));
+    return;
+  }
+  const auto task = session_.task_manager().submit(std::move(description));
+  inflight_[task->uid()] = pipeline;
+}
+
+void Coordinator::maybe_submit_queued() {
+  while (!queued_.empty() && (!config_.sequential || inflight_.empty())) {
+    auto [pipeline, td] = std::move(queued_.front());
+    queued_.pop_front();
+    const auto task = session_.task_manager().submit(std::move(td));
+    inflight_[task->uid()] = pipeline;
+    if (config_.sequential) return;
+  }
+}
+
+void Coordinator::on_pipeline_finished(Pipeline* pipeline) {
+  if (active_pipelines_ > 0) --active_pipelines_;
+  IMPRESS_LOG(kInfo, "coordinator")
+      << "pipeline " << pipeline->id() << " finished after "
+      << pipeline->history().size() << " accepted iteration(s)";
+  consider_subpipeline(pipeline);
+}
+
+double Coordinator::pool_median_composite() const {
+  std::vector<double> values;
+  for (const auto& p : pipelines_)
+    if (const auto c = p->last_composite()) values.push_back(*c);
+  return common::median(values);
+}
+
+void Coordinator::consider_subpipeline(Pipeline* pipeline) {
+  const ProtocolConfig& cfg = pipeline->config();
+  if (!cfg.adaptive || !cfg.spawn_subpipelines) return;
+  auto& count = subpipeline_count_[pipeline->target().name];
+  if (count >= cfg.max_subpipelines_per_target) return;
+
+  // Decision-making (paper §II-D): re-process low-quality designs. A
+  // pipeline is low-quality when it was pruned before completing all M
+  // cycles, or when its current design sits below the global pool median.
+  const bool pruned = pipeline->finished() && pipeline->cycle() < cfg.cycles;
+  const auto composite = pipeline->last_composite();
+  const bool below_pool =
+      composite && *composite < pool_median_composite() - cfg.subpipeline_margin;
+  if (!pruned && !below_pool) return;
+
+  ++count;
+  ++subpipelines_;
+  const int start_cycle =
+      std::min(pipeline->cycle(), cfg.cycles - 1);
+  auto sub = std::make_unique<Pipeline>(
+      pipeline->target().name + ".sub" + std::to_string(count),
+      pipeline->target(), pipeline->current(), cfg, pipeline->generator_ptr(),
+      pipeline->folder(), pipeline->fork_task_rng(), start_cycle,
+      /*is_subpipeline=*/true, /*baseline=*/std::nullopt);
+  IMPRESS_LOG(kInfo, "coordinator")
+      << "decision: spawning sub-pipeline " << sub->id() << " ("
+      << (pruned ? "pruned trajectory" : "below pool median") << ")";
+  pipeline_channel_.send(std::move(sub));
+  notify_runtime();
+}
+
+bool Coordinator::campaign_done() const {
+  return active_pipelines_ == 0 && inflight_.empty() && queued_.empty() &&
+         pipeline_channel_.empty() && completion_channel_.empty();
+}
+
+std::vector<TrajectoryResult> Coordinator::results() const {
+  std::vector<TrajectoryResult> out;
+  out.reserve(pipelines_.size());
+  for (const auto& p : pipelines_) out.push_back(p->result());
+  return out;
+}
+
+}  // namespace impress::core

@@ -1,0 +1,132 @@
+// The pipelines coordinator (paper §II-B/D).
+//
+// Manages the concurrent, dynamic submission of pipelines over exactly two
+// communication channels, as in the paper's implementation:
+//
+//   * the *pipeline channel* carries new pipeline instances to be
+//     submitted — at campaign start and whenever the decision-making step
+//     spawns a sub-pipeline;
+//   * the *completion channel* carries completed tasks from the runtime
+//     back to the decision-making loop.
+//
+// The coordinator keeps a global perspective on every pipeline's results
+// (the design pool) and decides whether "low-quality" sequences should be
+// re-processed with a new sub-pipeline. In sequential mode (CONT-V) it
+// additionally serializes task submission so at most one task is ever in
+// flight — the control's vanilla execution model.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/channel.hpp"
+#include "core/pipeline.hpp"
+#include "fold/fold_task.hpp"
+#include "mpnn/mpnn_task.hpp"
+#include "runtime/session.hpp"
+
+namespace impress::core {
+
+/// Footprint of the optional backbone-refinement task (CPU relaxation,
+/// ~10 minutes on a handful of cores).
+struct RefineDurationModel {
+  double seconds = 600.0;
+  double jitter_sigma = 0.15;
+  std::uint32_t cores = 4;
+  double cpu_intensity = 0.90;
+};
+
+struct CoordinatorConfig {
+  /// CONT-V execution: strictly one task in flight at any time.
+  bool sequential = false;
+  mpnn::MpnnDurationModel mpnn_durations;
+  fold::FoldDurationModel fold_durations;
+  RefineDurationModel refine_durations;
+  /// Metric-noise multiplier applied to predictions of refined backbones.
+  double refined_noise_factor = 0.65;
+};
+
+class Coordinator {
+ public:
+  Coordinator(rp::Session& session, CoordinatorConfig config);
+
+  /// Queue a root pipeline for submission (pipeline channel). Call before
+  /// run(); the decision-making step uses the same channel at runtime.
+  void add_pipeline(std::unique_ptr<Pipeline> pipeline);
+
+  /// Execute until every pipeline has completed or terminated. Drives the
+  /// session event loop (simulated mode) or a dispatcher thread (threaded
+  /// mode). Returns when the campaign is done.
+  void run();
+
+  // --- results & bookkeeping ---
+  [[nodiscard]] std::vector<TrajectoryResult> results() const;
+  [[nodiscard]] std::size_t pipelines_submitted() const noexcept {
+    return root_pipelines_;
+  }
+  [[nodiscard]] std::size_t subpipelines_spawned() const noexcept {
+    return subpipelines_;
+  }
+  [[nodiscard]] std::size_t generator_tasks() const noexcept {
+    return generator_tasks_;
+  }
+  [[nodiscard]] std::size_t refine_tasks() const noexcept {
+    return refine_tasks_;
+  }
+  [[nodiscard]] std::size_t fold_tasks() const noexcept { return fold_tasks_; }
+  [[nodiscard]] std::size_t fold_retries() const noexcept {
+    return fold_retries_;
+  }
+  [[nodiscard]] std::size_t failed_tasks() const noexcept {
+    return failed_tasks_;
+  }
+
+ private:
+  struct Completion {
+    rp::TaskPtr task;
+  };
+
+  void drain_channels();
+  void register_pipeline(std::unique_ptr<Pipeline> pipeline);
+  void handle_completion(const rp::TaskPtr& task);
+  void process_action(Pipeline* pipeline, Pipeline::Action action);
+  void submit_generator_task(Pipeline* pipeline);
+  void submit_refine_task(Pipeline* pipeline, protein::Complex input);
+  void submit_fold_task(Pipeline* pipeline, protein::Complex input,
+                        bool reuse_features, bool refined);
+  void submit_or_queue(Pipeline* pipeline, rp::TaskDescription description);
+  void maybe_submit_queued();
+  void on_pipeline_finished(Pipeline* pipeline);
+  void consider_subpipeline(Pipeline* pipeline);
+  [[nodiscard]] double pool_median_composite() const;
+  [[nodiscard]] bool campaign_done() const;
+  void notify_runtime();  ///< schedule a drain (simulated mode)
+
+  rp::Session& session_;
+  CoordinatorConfig config_;
+
+  // The paper's two channels.
+  common::Channel<std::unique_ptr<Pipeline>> pipeline_channel_;
+  common::Channel<Completion> completion_channel_;
+
+  std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  std::unordered_map<std::string, Pipeline*> inflight_;  ///< task uid -> owner
+  std::deque<std::pair<Pipeline*, rp::TaskDescription>> queued_;  ///< sequential mode
+  std::unordered_map<std::string, int> subpipeline_count_;  ///< per target
+
+  std::size_t active_pipelines_ = 0;
+  std::size_t root_pipelines_ = 0;
+  std::size_t subpipelines_ = 0;
+  std::size_t generator_tasks_ = 0;
+  std::size_t refine_tasks_ = 0;
+  std::size_t fold_tasks_ = 0;
+  std::size_t fold_retries_ = 0;
+  std::size_t failed_tasks_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace impress::core

@@ -1,0 +1,79 @@
+#include "core/crossover_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace impress::core {
+
+CrossoverGenerator::CrossoverGenerator(
+    std::shared_ptr<const SequenceGenerator> inner, Config config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) throw std::invalid_argument("CrossoverGenerator: null inner");
+  if (config_.crossover_fraction < 0.0 || config_.crossover_fraction > 1.0)
+    throw std::invalid_argument(
+        "CrossoverGenerator: crossover_fraction outside [0,1]");
+  if (config_.population_size < 2)
+    throw std::invalid_argument(
+        "CrossoverGenerator: population_size must be >= 2");
+}
+
+std::vector<mpnn::ScoredSequence> CrossoverGenerator::generate(
+    const protein::Complex& complex,
+    const protein::FitnessLandscape& landscape, common::Rng& rng) const {
+  auto proposals = inner_->generate(complex, landscape, rng);
+
+  std::vector<Member> parents;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = populations_.find(complex.receptor().size());
+    if (it != populations_.end()) parents = it->second;
+  }
+  if (parents.size() < 2 || proposals.empty()) return proposals;
+
+  // Replace the tail of the proposal set (the lowest-self-scored fresh
+  // samples after Stage-2 sorting happens downstream; order here is
+  // unsorted, so replace a random subset) with recombinants.
+  const auto n_cross = static_cast<std::size_t>(
+      config_.crossover_fraction * static_cast<double>(proposals.size()));
+  for (std::size_t k = 0; k < n_cross; ++k) {
+    // Reward-weighted parent choice.
+    std::vector<double> weights;
+    weights.reserve(parents.size());
+    for (const auto& m : parents) weights.push_back(std::max(m.reward, 1e-3));
+    const std::size_t a = rng.categorical(weights);
+    std::size_t b = rng.categorical(weights);
+    if (b == a) b = (a + 1) % parents.size();
+
+    protein::Sequence child = parents[a].sequence;
+    for (std::size_t pos : landscape.interface_positions())
+      if (rng.chance(config_.mixing)) child.set(pos, parents[b].sequence[pos]);
+
+    const std::size_t slot =
+        rng.below(static_cast<std::uint32_t>(proposals.size()));
+    // Self-score: midpoint of the parents' rewards, so Stage-2 ranks
+    // recombinants of strong parents competitively.
+    proposals[slot] = mpnn::ScoredSequence{
+        std::move(child), (parents[a].reward + parents[b].reward) / 2.0 - 1.0};
+  }
+  return proposals;
+}
+
+void CrossoverGenerator::observe(const protein::Sequence& sequence,
+                                 double reward) const {
+  inner_->observe(sequence, reward);
+  std::lock_guard lock(mutex_);
+  auto& pop = populations_[sequence.size()];
+  pop.push_back(Member{sequence, reward});
+  std::sort(pop.begin(), pop.end(), [](const Member& x, const Member& y) {
+    return x.reward > y.reward;
+  });
+  if (pop.size() > config_.population_size) pop.resize(config_.population_size);
+}
+
+std::size_t CrossoverGenerator::population(std::size_t length) const {
+  std::lock_guard lock(mutex_);
+  const auto it = populations_.find(length);
+  return it == populations_.end() ? 0 : it->second.size();
+}
+
+}  // namespace impress::core

@@ -1,0 +1,94 @@
+#include "core/dpo_generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace impress::core {
+
+DpoGenerator::DpoGenerator(Config config) : config_(config) {
+  if (config_.num_sequences == 0)
+    throw std::invalid_argument("DpoGenerator: num_sequences must be > 0");
+  if (config_.temperature <= 0.0)
+    throw std::invalid_argument("DpoGenerator: temperature must be > 0");
+}
+
+void DpoGenerator::ensure_policy_size(std::size_t length) const {
+  // Called with mutex_ held.
+  if (policy_.size() < length)
+    policy_.resize(length, std::array<double, protein::kNumAminoAcids>{});
+}
+
+std::vector<mpnn::ScoredSequence> DpoGenerator::generate(
+    const protein::Complex& complex,
+    const protein::FitnessLandscape& /*landscape*/, common::Rng& rng) const {
+  // Structure-blind by design: the landscape is never consulted. All the
+  // generator knows is its own policy and the current receptor sequence.
+  const protein::Sequence& current = complex.receptor().sequence;
+  std::lock_guard lock(mutex_);
+  ensure_policy_size(current.size());
+
+  std::vector<mpnn::ScoredSequence> out;
+  out.reserve(config_.num_sequences);
+  for (std::size_t s = 0; s < config_.num_sequences; ++s) {
+    protein::Sequence seq = current;
+    double score = 0.0;
+    const std::size_t n_mut =
+        std::min(config_.mutations_per_sequence, current.size());
+    for (std::size_t m = 0; m < n_mut; ++m) {
+      const std::size_t pos =
+          rng.below(static_cast<std::uint32_t>(current.size()));
+      const auto current_aa = static_cast<std::size_t>(current[pos]);
+      std::array<double, protein::kNumAminoAcids> weights{};
+      for (std::size_t a = 0; a < protein::kNumAminoAcids; ++a) {
+        const double bias = a == current_aa ? config_.native_bias : 0.0;
+        weights[a] = std::exp((policy_[pos][a] + bias) / config_.temperature);
+      }
+      const std::size_t a = rng.categorical(weights);
+      seq.set(pos, static_cast<protein::AminoAcid>(a));
+      score += policy_[pos][a];
+    }
+    out.push_back(
+        {std::move(seq), n_mut == 0 ? 0.0 : score / static_cast<double>(n_mut)});
+  }
+  return out;
+}
+
+void DpoGenerator::observe(const protein::Sequence& sequence,
+                           double reward) const {
+  std::lock_guard lock(mutex_);
+  ensure_policy_size(sequence.size());
+  const auto it = pending_.find(sequence.size());
+  if (it == pending_.end()) {
+    pending_.emplace(sequence.size(), Observation{sequence, reward});
+    return;
+  }
+  // Pair with the previous same-length evaluation, then consume both.
+  const Observation a = std::move(it->second);
+  pending_.erase(it);
+  const Observation b{sequence, reward};
+  const Observation& winner = a.reward >= b.reward ? a : b;
+  const Observation& loser = a.reward >= b.reward ? b : a;
+  const double gap = std::min(1.0, std::fabs(a.reward - b.reward) * 4.0);
+  if (gap <= 0.0) return;
+
+  const double step = config_.beta * gap;
+  for (std::size_t pos = 0; pos < winner.sequence.size(); ++pos) {
+    const auto w = static_cast<std::size_t>(winner.sequence[pos]);
+    const auto l = static_cast<std::size_t>(loser.sequence[pos]);
+    if (w == l) continue;
+    policy_[pos][w] = std::clamp(policy_[pos][w] + step, -config_.logit_clip,
+                                 config_.logit_clip);
+    policy_[pos][l] = std::clamp(policy_[pos][l] - step, -config_.logit_clip,
+                                 config_.logit_clip);
+  }
+  ++updates_;
+}
+
+std::size_t DpoGenerator::updates() const {
+  std::lock_guard lock(mutex_);
+  return updates_;
+}
+
+}  // namespace impress::core

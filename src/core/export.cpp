@@ -1,0 +1,97 @@
+#include "core/export.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "core/report.hpp"
+
+namespace impress::core {
+
+namespace {
+
+std::string num(double v, int decimals = 6) {
+  return common::format_fixed(v, decimals);
+}
+
+}  // namespace
+
+std::string trajectories_csv(const CampaignResult& result) {
+  std::string out =
+      "pipeline_id,target,is_subpipeline,cycle,plddt,ptm,ipae,composite,"
+      "true_fitness,retries,sequence\n";
+  for (const auto& t : result.trajectories) {
+    for (const auto& rec : t.history) {
+      out += t.pipeline_id + ',' + t.target_name + ',' +
+             (t.is_subpipeline ? "1" : "0") + ',' + std::to_string(rec.cycle) +
+             ',' + num(rec.metrics.plddt, 3) + ',' + num(rec.metrics.ptm, 4) +
+             ',' + num(rec.metrics.ipae, 3) + ',' +
+             num(rec.metrics.composite(), 4) + ',' +
+             num(rec.true_fitness, 4) + ',' + std::to_string(rec.retries) +
+             ',' + rec.sequence + '\n';
+    }
+  }
+  return out;
+}
+
+std::string utilization_csv(const CampaignResult& result) {
+  std::string out = "bin,t_start_h,t_end_h,cpu,gpu\n";
+  const std::size_t bins = result.cpu_series.size();
+  if (bins == 0) return out;
+  const double bin_h = result.makespan_h / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double gpu = b < result.gpu_series.size() ? result.gpu_series[b] : 0.0;
+    out += std::to_string(b) + ',' + num(static_cast<double>(b) * bin_h, 4) +
+           ',' + num(static_cast<double>(b + 1) * bin_h, 4) + ',' +
+           num(result.cpu_series[b], 4) + ',' + num(gpu, 4) + '\n';
+  }
+  return out;
+}
+
+std::string iterations_csv(const CampaignResult& result, int cycles) {
+  std::string out = "metric,cycle,n,median,mean,stddev,p25,p75\n";
+  for (const auto metric : {Metric::kPlddt, Metric::kPtm, Metric::kIpae}) {
+    const auto matrix = metric_by_cycle(result, metric, cycles);
+    for (int c = 1; c <= cycles; ++c) {
+      const auto& vals = matrix[static_cast<std::size_t>(c - 1)];
+      const auto s = common::summarize({vals.data(), vals.size()});
+      out += std::string(metric_name(metric)) + ',' + std::to_string(c) + ',' +
+             std::to_string(s.n) + ',' + num(s.median, 4) + ',' +
+             num(s.mean, 4) + ',' + num(s.stddev, 4) + ',' + num(s.p25, 4) +
+             ',' + num(s.p75, 4) + '\n';
+    }
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("export: cannot open " + path);
+  os << content;
+  if (!os) throw std::runtime_error("export: write failed for " + path);
+}
+
+std::vector<std::string> export_campaign_csv(const CampaignResult& result,
+                                             const std::string& directory,
+                                             int cycles) {
+  std::filesystem::create_directories(directory);
+  std::string stem;
+  for (char c : result.name)
+    stem.push_back(std::isalnum(static_cast<unsigned char>(c))
+                       ? static_cast<char>(std::tolower(
+                             static_cast<unsigned char>(c)))
+                       : '_');
+  std::vector<std::string> paths;
+  const auto base = (std::filesystem::path(directory) / stem).string();
+  paths.push_back(base + "_trajectories.csv");
+  write_text_file(paths.back(), trajectories_csv(result));
+  paths.push_back(base + "_utilization.csv");
+  write_text_file(paths.back(), utilization_csv(result));
+  paths.push_back(base + "_iterations.csv");
+  write_text_file(paths.back(), iterations_csv(result, cycles));
+  return paths;
+}
+
+}  // namespace impress::core

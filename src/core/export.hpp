@@ -1,0 +1,40 @@
+// CSV export of campaign results, for downstream plotting/analysis.
+//
+// Three documents:
+//  * trajectories  — one row per accepted design iteration;
+//  * utilization   — the binned CPU/GPU series behind Figs 4-5;
+//  * iterations    — per-cycle medians/spreads per metric (Figs 2-3 data).
+//
+// All CSV is RFC-4180-ish: comma separated, '.' decimal point, first row
+// is the header, fields never contain commas (ids are alphanumeric).
+
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace impress::core {
+
+/// pipeline_id,target,is_subpipeline,cycle,plddt,ptm,ipae,composite,
+/// true_fitness,retries,sequence
+[[nodiscard]] std::string trajectories_csv(const CampaignResult& result);
+
+/// bin,t_start_h,t_end_h,cpu,gpu
+[[nodiscard]] std::string utilization_csv(const CampaignResult& result);
+
+/// metric,cycle,n,median,mean,stddev,p25,p75
+[[nodiscard]] std::string iterations_csv(const CampaignResult& result,
+                                         int cycles);
+
+/// Write `content` to `path`; throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Write all three CSVs into `directory` (created if missing) as
+/// <name>_trajectories.csv, <name>_utilization.csv, <name>_iterations.csv,
+/// where <name> is the lower-cased campaign name. Returns the paths.
+std::vector<std::string> export_campaign_csv(const CampaignResult& result,
+                                             const std::string& directory,
+                                             int cycles);
+
+}  // namespace impress::core

@@ -1,0 +1,34 @@
+#include "core/generator.hpp"
+
+namespace impress::core {
+
+std::vector<mpnn::ScoredSequence> RandomMutagenesisGenerator::generate(
+    const protein::Complex& complex,
+    const protein::FitnessLandscape& landscape, common::Rng& rng) const {
+  const protein::Sequence& current = complex.receptor().sequence;
+  std::vector<mpnn::ScoredSequence> out;
+  out.reserve(num_sequences_);
+  for (std::size_t s = 0; s < num_sequences_; ++s) {
+    protein::Sequence seq = current;
+    for (std::size_t m = 0; m < mutations_per_sequence_; ++m) {
+      const std::size_t pos = rng.below(static_cast<std::uint32_t>(seq.size()));
+      seq.set(pos, static_cast<protein::AminoAcid>(
+                       rng.below(protein::kNumAminoAcids)));
+    }
+    // Structure-blind score: mean pocket hydropathy compatibility with the
+    // peptide tail — a deliberately weak signal compared to ProteinMPNN.
+    double score = 0.0;
+    const auto& pep = complex.peptide().sequence;
+    for (std::size_t pos : landscape.interface_positions()) {
+      const auto pep_aa = pep[pep.size() - 1 - (pos % pep.size())];
+      score -= std::abs(protein::hydropathy(seq[pos]) -
+                        protein::hydropathy(pep_aa)) /
+               9.0;
+    }
+    score /= static_cast<double>(landscape.interface_positions().size());
+    out.push_back(mpnn::ScoredSequence{std::move(seq), score});
+  }
+  return out;
+}
+
+}  // namespace impress::core

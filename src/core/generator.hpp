@@ -1,0 +1,87 @@
+// Pluggable sequence generation (pipeline Stage 1).
+//
+// The paper's §IV closes on the claim that "IMPRESS allows any sequence
+// generation method to be plugged into the design pipeline". This
+// interface is that plug point: the default is the ProteinMPNN surrogate;
+// RandomMutagenesisGenerator reproduces the EvoPro-style alternative the
+// related work describes (sequence generation by random mutagenesis).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpnn/mpnn.hpp"
+#include "protein/landscape.hpp"
+#include "protein/structure.hpp"
+
+namespace impress::core {
+
+class SequenceGenerator {
+ public:
+  virtual ~SequenceGenerator() = default;
+
+  /// Produce scored candidate receptor sequences conditioned on the
+  /// current complex. Scores play the role of ProteinMPNN log-likelihoods
+  /// in Stage 2 sorting.
+  [[nodiscard]] virtual std::vector<mpnn::ScoredSequence> generate(
+      const protein::Complex& complex,
+      const protein::FitnessLandscape& landscape, common::Rng& rng) const = 0;
+
+  /// Feedback hook: the pipeline reports every evaluated candidate with
+  /// its composite confidence after Stage 5. Stateless generators ignore
+  /// it; learning generators (see DpoGenerator) fine-tune on it. Must be
+  /// thread-safe — concurrent pipelines share one generator.
+  virtual void observe(const protein::Sequence& sequence,
+                       double reward) const {
+    (void)sequence;
+    (void)reward;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The default: the ProteinMPNN surrogate.
+class MpnnGenerator final : public SequenceGenerator {
+ public:
+  explicit MpnnGenerator(mpnn::SamplerConfig config = {}) : model_(config) {}
+
+  [[nodiscard]] std::vector<mpnn::ScoredSequence> generate(
+      const protein::Complex& complex,
+      const protein::FitnessLandscape& landscape,
+      common::Rng& rng) const override {
+    return model_.design(complex, landscape, rng);
+  }
+
+  [[nodiscard]] std::string name() const override { return "proteinmpnn"; }
+
+  [[nodiscard]] const mpnn::Mpnn& model() const noexcept { return model_; }
+
+ private:
+  mpnn::Mpnn model_;
+};
+
+/// EvoPro-style random mutagenesis: uniform point mutations, scored by a
+/// crude hydropathy-compatibility heuristic (no structural knowledge).
+class RandomMutagenesisGenerator final : public SequenceGenerator {
+ public:
+  RandomMutagenesisGenerator(std::size_t num_sequences = 10,
+                             std::size_t mutations_per_sequence = 3)
+      : num_sequences_(num_sequences),
+        mutations_per_sequence_(mutations_per_sequence) {}
+
+  [[nodiscard]] std::vector<mpnn::ScoredSequence> generate(
+      const protein::Complex& complex,
+      const protein::FitnessLandscape& landscape,
+      common::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override { return "random-mutagenesis"; }
+
+ private:
+  std::size_t num_sequences_;
+  std::size_t mutations_per_sequence_;
+};
+
+}  // namespace impress::core

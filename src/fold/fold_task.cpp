@@ -1,0 +1,44 @@
+#include "fold/fold_task.hpp"
+
+#include <algorithm>
+
+namespace impress::fold {
+
+rp::TaskDescription make_fold_task(std::string name,
+                                   const FoldDurationModel& model,
+                                   rp::WorkFn work) {
+  rp::TaskDescription td;
+  td.name = std::move(name);
+  const std::uint32_t cores =
+      model.reuse_features ? model.inference_cores
+                           : std::max(model.feature_cores, model.inference_cores);
+  td.resources = hpc::ResourceRequest{.cores = cores,
+                                      .gpus = model.inference_gpus,
+                                      .mem_gb = 48.0};
+  if (!model.reuse_features) {
+    td.phases.push_back(rp::TaskPhase{
+        .name = "msa_features",
+        .duration_s = model.features_s,
+        .jitter_sigma = model.features_jitter,
+        .cores = model.feature_cores,
+        .gpus = 0,
+        .cpu_intensity = model.feature_cpu_intensity,
+        .gpu_intensity = 0.0,
+    });
+  }
+  td.phases.push_back(rp::TaskPhase{
+      .name = "inference",
+      .duration_s = model.inference_s,
+      .jitter_sigma = model.inference_jitter,
+      .cores = model.inference_cores,
+      .gpus = model.inference_gpus,
+      .cpu_intensity = model.inference_cpu_intensity,
+      .gpu_intensity = model.inference_gpu_intensity,
+  });
+  td.work = std::move(work);
+  td.metadata["app"] = "alphafold";
+  td.metadata["features"] = model.reuse_features ? "cached" : "computed";
+  return td;
+}
+
+}  // namespace impress::fold

@@ -1,0 +1,50 @@
+// Post-mortem analytics over profiler event streams — the numbers behind
+// "middleware overhead" discussions (RADICAL-Analytics style): per-task
+// wait/setup/run decomposition, concurrency profiles, and aggregate
+// overhead ratios.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hpc/profiler.hpp"
+
+namespace impress::hpc {
+
+/// One task's timing decomposition (all in seconds).
+struct TaskTiming {
+  std::string uid;
+  double wait = 0.0;   ///< schedule -> exec_setup_start (queue time)
+  double setup = 0.0;  ///< exec_setup_start -> exec_start
+  double run = 0.0;    ///< exec_start -> exec_stop
+};
+
+/// Decompose every task that reached exec_stop. Tasks missing any of the
+/// four events are skipped.
+[[nodiscard]] std::vector<TaskTiming> task_timings(const Profiler& profiler);
+
+struct TimingSummary {
+  std::size_t tasks = 0;
+  double mean_wait = 0.0;
+  double p95_wait = 0.0;
+  double mean_setup = 0.0;
+  double mean_run = 0.0;
+  /// Middleware overhead: (wait + setup) / (wait + setup + run) over the
+  /// aggregate, in [0,1].
+  double overhead_fraction = 0.0;
+};
+
+[[nodiscard]] TimingSummary summarize_timings(const Profiler& profiler);
+
+/// Average number of concurrently *running* tasks per time bin over
+/// [0, t_end] (t_end <= 0 uses the latest event). The empirical
+/// concurrency profile behind the utilization figures.
+[[nodiscard]] std::vector<double> concurrency_series(const Profiler& profiler,
+                                                     std::size_t bins,
+                                                     double t_end = 0.0);
+
+/// Peak of the concurrency profile (exact, not binned).
+[[nodiscard]] std::size_t peak_concurrency(const Profiler& profiler);
+
+}  // namespace impress::hpc

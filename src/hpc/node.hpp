@@ -1,0 +1,31 @@
+// Compute-node descriptions.
+//
+// The paper's testbed is a single Rutgers Amarel node: 28 CPU cores,
+// 4 NVIDIA Quadro M6000 GPUs (12 GB each), 128 GB RAM. We model nodes as
+// plain counts; the ResourcePool hands out concrete core/GPU ids.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace impress::hpc {
+
+struct NodeSpec {
+  std::string name = "node";
+  std::uint32_t cores = 1;
+  std::uint32_t gpus = 0;
+  double mem_gb = 0.0;
+  double gpu_mem_gb = 0.0;
+};
+
+/// The evaluation node from the paper (§III).
+[[nodiscard]] inline NodeSpec amarel_node() {
+  return NodeSpec{.name = "amarel-gpu",
+                  .cores = 28,
+                  .gpus = 4,
+                  .mem_gb = 128.0,
+                  .gpu_mem_gb = 12.0};
+}
+
+}  // namespace impress::hpc

@@ -1,0 +1,79 @@
+#include "hpc/profiler.hpp"
+
+#include <unordered_map>
+
+namespace impress::hpc {
+
+void Profiler::record(double time, std::string_view entity,
+                      std::string_view event, std::string_view info) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(ProfileEvent{time, std::string(entity), std::string(event),
+                                 std::string(info)});
+}
+
+std::vector<ProfileEvent> Profiler::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::vector<ProfileEvent> Profiler::events_for(std::string_view entity) const {
+  std::lock_guard lock(mutex_);
+  std::vector<ProfileEvent> out;
+  for (const auto& e : events_)
+    if (e.entity == entity) out.push_back(e);
+  return out;
+}
+
+std::optional<double> Profiler::time_of(std::string_view entity,
+                                        std::string_view event) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : events_)
+    if (e.entity == entity && e.event == event) return e.time;
+  return std::nullopt;
+}
+
+std::map<std::string, double> Profiler::phase_durations() const {
+  std::lock_guard lock(mutex_);
+  // Pair *_start with the next matching *_stop per entity.
+  struct Open {
+    double bootstrap = -1.0;
+    double setup = -1.0;
+    double exec = -1.0;
+  };
+  std::unordered_map<std::string, Open> open;
+  std::map<std::string, double> out{
+      {"bootstrap", 0.0}, {"exec_setup", 0.0}, {"running", 0.0}};
+  for (const auto& e : events_) {
+    auto& o = open[e.entity];
+    if (e.event == events::kBootstrapStart) {
+      o.bootstrap = e.time;
+    } else if (e.event == events::kBootstrapStop && o.bootstrap >= 0.0) {
+      out["bootstrap"] += e.time - o.bootstrap;
+      o.bootstrap = -1.0;
+    } else if (e.event == events::kExecSetupStart) {
+      o.setup = e.time;
+    } else if (e.event == events::kExecStart) {
+      if (o.setup >= 0.0) {
+        out["exec_setup"] += e.time - o.setup;
+        o.setup = -1.0;
+      }
+      o.exec = e.time;
+    } else if (e.event == events::kExecStop && o.exec >= 0.0) {
+      out["running"] += e.time - o.exec;
+      o.exec = -1.0;
+    }
+  }
+  return out;
+}
+
+std::size_t Profiler::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Profiler::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace impress::hpc

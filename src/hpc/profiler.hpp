@@ -1,0 +1,68 @@
+// Event profiler, modeled on RADICAL-Pilot's profiler.
+//
+// Every state transition in the runtime emits a (time, entity, event)
+// record. The Fig-5 breakdown (Bootstrap / Exec setup / Running) is
+// computed from these records, and tests assert ordering invariants on
+// them (e.g. a task never runs before it is scheduled).
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impress::hpc {
+
+struct ProfileEvent {
+  double time = 0.0;       ///< seconds (simulated or wall)
+  std::string entity;      ///< uid, e.g. "task.000003"
+  std::string event;       ///< e.g. "schedule", "exec_start"
+  std::string info;        ///< free-form detail
+};
+
+/// Well-known event names shared by the executors and the reporters.
+namespace events {
+inline constexpr std::string_view kBootstrapStart = "bootstrap_start";
+inline constexpr std::string_view kBootstrapStop = "bootstrap_stop";
+inline constexpr std::string_view kSubmit = "submit";
+inline constexpr std::string_view kSchedule = "schedule";
+inline constexpr std::string_view kExecSetupStart = "exec_setup_start";
+inline constexpr std::string_view kExecStart = "exec_start";
+inline constexpr std::string_view kExecStop = "exec_stop";
+inline constexpr std::string_view kDone = "done";
+inline constexpr std::string_view kFailed = "failed";
+inline constexpr std::string_view kCancelled = "cancelled";
+}  // namespace events
+
+class Profiler {
+ public:
+  void record(double time, std::string_view entity, std::string_view event,
+              std::string_view info = {});
+
+  [[nodiscard]] std::vector<ProfileEvent> events() const;
+
+  /// Events for a single entity, in record order.
+  [[nodiscard]] std::vector<ProfileEvent> events_for(std::string_view entity) const;
+
+  /// Time of the first occurrence of `event` for `entity`.
+  [[nodiscard]] std::optional<double> time_of(std::string_view entity,
+                                              std::string_view event) const;
+
+  /// Total duration attributed to each phase across all tasks:
+  ///   "exec_setup" = sum(exec_start - exec_setup_start)
+  ///   "running"    = sum(exec_stop - exec_start)
+  ///   "bootstrap"  = sum(bootstrap_stop - bootstrap_start)
+  [[nodiscard]] std::map<std::string, double> phase_durations() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ProfileEvent> events_;
+};
+
+}  // namespace impress::hpc

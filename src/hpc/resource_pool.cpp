@@ -1,0 +1,97 @@
+#include "hpc/resource_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace impress::hpc {
+
+ResourcePool::ResourcePool(std::vector<NodeSpec> nodes)
+    : nodes_(std::move(nodes)) {
+  states_.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    NodeState st;
+    st.core_busy.assign(n.cores, false);
+    st.gpu_busy.assign(n.gpus, false);
+    st.mem_free_gb = n.mem_gb;
+    st.core_base = total_cores_;
+    st.gpu_base = total_gpus_;
+    total_cores_ += n.cores;
+    total_gpus_ += n.gpus;
+    states_.push_back(std::move(st));
+  }
+}
+
+std::optional<Allocation> ResourcePool::allocate(const ResourceRequest& req) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t ni = 0; ni < states_.size(); ++ni) {
+    auto& st = states_[ni];
+    if (st.mem_free_gb < req.mem_gb) continue;
+
+    std::vector<std::uint32_t> cores;
+    for (std::uint32_t c = 0; c < st.core_busy.size() && cores.size() < req.cores; ++c)
+      if (!st.core_busy[c]) cores.push_back(c);
+    if (cores.size() < req.cores) continue;
+
+    std::vector<std::uint32_t> gpus;
+    for (std::uint32_t g = 0; g < st.gpu_busy.size() && gpus.size() < req.gpus; ++g)
+      if (!st.gpu_busy[g]) gpus.push_back(g);
+    if (gpus.size() < req.gpus) continue;
+
+    for (auto c : cores) st.core_busy[c] = true;
+    for (auto g : gpus) st.gpu_busy[g] = true;
+    st.mem_free_gb -= req.mem_gb;
+
+    Allocation alloc;
+    alloc.node = static_cast<std::uint32_t>(ni);
+    alloc.mem_gb = req.mem_gb;
+    for (auto c : cores) alloc.cores.push_back(st.core_base + c);
+    for (auto g : gpus) alloc.gpus.push_back(st.gpu_base + g);
+    return alloc;
+  }
+  return std::nullopt;
+}
+
+void ResourcePool::release(const Allocation& alloc) {
+  std::lock_guard lock(mutex_);
+  auto& st = states_.at(alloc.node);
+  for (auto c : alloc.cores) {
+    const auto local = c - st.core_base;
+    if (local >= st.core_busy.size() || !st.core_busy[local])
+      throw std::logic_error("ResourcePool::release: core not allocated");
+    st.core_busy[local] = false;
+  }
+  for (auto g : alloc.gpus) {
+    const auto local = g - st.gpu_base;
+    if (local >= st.gpu_busy.size() || !st.gpu_busy[local])
+      throw std::logic_error("ResourcePool::release: gpu not allocated");
+    st.gpu_busy[local] = false;
+  }
+  st.mem_free_gb = std::min(st.mem_free_gb + alloc.mem_gb, nodes_[alloc.node].mem_gb);
+}
+
+bool ResourcePool::fits_ever(const ResourceRequest& req) const noexcept {
+  for (const auto& n : nodes_)
+    if (req.cores <= n.cores && req.gpus <= n.gpus && req.mem_gb <= n.mem_gb)
+      return true;
+  return false;
+}
+
+std::uint32_t ResourcePool::free_cores() const {
+  std::lock_guard lock(mutex_);
+  std::uint32_t n = 0;
+  for (const auto& st : states_)
+    n += static_cast<std::uint32_t>(
+        std::count(st.core_busy.begin(), st.core_busy.end(), false));
+  return n;
+}
+
+std::uint32_t ResourcePool::free_gpus() const {
+  std::lock_guard lock(mutex_);
+  std::uint32_t n = 0;
+  for (const auto& st : states_)
+    n += static_cast<std::uint32_t>(
+        std::count(st.gpu_busy.begin(), st.gpu_busy.end(), false));
+  return n;
+}
+
+}  // namespace impress::hpc

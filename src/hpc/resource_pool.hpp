@@ -1,0 +1,82 @@
+// Slot allocator over one or more nodes.
+//
+// The scheduler asks for (cores, gpus, mem) and receives an Allocation
+// naming concrete core and GPU ids, or nothing if the request cannot be
+// satisfied right now. First-fit within a node; a single allocation never
+// spans nodes (matching how RP's agent scheduler places non-MPI tasks).
+// Thread-safe so the threaded executor can free slots from worker threads.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpc/node.hpp"
+
+namespace impress::hpc {
+
+/// A concrete placement: which node, which cores, which GPUs.
+struct Allocation {
+  std::uint32_t node = 0;
+  std::vector<std::uint32_t> cores;  ///< global core ids
+  std::vector<std::uint32_t> gpus;   ///< global gpu ids
+  double mem_gb = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return cores.empty() && gpus.empty();
+  }
+};
+
+/// Resource request attached to a task description.
+struct ResourceRequest {
+  std::uint32_t cores = 1;
+  std::uint32_t gpus = 0;
+  double mem_gb = 0.0;
+};
+
+class ResourcePool {
+ public:
+  explicit ResourcePool(std::vector<NodeSpec> nodes);
+  /// Convenience: a pool over a single node.
+  explicit ResourcePool(const NodeSpec& node)
+      : ResourcePool(std::vector<NodeSpec>{node}) {}
+
+  /// Try to allocate; returns nullopt if no node can satisfy the request.
+  /// Requests exceeding the capacity of every node always fail — callers
+  /// should pre-validate with fits_ever().
+  [[nodiscard]] std::optional<Allocation> allocate(const ResourceRequest& req);
+
+  /// Return an allocation's resources to the pool. Double-free is an
+  /// error and throws std::logic_error (it indicates a scheduler bug).
+  void release(const Allocation& alloc);
+
+  /// Whether the request could ever be satisfied on an empty pool.
+  [[nodiscard]] bool fits_ever(const ResourceRequest& req) const noexcept;
+
+  [[nodiscard]] std::uint32_t total_cores() const noexcept { return total_cores_; }
+  [[nodiscard]] std::uint32_t total_gpus() const noexcept { return total_gpus_; }
+  [[nodiscard]] std::uint32_t free_cores() const;
+  [[nodiscard]] std::uint32_t free_gpus() const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const NodeSpec& node(std::size_t i) const { return nodes_.at(i); }
+
+ private:
+  struct NodeState {
+    std::vector<bool> core_busy;
+    std::vector<bool> gpu_busy;
+    double mem_free_gb = 0.0;
+    std::uint32_t core_base = 0;  ///< global id of this node's core 0
+    std::uint32_t gpu_base = 0;
+  };
+
+  std::vector<NodeSpec> nodes_;
+  std::vector<NodeState> states_;
+  std::uint32_t total_cores_ = 0;
+  std::uint32_t total_gpus_ = 0;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace impress::hpc

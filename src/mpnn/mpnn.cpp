@@ -1,0 +1,103 @@
+#include "mpnn/mpnn.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace impress::mpnn {
+
+using protein::AminoAcid;
+using protein::kNumAminoAcids;
+
+Mpnn::Mpnn(SamplerConfig config) : config_(std::move(config)) {
+  if (config_.num_sequences == 0)
+    throw std::invalid_argument("Mpnn: num_sequences must be > 0");
+  if (config_.temperature <= 0.0)
+    throw std::invalid_argument("Mpnn: temperature must be > 0");
+}
+
+std::vector<ScoredSequence> Mpnn::design(
+    const protein::Complex& complex,
+    const protein::FitnessLandscape& landscape, common::Rng& rng) const {
+  const protein::Sequence& current = complex.receptor().sequence;
+  if (current.size() != landscape.receptor_length())
+    throw std::invalid_argument("Mpnn::design: receptor/landscape mismatch");
+
+  // Designable positions: the pocket minus any fixed residues.
+  std::vector<std::size_t> designable;
+  for (std::size_t pos : landscape.interface_positions()) {
+    if (std::find(config_.fixed_positions.begin(), config_.fixed_positions.end(),
+                  pos) == config_.fixed_positions.end())
+      designable.push_back(pos);
+  }
+  if (designable.empty())
+    throw std::invalid_argument("Mpnn::design: no designable positions");
+
+  // The model's view of the landscape for this call: true preference plus
+  // call-level noise. One draw per (position, residue) per call keeps the
+  // model self-consistent while scoring its own proposals.
+  std::vector<std::array<double, kNumAminoAcids>> view(designable.size());
+  for (std::size_t i = 0; i < designable.size(); ++i) {
+    for (std::size_t a = 0; a < kNumAminoAcids; ++a) {
+      const double p =
+          landscape.preference(designable[i], static_cast<AminoAcid>(a));
+      view[i][a] = std::max(1e-3, p + config_.knowledge_noise * rng.normal());
+    }
+  }
+
+  // Log-probability of residue `a` at designable index `i` under the
+  // temperature-scaled softmax of the noisy view.
+  auto log_prob = [&](std::size_t i, std::size_t a) {
+    double z = 0.0;
+    for (std::size_t b = 0; b < kNumAminoAcids; ++b)
+      z += std::exp(view[i][b] / config_.temperature);
+    return view[i][a] / config_.temperature - std::log(z);
+  };
+
+  std::size_t n_mut = config_.mutations_per_sequence;
+  if (n_mut == 0) n_mut = (designable.size() + 3) / 4;
+  n_mut = std::min(n_mut, designable.size());
+
+  std::vector<ScoredSequence> out;
+  out.reserve(config_.num_sequences);
+  for (std::size_t s = 0; s < config_.num_sequences; ++s) {
+    protein::Sequence seq = current;
+    // Choose distinct positions to redesign.
+    std::vector<std::size_t> idx(designable.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng.shuffle(idx);
+    for (std::size_t m = 0; m < n_mut; ++m) {
+      const std::size_t i = idx[m];
+      if (rng.chance(config_.prior_weight)) {
+        // Background draw: the model's own sequence prior, blind to the
+        // binding objective.
+        seq.set(designable[i],
+                static_cast<AminoAcid>(rng.below(kNumAminoAcids)));
+        continue;
+      }
+      std::array<double, kNumAminoAcids> weights{};
+      for (std::size_t a = 0; a < kNumAminoAcids; ++a)
+        weights[a] = std::exp(view[i][a] / config_.temperature);
+      const std::size_t a = rng.categorical(weights);
+      seq.set(designable[i], static_cast<AminoAcid>(a));
+    }
+    // Score: mean log-probability over all designable positions — the
+    // sampler's own belief, not the ground truth.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < designable.size(); ++i)
+      ll += log_prob(i, static_cast<std::size_t>(seq[designable[i]]));
+    ll /= static_cast<double>(designable.size());
+    out.push_back(ScoredSequence{std::move(seq), ll});
+  }
+  return out;
+}
+
+void sort_by_log_likelihood(std::vector<ScoredSequence>& seqs) {
+  std::stable_sort(seqs.begin(), seqs.end(),
+                   [](const ScoredSequence& a, const ScoredSequence& b) {
+                     return a.log_likelihood > b.log_likelihood;
+                   });
+}
+
+}  // namespace impress::mpnn

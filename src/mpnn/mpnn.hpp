@@ -1,0 +1,80 @@
+// ProteinMPNN surrogate: structure-conditioned sequence design.
+//
+// What the IMPRESS protocol consumes from ProteinMPNN is a set of
+// candidate sequences with log-likelihood scores whose *ranking* is
+// informative of — but not identical to — downstream structure quality.
+// This surrogate reproduces exactly that statistical contract:
+//
+//  * It sees a noisy view of the hidden landscape's per-position
+//    preferences (`knowledge_noise`), standing in for what the real
+//    graph network learned about sequence-structure compatibility.
+//  * It proposes point mutations at designable pocket positions, sampled
+//    from that noisy view at a configurable temperature.
+//  * Each sequence's log-likelihood is the sampler's own mean log
+//    probability — correlated with true fitness through the shared
+//    (noisy) preferences, so sorting by log-likelihood (pipeline Stage 2)
+//    is useful and occasionally wrong, just as in the paper.
+//
+// `fixed_positions` implements the paper's Future Work protocol change:
+// "ProteinMPNN runs must fix the catalytic residues rather than design
+// the entire protein."
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protein/landscape.hpp"
+#include "protein/structure.hpp"
+
+namespace impress::mpnn {
+
+struct ScoredSequence {
+  protein::Sequence sequence;
+  double log_likelihood = 0.0;
+};
+
+struct SamplerConfig {
+  /// Sequences generated per structure (pipeline Stage 1; paper uses 10).
+  std::size_t num_sequences = 10;
+  /// Sampling temperature; lower concentrates on the model's favorites.
+  double temperature = 0.25;
+  /// Sigma of the Gaussian noise on the surrogate's view of the
+  /// preferences — the model's "inaccuracy".
+  double knowledge_noise = 0.30;
+  /// Mutations proposed per sequence; 0 selects ceil(pocket/4).
+  std::size_t mutations_per_sequence = 0;
+  /// Probability that a mutation is drawn from the model's generic
+  /// sequence prior (uniform background) instead of the
+  /// structure-conditioned profile. Models ProteinMPNN's pull toward its
+  /// own likelihood rather than the design objective; such proposals
+  /// carry low self-log-likelihood, so ranked selection filters them out
+  /// while random selection does not.
+  double prior_weight = 0.0;
+  /// Receptor positions the sampler must not touch (catalytic residues in
+  /// the protease protocol of the paper's Future Work).
+  std::vector<std::size_t> fixed_positions;
+};
+
+class Mpnn {
+ public:
+  explicit Mpnn(SamplerConfig config = {});
+
+  /// Design `config.num_sequences` receptor variants for the complex,
+  /// conditioned on the current receptor sequence, scored by the model's
+  /// log-likelihood (unsorted — Stage 2 sorts). Deterministic in `rng`.
+  [[nodiscard]] std::vector<ScoredSequence> design(
+      const protein::Complex& complex,
+      const protein::FitnessLandscape& landscape, common::Rng& rng) const;
+
+  [[nodiscard]] const SamplerConfig& config() const noexcept { return config_; }
+
+ private:
+  SamplerConfig config_;
+};
+
+/// Sort sequences by log-likelihood, best first (pipeline Stage 2).
+void sort_by_log_likelihood(std::vector<ScoredSequence>& seqs);
+
+}  // namespace impress::mpnn

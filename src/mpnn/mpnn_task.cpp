@@ -1,0 +1,28 @@
+#include "mpnn/mpnn_task.hpp"
+
+namespace impress::mpnn {
+
+rp::TaskDescription make_mpnn_task(std::string name, std::size_t n_structures,
+                                   const MpnnDurationModel& model,
+                                   rp::WorkFn work) {
+  rp::TaskDescription td;
+  td.name = std::move(name);
+  td.resources = hpc::ResourceRequest{.cores = model.cores,
+                                      .gpus = model.gpus,
+                                      .mem_gb = 8.0};
+  td.phases.push_back(rp::TaskPhase{
+      .name = "design",
+      .duration_s =
+          model.seconds_per_structure * static_cast<double>(n_structures),
+      .jitter_sigma = model.jitter_sigma,
+      .cores = model.cores,
+      .gpus = model.gpus,
+      .cpu_intensity = model.cpu_intensity,
+      .gpu_intensity = model.gpu_intensity,
+  });
+  td.work = std::move(work);
+  td.metadata["app"] = "proteinmpnn";
+  return td;
+}
+
+}  // namespace impress::mpnn

@@ -1,0 +1,34 @@
+// Runtime task factory for ProteinMPNN surrogate calls.
+//
+// Packages a design call as an rp::TaskDescription with the resource
+// footprint and duration model of the real application on the paper's
+// testbed: a short GPU-resident job (~6 min per structure batch on a
+// Quadro M6000) with a couple of helper CPU cores.
+
+#pragma once
+
+#include <string>
+
+#include "mpnn/mpnn.hpp"
+#include "runtime/task.hpp"
+
+namespace impress::mpnn {
+
+struct MpnnDurationModel {
+  double seconds_per_structure = 360.0;  ///< GPU minutes per input structure
+  double jitter_sigma = 0.10;
+  std::uint32_t cores = 2;
+  std::uint32_t gpus = 1;
+  double cpu_intensity = 0.50;
+  double gpu_intensity = 0.70;
+};
+
+/// Build a task that designs sequences for `n_structures` complexes in one
+/// call (CONT-V batches all four structures into a single sequential
+/// ProteinMPNN call; IM-RP submits one per structure). The `work` function
+/// supplied by the pipeline layer performs the actual surrogate call(s).
+[[nodiscard]] rp::TaskDescription make_mpnn_task(
+    std::string name, std::size_t n_structures, const MpnnDurationModel& model,
+    rp::WorkFn work);
+
+}  // namespace impress::mpnn

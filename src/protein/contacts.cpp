@@ -1,0 +1,66 @@
+#include "protein/contacts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impress::protein {
+
+std::vector<std::pair<std::size_t, std::size_t>> interchain_contacts(
+    const Complex& complex, double cutoff) {
+  const Chain& receptor = complex.receptor();
+  const Chain& peptide = complex.peptide();
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t r = 0; r < receptor.size(); ++r) {
+    for (std::size_t p = 0; p < peptide.size(); ++p) {
+      if (distance(receptor.ca[r], peptide.ca[p]) <= cutoff)
+        out.emplace_back(r, p);
+    }
+  }
+  return out;
+}
+
+double InterfaceStats::packing_score() const noexcept {
+  const double density_term = std::min(contact_density / 4.0, 1.0);
+  if (contacts == 0) return 0.0;
+  const double specific =
+      static_cast<double>(salt_bridges + hydrophobic_pairs + polar_pairs) /
+      static_cast<double>(contacts);
+  return std::clamp(0.7 * density_term + 0.3 * std::min(specific, 1.0), 0.0,
+                    1.0);
+}
+
+InterfaceStats analyze_interface(const Complex& complex, double cutoff) {
+  const Chain& receptor = complex.receptor();
+  const Chain& peptide = complex.peptide();
+  InterfaceStats s;
+  const auto pairs = interchain_contacts(complex, cutoff);
+  s.contacts = pairs.size();
+  if (peptide.size() > 0)
+    s.contact_density =
+        static_cast<double>(s.contacts) / static_cast<double>(peptide.size());
+  double dist_sum = 0.0;
+  for (const auto& [r, p] : pairs) {
+    const AminoAcid ra = receptor.sequence[r];
+    const AminoAcid pa = peptide.sequence[p];
+    if (charge(ra) * charge(pa) < 0) ++s.salt_bridges;
+    if (hydropathy(ra) > 1.5 && hydropathy(pa) > 1.5) ++s.hydrophobic_pairs;
+    if (is_polar(ra) && is_polar(pa)) ++s.polar_pairs;
+    dist_sum += distance(receptor.ca[r], peptide.ca[p]);
+  }
+  if (!pairs.empty()) s.mean_contact_distance = dist_sum / static_cast<double>(pairs.size());
+  return s;
+}
+
+std::vector<std::size_t> contact_residues(const Complex& complex,
+                                          double cutoff) {
+  std::vector<std::size_t> out;
+  for (const auto& [r, p] : interchain_contacts(complex, cutoff)) {
+    if (out.empty() || out.back() != r) {
+      if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace impress::protein

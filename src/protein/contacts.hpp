@@ -1,0 +1,44 @@
+// Interface analysis of receptor-peptide complexes: inter-chain contacts
+// and their physicochemical character. Complements the AlphaFold
+// surrogate's learned confidence metrics with direct geometric readouts —
+// the kind of analysis a designer runs on candidate PDBs before ordering
+// genes.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "protein/structure.hpp"
+
+namespace impress::protein {
+
+/// Inter-chain C-alpha contact pairs (receptor index, peptide index)
+/// within `cutoff` angstroms. Requires chains 'A' and 'B'.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+interchain_contacts(const Complex& complex, double cutoff = 8.0);
+
+struct InterfaceStats {
+  std::size_t contacts = 0;            ///< CA-CA pairs within cutoff
+  double contact_density = 0.0;        ///< contacts per peptide residue
+  std::size_t salt_bridges = 0;        ///< contacts with opposite charges
+  std::size_t hydrophobic_pairs = 0;   ///< both residues hydropathy > 1.5
+  std::size_t polar_pairs = 0;         ///< both residues polar
+  double mean_contact_distance = 0.0;  ///< angstroms; 0 when no contacts
+
+  /// Crude packing score in [0,1]: density saturating at 4 contacts per
+  /// peptide residue, bonus-weighted by specific interactions.
+  [[nodiscard]] double packing_score() const noexcept;
+};
+
+/// Analyze the receptor-peptide interface of a complex.
+[[nodiscard]] InterfaceStats analyze_interface(const Complex& complex,
+                                               double cutoff = 8.0);
+
+/// Receptor residue indices participating in at least one contact —
+/// the *geometric* pocket (compare with the landscape's hidden pocket).
+[[nodiscard]] std::vector<std::size_t> contact_residues(
+    const Complex& complex, double cutoff = 8.0);
+
+}  // namespace impress::protein

@@ -1,0 +1,61 @@
+#include "protein/datasets.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace impress::protein {
+
+Sequence alpha_synuclein() {
+  // UniProt P37840 (SYUA_HUMAN), 140 residues. The last 10 are
+  // "EGYQDYEPEA" and the last 4 "EPEA" — the design targets used in the
+  // paper's two experiments.
+  return Sequence::from_string(
+      "MDVFMKGLSKAKEGVVAAAEKTKQGVAEAAGKTKEGVLYVGSKTKEGVVHGVATVAEKTK"
+      "EQVTNVGGAVVTGVTAVAQKTVEGAGSIAAATGFVKKDQLGKNEEGAPQEGILEDMPVDP"
+      "DNEAYEMPSEEGYQDYEPEA");
+}
+
+DesignTarget make_target(const std::string& name, std::size_t receptor_length,
+                         Sequence peptide, double start_fitness) {
+  FitnessLandscape landscape(name, receptor_length, peptide,
+                             common::stable_hash(name));
+  common::Rng rng(common::stable_hash(name + ".start"));
+  Sequence start = landscape.seed_sequence(start_fitness, rng);
+  return DesignTarget{.name = name,
+                      .peptide = std::move(peptide),
+                      .start_receptor = std::move(start),
+                      .landscape = std::move(landscape)};
+}
+
+std::vector<DesignTarget> four_pdz_domains() {
+  // Approximate real domain lengths of the four PDZ domains the paper
+  // prepared; each is placed in complex with the alpha-synuclein 10-mer.
+  const Sequence pep10 = alpha_synuclein().tail(10);
+  std::vector<DesignTarget> out;
+  out.push_back(make_target("NHERF3", 89, pep10));
+  out.push_back(make_target("HTRA1", 102, pep10));
+  out.push_back(make_target("SCRIB", 94, pep10));
+  out.push_back(make_target("SHANK1", 96, pep10));
+  return out;
+}
+
+std::vector<DesignTarget> pdz_benchmark(std::size_t n) {
+  const Sequence pep4 = alpha_synuclein().tail(4);  // "EPEA"
+  std::vector<DesignTarget> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "PDZ%03u",
+                  static_cast<unsigned>(i + 1));
+    // Heterogeneous domain sizes (80-115 residues) and slightly varied
+    // starting quality, like a real PDB-mined set.
+    common::Rng rng(common::stable_hash(std::string(name) + ".meta"));
+    const std::size_t length = 80 + rng.below(36);
+    const double start_fitness = 0.18 + rng.uniform() * 0.10;
+    out.push_back(make_target(name, length, pep4, start_fitness));
+  }
+  return out;
+}
+
+}  // namespace impress::protein

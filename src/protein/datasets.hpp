@@ -1,0 +1,54 @@
+// Evaluation datasets.
+//
+// The paper designs PDZ-domain binders for the C-terminus of human
+// alpha-synuclein: four named domains (NHERF3, HTRA1, SCRIB, SHANK1) in
+// complex with the last 10 residues (Table I / Fig 2), and 70 PDZ-peptide
+// complexes mined from the PDB in complex with the last 4 residues
+// (Fig 3). We cannot ship PDB coordinates, so each target is synthesized
+// deterministically from its name: realistic domain length, a native
+// scaffold from its landscape, and a starting receptor tuned to the
+// moderate initial quality the paper's Figure 2 iteration-1 bars show.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protein/landscape.hpp"
+#include "protein/sequence.hpp"
+#include "protein/structure.hpp"
+
+namespace impress::protein {
+
+/// One design problem instance.
+struct DesignTarget {
+  std::string name;
+  Sequence peptide;            ///< fixed target peptide (chain B)
+  Sequence start_receptor;     ///< iteration-0 receptor (chain A)
+  FitnessLandscape landscape;  ///< hidden ground truth for the surrogates
+
+  /// The starting two-chain complex for the pipeline.
+  [[nodiscard]] Complex start_complex() const {
+    return Complex::make(name, start_receptor, peptide);
+  }
+};
+
+/// Full-length human alpha-synuclein (UniProt P37840, 140 residues).
+[[nodiscard]] Sequence alpha_synuclein();
+
+/// Build one synthetic target. `start_fitness` controls the initial
+/// design quality (the paper's starting structures score moderately).
+[[nodiscard]] DesignTarget make_target(const std::string& name,
+                                       std::size_t receptor_length,
+                                       Sequence peptide,
+                                       double start_fitness = 0.22);
+
+/// The four named PDZ domains, each against the alpha-synuclein 10-mer.
+[[nodiscard]] std::vector<DesignTarget> four_pdz_domains();
+
+/// `n` synthetic "PDB-mined" PDZ-peptide complexes against the
+/// alpha-synuclein 4-mer (EPEA); n defaults to the paper's 70.
+[[nodiscard]] std::vector<DesignTarget> pdz_benchmark(std::size_t n = 70);
+
+}  // namespace impress::protein

@@ -1,0 +1,68 @@
+#include "protein/fasta.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace impress::protein {
+
+std::string to_fasta(const std::vector<FastaRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += '>';
+    out += r.id;
+    if (!r.description.empty()) {
+      out += ' ';
+      out += r.description;
+    }
+    out += '\n';
+    const std::string seq = r.sequence.to_string();
+    for (std::size_t i = 0; i < seq.size(); i += 60) {
+      out += seq.substr(i, 60);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::vector<FastaRecord> from_fasta(const std::string& text) {
+  std::vector<FastaRecord> out;
+  std::string pending_seq;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (!in_record) return;
+    out.back().sequence = Sequence::from_string(pending_seq);
+    pending_seq.clear();
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto trimmed = common::trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '>') {
+      flush();
+      in_record = true;
+      FastaRecord r;
+      const auto header = trimmed.substr(1);
+      const auto space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        r.id = std::string(header);
+      } else {
+        r.id = std::string(header.substr(0, space));
+        r.description = std::string(common::trim(header.substr(space + 1)));
+      }
+      out.push_back(std::move(r));
+    } else {
+      if (!in_record)
+        throw std::invalid_argument("from_fasta: sequence before header");
+      pending_seq += std::string(trimmed);
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace impress::protein

@@ -1,0 +1,27 @@
+// FASTA I/O. Pipeline Stage 3 "compiles the highest-ranking sequences
+// into a fasta file for input into downstream tasks" — this module is
+// that file format.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "protein/sequence.hpp"
+
+namespace impress::protein {
+
+struct FastaRecord {
+  std::string id;           ///< text up to the first whitespace after '>'
+  std::string description;  ///< remainder of the header line
+  Sequence sequence;
+};
+
+/// Serialize records, wrapping sequence lines at 60 columns.
+[[nodiscard]] std::string to_fasta(const std::vector<FastaRecord>& records);
+
+/// Parse a FASTA document. Throws std::invalid_argument on residues
+/// outside the canonical 20 or content before the first header.
+[[nodiscard]] std::vector<FastaRecord> from_fasta(const std::string& text);
+
+}  // namespace impress::protein

@@ -1,0 +1,51 @@
+// 3-D geometry for coarse (C-alpha) protein models: vector algebra,
+// idealized backbone generation, and Kabsch superposition RMSD.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace impress::protein {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const noexcept { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const noexcept { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  bool operator==(const Vec3&) const = default;
+};
+
+[[nodiscard]] double dot(const Vec3& a, const Vec3& b) noexcept;
+[[nodiscard]] Vec3 cross(const Vec3& a, const Vec3& b) noexcept;
+[[nodiscard]] double norm(const Vec3& v) noexcept;
+[[nodiscard]] double distance(const Vec3& a, const Vec3& b) noexcept;
+
+[[nodiscard]] Vec3 centroid(std::span<const Vec3> pts) noexcept;
+
+/// Idealized alpha-helix C-alpha trace of n residues starting at `origin`:
+/// rise 1.5 A per residue along z, 100 degrees twist, 2.3 A radius. Used
+/// to give every generated structure physically plausible coordinates.
+[[nodiscard]] std::vector<Vec3> ideal_helix(std::size_t n, Vec3 origin = {});
+
+/// Root-mean-square deviation without superposition (same length required;
+/// throws std::invalid_argument otherwise).
+[[nodiscard]] double rmsd_raw(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Minimal RMSD after optimal rigid superposition (Kabsch, via the Horn
+/// quaternion method). Same length required.
+[[nodiscard]] double rmsd_superposed(std::span<const Vec3> a,
+                                     std::span<const Vec3> b);
+
+/// Apply the optimal rigid transform mapping `mobile` onto `target`,
+/// returning the transformed copy of `mobile`.
+[[nodiscard]] std::vector<Vec3> superpose(std::span<const Vec3> mobile,
+                                          std::span<const Vec3> target);
+
+}  // namespace impress::protein

@@ -1,0 +1,209 @@
+#include "protein/landscape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace impress::protein {
+
+namespace {
+
+/// Chemical similarity of two residues in [0,1] (1 = identical).
+/// Gaussian in hydropathy and volume space, penalized on charge mismatch.
+double residue_similarity(AminoAcid a, AminoAcid b) {
+  if (a == b) return 1.0;
+  const double dh = (hydropathy(a) - hydropathy(b)) / 9.0;   // span of KD scale
+  const double dv = (volume(a) - volume(b)) / 170.0;         // span of volumes
+  double sim = std::exp(-(dh * dh + dv * dv) * 3.0);
+  if (charge(a) != charge(b)) sim *= 0.5;
+  return sim;
+}
+
+/// Physicochemical complementarity of a pocket residue against a peptide
+/// residue: opposite charges attract, hydrophobics pack, and the pair's
+/// combined volume should fill (not overflow) the pocket.
+double complementarity(AminoAcid pocket, AminoAcid pep) {
+  double s = 0.0;
+  const int cp = charge(pocket) * charge(pep);
+  if (cp < 0) s += 1.0;          // salt bridge
+  else if (cp > 0) s -= 0.8;     // electrostatic clash
+  if (hydropathy(pocket) > 1.5 && hydropathy(pep) > 1.5) s += 0.7;
+  const double v = volume(pocket) + volume(pep);
+  if (v > 230.0 && v < 320.0) s += 0.4;
+  if (is_polar(pocket) && is_polar(pep)) s += 0.25;  // H-bond capability
+  return s;
+}
+
+}  // namespace
+
+FitnessLandscape::FitnessLandscape(std::string target_name,
+                                   std::size_t receptor_length,
+                                   Sequence peptide, std::uint64_t seed)
+    : name_(std::move(target_name)),
+      length_(receptor_length),
+      peptide_(std::move(peptide)) {
+  if (length_ == 0) throw std::invalid_argument("FitnessLandscape: empty receptor");
+  if (peptide_.empty()) throw std::invalid_argument("FitnessLandscape: empty peptide");
+  common::Rng rng(seed);
+
+  // Binding pocket: ~20% of positions, at least 6 (PDZ pockets contact a
+  // handful of residues around the carboxylate-binding loop).
+  const std::size_t k = std::max<std::size_t>(6, length_ / 5);
+  std::vector<std::size_t> order(length_);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  interface_.assign(order.begin(), order.begin() + static_cast<long>(std::min(k, length_)));
+  std::sort(interface_.begin(), interface_.end());
+
+  // Per-pocket-position preferences: complementarity with a peptide
+  // residue (pocket positions read the peptide from its C-terminus, the
+  // part PDZ domains recognize) plus target-specific noise, softmaxed and
+  // rescaled so the best residue scores 1.
+  pocket_pref_.reserve(interface_.size());
+  for (std::size_t ii = 0; ii < interface_.size(); ++ii) {
+    const AminoAcid pep_aa =
+        peptide_[peptide_.size() - 1 - (ii % peptide_.size())];
+    Profile raw{};
+    for (std::size_t a = 0; a < kNumAminoAcids; ++a) {
+      raw[a] = complementarity(static_cast<AminoAcid>(a), pep_aa) +
+               0.8 * rng.normal();
+    }
+    // Softmax with moderate temperature, then max-normalize.
+    Profile pref{};
+    double zmax = *std::max_element(raw.begin(), raw.end());
+    double sum = 0.0;
+    for (std::size_t a = 0; a < kNumAminoAcids; ++a) {
+      pref[a] = std::exp((raw[a] - zmax) / 0.9);
+      sum += pref[a];
+    }
+    double pmax = 0.0;
+    for (auto& p : pref) {
+      p /= sum;
+      pmax = std::max(pmax, p);
+    }
+    for (auto& p : pref) p /= pmax;
+    pocket_pref_.push_back(pref);
+  }
+
+  // Epistatic couplings between pocket positions.
+  if (interface_.size() >= 2) {
+    const std::size_t n_couplings = std::max<std::size_t>(2, interface_.size() / 2);
+    for (std::size_t c = 0; c < n_couplings; ++c) {
+      Coupling cp;
+      cp.a = rng.below(static_cast<std::uint32_t>(interface_.size()));
+      do {
+        cp.b = rng.below(static_cast<std::uint32_t>(interface_.size()));
+      } while (cp.b == cp.a);
+      cp.want_hydrophobic = rng.chance(0.5);
+      couplings_.push_back(cp);
+    }
+  }
+
+  // Native scaffold: random residues off-pocket; deliberately mediocre
+  // residues in the pocket (median-preference picks) so the design
+  // campaign starts with headroom, as a natural PDZ domain repurposed for
+  // a new peptide would.
+  std::vector<AminoAcid> native(length_);
+  for (std::size_t i = 0; i < length_; ++i)
+    native[i] = static_cast<AminoAcid>(rng.below(kNumAminoAcids));
+  for (std::size_t ii = 0; ii < interface_.size(); ++ii) {
+    std::array<std::size_t, kNumAminoAcids> idx{};
+    std::iota(idx.begin(), idx.end(), 0);
+    const auto& pref = pocket_pref_[ii];
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return pref[a] > pref[b]; });
+    // Rank 8..13 of 20: present but suboptimal.
+    const std::size_t rank = 8 + rng.below(6);
+    native[interface_[ii]] = static_cast<AminoAcid>(idx[rank]);
+  }
+  native_ = Sequence(std::move(native));
+}
+
+double FitnessLandscape::preference(std::size_t pos, AminoAcid aa) const {
+  const auto it = std::lower_bound(interface_.begin(), interface_.end(), pos);
+  if (it != interface_.end() && *it == pos) {
+    const auto ii = static_cast<std::size_t>(it - interface_.begin());
+    return pocket_pref_[ii][static_cast<std::size_t>(aa)];
+  }
+  return residue_similarity(aa, native_[pos]);
+}
+
+double FitnessLandscape::pocket_term(const Sequence& receptor) const {
+  double s = 0.0;
+  for (std::size_t ii = 0; ii < interface_.size(); ++ii)
+    s += pocket_pref_[ii][static_cast<std::size_t>(receptor[interface_[ii]])];
+  return interface_.empty() ? 0.0 : s / static_cast<double>(interface_.size());
+}
+
+double FitnessLandscape::coupling_term(const Sequence& receptor) const {
+  if (couplings_.empty()) return 0.0;
+  std::size_t satisfied = 0;
+  for (const auto& c : couplings_) {
+    const AminoAcid a = receptor[interface_[c.a]];
+    const AminoAcid b = receptor[interface_[c.b]];
+    if (c.want_hydrophobic) {
+      if (hydropathy(a) > 1.5 && hydropathy(b) > 1.5) ++satisfied;
+    } else {
+      if (charge(a) * charge(b) < 0) ++satisfied;
+    }
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(couplings_.size());
+}
+
+double FitnessLandscape::scaffold_term(const Sequence& receptor) const {
+  double s = 0.0;
+  std::size_t n = 0;
+  std::size_t ii = 0;
+  for (std::size_t pos = 0; pos < length_; ++pos) {
+    if (ii < interface_.size() && interface_[ii] == pos) {
+      ++ii;
+      continue;
+    }
+    s += residue_similarity(receptor[pos], native_[pos]);
+    ++n;
+  }
+  return n == 0 ? 1.0 : s / static_cast<double>(n);
+}
+
+double FitnessLandscape::fitness(const Sequence& receptor) const {
+  if (receptor.size() != length_)
+    throw std::invalid_argument("FitnessLandscape::fitness: length mismatch (" +
+                                std::to_string(receptor.size()) + " vs " +
+                                std::to_string(length_) + ")");
+  const double f = 0.70 * pocket_term(receptor) +
+                   0.15 * coupling_term(receptor) +
+                   0.15 * scaffold_term(receptor);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+Sequence FitnessLandscape::greedy_optimal_sequence() const {
+  std::vector<AminoAcid> best(native_.residues());
+  for (std::size_t ii = 0; ii < interface_.size(); ++ii) {
+    const auto& pref = pocket_pref_[ii];
+    std::size_t arg = 0;
+    for (std::size_t a = 1; a < kNumAminoAcids; ++a)
+      if (pref[a] > pref[arg]) arg = a;
+    best[interface_[ii]] = static_cast<AminoAcid>(arg);
+  }
+  return Sequence(std::move(best));
+}
+
+Sequence FitnessLandscape::seed_sequence(double target_fitness,
+                                         common::Rng& rng) const {
+  Sequence seq = native_;
+  double f = fitness(seq);
+  for (int iter = 0; iter < 4000 && std::fabs(f - target_fitness) > 0.01; ++iter) {
+    const std::size_t pos = rng.below(static_cast<std::uint32_t>(length_));
+    const auto aa = static_cast<AminoAcid>(rng.below(kNumAminoAcids));
+    const Sequence cand = seq.with_mutation(pos, aa);
+    const double fc = fitness(cand);
+    if (std::fabs(fc - target_fitness) < std::fabs(f - target_fitness)) {
+      seq = cand;
+      f = fc;
+    }
+  }
+  return seq;
+}
+
+}  // namespace impress::protein

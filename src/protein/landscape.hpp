@@ -1,0 +1,96 @@
+// Hidden fitness landscape: the synthetic ground truth that replaces the
+// physical reality the paper's tools (ProteinMPNN + AlphaFold) probe.
+//
+// Each design target (a PDZ domain + peptide pair) owns one landscape,
+// deterministically derived from its name. The landscape assigns every
+// receptor sequence a binding fitness in [0, 1]:
+//
+//   fitness = 0.70 * pocket     (per-position preferences at the binding
+//                                interface, biased toward physicochemical
+//                                complementarity with the peptide)
+//           + 0.15 * couplings  (pairwise epistasis between pocket
+//                                positions — what makes greedy one-shot
+//                                design insufficient and iteration useful)
+//           + 0.15 * scaffold   (similarity of non-interface positions to
+//                                the native scaffold: drifting the core
+//                                destabilizes the fold)
+//
+// The surrogates consume this: ProteinMPNN's sampler sees a *noisy* view
+// of the per-position preferences (informative but imperfect proposals and
+// log-likelihoods), and AlphaFold's metrics are noisy monotone functions
+// of the true fitness. The adaptive protocol never reads the landscape
+// directly — it only sees what the paper's protocol saw.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "protein/sequence.hpp"
+
+namespace impress::protein {
+
+class FitnessLandscape {
+ public:
+  /// Build the landscape for a named target. `receptor_length` fixes the
+  /// domain size; `peptide` shapes the pocket preferences; `seed` (usually
+  /// stable_hash(name)) makes it reproducible.
+  FitnessLandscape(std::string target_name, std::size_t receptor_length,
+                   Sequence peptide, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& target_name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t receptor_length() const noexcept { return length_; }
+  [[nodiscard]] const Sequence& peptide() const noexcept { return peptide_; }
+
+  /// Binding fitness of a receptor sequence, in [0, 1]. Throws
+  /// std::invalid_argument if the length does not match.
+  [[nodiscard]] double fitness(const Sequence& receptor) const;
+
+  /// Pocket (interface) positions, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& interface_positions() const noexcept {
+    return interface_;
+  }
+
+  /// Normalized preference for residue `aa` at receptor position `pos`,
+  /// in [0, 1]; non-interface positions return the scaffold preference
+  /// (1 for the native residue, a fraction for chemically similar ones).
+  [[nodiscard]] double preference(std::size_t pos, AminoAcid aa) const;
+
+  /// The native scaffold sequence (moderate fitness by construction).
+  [[nodiscard]] const Sequence& native_sequence() const noexcept { return native_; }
+
+  /// Per-position argmax of preference — a strong but (because couplings
+  /// are ignored) not globally optimal sequence. Used by tests.
+  [[nodiscard]] Sequence greedy_optimal_sequence() const;
+
+  /// A random receptor whose fitness is roughly `target_fitness`:
+  /// the greedy optimum with positions re-randomized until close. Used to
+  /// make starting structures with controlled headroom.
+  [[nodiscard]] Sequence seed_sequence(double target_fitness,
+                                       common::Rng& rng) const;
+
+ private:
+  using Profile = std::array<double, kNumAminoAcids>;
+
+  std::string name_;
+  std::size_t length_;
+  Sequence peptide_;
+  std::vector<std::size_t> interface_;
+  std::vector<Profile> pocket_pref_;  ///< one per interface position
+  Sequence native_;
+  struct Coupling {
+    std::size_t a;        ///< interface index (into interface_)
+    std::size_t b;
+    bool want_hydrophobic;  ///< both-hydrophobic vs opposite-charge bonus
+  };
+  std::vector<Coupling> couplings_;
+
+  [[nodiscard]] double pocket_term(const Sequence& receptor) const;
+  [[nodiscard]] double coupling_term(const Sequence& receptor) const;
+  [[nodiscard]] double scaffold_term(const Sequence& receptor) const;
+};
+
+}  // namespace impress::protein

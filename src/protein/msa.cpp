@@ -1,0 +1,83 @@
+#include "protein/msa.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace impress::protein {
+
+Msa::Msa(Sequence query) { rows_.push_back(std::move(query)); }
+
+Msa::Msa(Sequence query, std::size_t depth,
+         std::vector<std::size_t> conserved_positions, double divergence,
+         common::Rng& rng) {
+  if (query.empty()) throw std::invalid_argument("Msa: empty query");
+  if (divergence < 0.0 || divergence > 1.0)
+    throw std::invalid_argument("Msa: divergence outside [0,1]");
+  std::vector<bool> conserved(query.size(), false);
+  for (auto pos : conserved_positions) {
+    if (pos >= query.size())
+      throw std::invalid_argument("Msa: conserved position out of range");
+    conserved[pos] = true;
+  }
+
+  rows_.reserve(depth + 1);
+  rows_.push_back(query);
+  for (std::size_t h = 0; h < depth; ++h) {
+    Sequence row = query;
+    for (std::size_t pos = 0; pos < query.size(); ++pos) {
+      const double rate = conserved[pos] ? divergence * 0.1 : divergence;
+      if (rng.chance(rate))
+        row.set(pos, static_cast<AminoAcid>(rng.below(kNumAminoAcids)));
+    }
+    rows_.push_back(std::move(row));
+  }
+}
+
+std::vector<double> Msa::column_conservation() const {
+  std::vector<double> out(length(), 0.0);
+  for (std::size_t col = 0; col < length(); ++col) {
+    std::array<std::size_t, kNumAminoAcids> counts{};
+    for (const auto& row : rows_)
+      ++counts[static_cast<std::size_t>(row[col])];
+    const auto max_count = *std::max_element(counts.begin(), counts.end());
+    out[col] = static_cast<double>(max_count) / static_cast<double>(rows_.size());
+  }
+  return out;
+}
+
+double Msa::mean_conservation() const {
+  const auto cons = column_conservation();
+  double s = 0.0;
+  for (double c : cons) s += c;
+  return cons.empty() ? 0.0 : s / static_cast<double>(cons.size());
+}
+
+double Msa::effective_depth() const {
+  // Greedy redundancy filter at 90% identity, the usual Neff flavor:
+  // a row only counts if it is <90% identical to every retained row.
+  std::vector<const Sequence*> retained;
+  for (const auto& row : rows_) {
+    bool redundant = false;
+    for (const auto* kept : retained) {
+      if (row.identity(*kept) >= 0.9) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) retained.push_back(&row);
+  }
+  // The query itself does not count toward evolutionary signal.
+  return static_cast<double>(retained.empty() ? 0 : retained.size() - 1);
+}
+
+double Msa::predictor_quality() const {
+  // Saturating map: quality = floor + (1 - floor) * neff/(neff + k).
+  constexpr double kFloor = 0.55;  // single-sequence mode
+  constexpr double kHalf = 4.0;    // Neff at which half the headroom is won
+  const double neff = effective_depth();
+  return kFloor + (1.0 - kFloor) * neff / (neff + kHalf);
+}
+
+}  // namespace impress::protein

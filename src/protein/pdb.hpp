@@ -1,0 +1,26 @@
+// Minimal PDB reader/writer for C-alpha traces.
+//
+// Writes standard ATOM records (one CA atom per residue, with the
+// structure's pLDDT in the B-factor column as AlphaFold does) plus TER and
+// END. The parser accepts anything it writes and tolerates full-atom PDB
+// files by keeping only " CA " atoms.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "protein/structure.hpp"
+
+namespace impress::protein {
+
+/// Serialize to PDB text.
+[[nodiscard]] std::string to_pdb(const Structure& s);
+void write_pdb(std::ostream& os, const Structure& s);
+
+/// Parse a PDB document (CA atoms only). Throws std::invalid_argument on
+/// malformed ATOM records or unknown residue names.
+[[nodiscard]] Structure from_pdb(const std::string& text,
+                                 std::string name = "pdb");
+
+}  // namespace impress::protein

@@ -1,0 +1,97 @@
+#include "protein/residue.hpp"
+
+#include <cctype>
+
+namespace impress::protein {
+
+namespace {
+
+struct ResidueInfo {
+  char code1;
+  std::string_view code3;
+  double hydropathy;  // Kyte–Doolittle
+  int charge;
+  double volume;  // A^3
+  bool polar;
+};
+
+// Indexed by the AminoAcid enum order.
+constexpr std::array<ResidueInfo, kNumAminoAcids> kInfo{{
+    {'A', "ALA", 1.8, 0, 88.6, false},   // Ala
+    {'R', "ARG", -4.5, +1, 173.4, true}, // Arg
+    {'N', "ASN", -3.5, 0, 114.1, true},  // Asn
+    {'D', "ASP", -3.5, -1, 111.1, true}, // Asp
+    {'C', "CYS", 2.5, 0, 108.5, false},  // Cys
+    {'Q', "GLN", -3.5, 0, 143.8, true},  // Gln
+    {'E', "GLU", -3.5, -1, 138.4, true}, // Glu
+    {'G', "GLY", -0.4, 0, 60.1, false},  // Gly
+    {'H', "HIS", -3.2, 0, 153.2, true},  // His
+    {'I', "ILE", 4.5, 0, 166.7, false},  // Ile
+    {'L', "LEU", 3.8, 0, 166.7, false},  // Leu
+    {'K', "LYS", -3.9, +1, 168.6, true}, // Lys
+    {'M', "MET", 1.9, 0, 162.9, false},  // Met
+    {'F', "PHE", 2.8, 0, 189.9, false},  // Phe
+    {'P', "PRO", -1.6, 0, 112.7, false}, // Pro
+    {'S', "SER", -0.8, 0, 89.0, true},   // Ser
+    {'T', "THR", -0.7, 0, 116.1, true},  // Thr
+    {'W', "TRP", -0.9, 0, 227.8, false}, // Trp
+    {'Y', "TYR", -1.3, 0, 193.6, true},  // Tyr
+    {'V', "VAL", 4.2, 0, 140.0, false},  // Val
+}};
+
+constexpr std::array<AminoAcid, kNumAminoAcids> kAll = [] {
+  std::array<AminoAcid, kNumAminoAcids> a{};
+  for (std::size_t i = 0; i < kNumAminoAcids; ++i)
+    a[i] = static_cast<AminoAcid>(i);
+  return a;
+}();
+
+}  // namespace
+
+const std::array<AminoAcid, kNumAminoAcids>& all_amino_acids() noexcept {
+  return kAll;
+}
+
+char to_char(AminoAcid aa) noexcept {
+  return kInfo[static_cast<std::size_t>(aa)].code1;
+}
+
+std::string_view to_code3(AminoAcid aa) noexcept {
+  return kInfo[static_cast<std::size_t>(aa)].code3;
+}
+
+std::optional<AminoAcid> from_char(char c) noexcept {
+  const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (std::size_t i = 0; i < kNumAminoAcids; ++i)
+    if (kInfo[i].code1 == upper) return static_cast<AminoAcid>(i);
+  return std::nullopt;
+}
+
+std::optional<AminoAcid> from_code3(std::string_view code) noexcept {
+  if (code.size() != 3) return std::nullopt;
+  char upper[3];
+  for (int i = 0; i < 3; ++i)
+    upper[i] = static_cast<char>(std::toupper(static_cast<unsigned char>(code[i])));
+  const std::string_view key(upper, 3);
+  for (std::size_t i = 0; i < kNumAminoAcids; ++i)
+    if (kInfo[i].code3 == key) return static_cast<AminoAcid>(i);
+  return std::nullopt;
+}
+
+double hydropathy(AminoAcid aa) noexcept {
+  return kInfo[static_cast<std::size_t>(aa)].hydropathy;
+}
+
+int charge(AminoAcid aa) noexcept {
+  return kInfo[static_cast<std::size_t>(aa)].charge;
+}
+
+double volume(AminoAcid aa) noexcept {
+  return kInfo[static_cast<std::size_t>(aa)].volume;
+}
+
+bool is_polar(AminoAcid aa) noexcept {
+  return kInfo[static_cast<std::size_t>(aa)].polar;
+}
+
+}  // namespace impress::protein

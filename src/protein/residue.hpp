@@ -1,0 +1,47 @@
+// The twenty proteinogenic amino acids with the physicochemical
+// properties the surrogate models condition on.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace impress::protein {
+
+enum class AminoAcid : std::uint8_t {
+  kAla, kArg, kAsn, kAsp, kCys, kGln, kGlu, kGly, kHis, kIle,
+  kLeu, kLys, kMet, kPhe, kPro, kSer, kThr, kTrp, kTyr, kVal,
+};
+
+inline constexpr std::size_t kNumAminoAcids = 20;
+
+/// All residues in enum order, for iteration.
+[[nodiscard]] const std::array<AminoAcid, kNumAminoAcids>& all_amino_acids() noexcept;
+
+/// One-letter code ('A', 'R', ...).
+[[nodiscard]] char to_char(AminoAcid aa) noexcept;
+
+/// Three-letter code ("ALA", "ARG", ...), as used in PDB ATOM records.
+[[nodiscard]] std::string_view to_code3(AminoAcid aa) noexcept;
+
+/// Parse a one-letter code (case-insensitive); nullopt for unknown.
+[[nodiscard]] std::optional<AminoAcid> from_char(char c) noexcept;
+
+/// Parse a three-letter code (case-insensitive); nullopt for unknown.
+[[nodiscard]] std::optional<AminoAcid> from_code3(std::string_view code) noexcept;
+
+/// Kyte–Doolittle hydropathy index, in [-4.5, 4.5].
+[[nodiscard]] double hydropathy(AminoAcid aa) noexcept;
+
+/// Net side-chain charge at pH 7: -1, 0 or +1 (His treated as 0).
+[[nodiscard]] int charge(AminoAcid aa) noexcept;
+
+/// Side-chain volume in cubic angstroms (Zamyatnin, 1972).
+[[nodiscard]] double volume(AminoAcid aa) noexcept;
+
+/// Whether the side chain is polar (including charged residues).
+[[nodiscard]] bool is_polar(AminoAcid aa) noexcept;
+
+}  // namespace impress::protein

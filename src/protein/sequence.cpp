@@ -1,0 +1,55 @@
+#include "protein/sequence.hpp"
+
+#include <stdexcept>
+
+namespace impress::protein {
+
+Sequence Sequence::from_string(std::string_view s) {
+  std::vector<AminoAcid> residues;
+  residues.reserve(s.size());
+  for (char c : s) {
+    const auto aa = from_char(c);
+    if (!aa)
+      throw std::invalid_argument(std::string("Sequence: invalid residue '") +
+                                  c + "'");
+    residues.push_back(*aa);
+  }
+  return Sequence(std::move(residues));
+}
+
+std::string Sequence::to_string() const {
+  std::string out;
+  out.reserve(residues_.size());
+  for (auto aa : residues_) out.push_back(to_char(aa));
+  return out;
+}
+
+Sequence Sequence::tail(std::size_t n) const {
+  if (n > residues_.size())
+    throw std::out_of_range("Sequence::tail: n exceeds length");
+  return Sequence(std::vector<AminoAcid>(residues_.end() - static_cast<long>(n),
+                                         residues_.end()));
+}
+
+Sequence Sequence::with_mutation(std::size_t pos, AminoAcid aa) const {
+  Sequence copy = *this;
+  copy.set(pos, aa);
+  return copy;
+}
+
+std::size_t Sequence::hamming_distance(const Sequence& other) const {
+  if (size() != other.size())
+    throw std::invalid_argument("hamming_distance: length mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (residues_[i] != other.residues_[i]) ++d;
+  return d;
+}
+
+double Sequence::identity(const Sequence& other) const {
+  if (empty() && other.empty()) return 1.0;
+  const std::size_t d = hamming_distance(other);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(size());
+}
+
+}  // namespace impress::protein

@@ -1,0 +1,61 @@
+// Protein sequence value type.
+
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "protein/residue.hpp"
+
+namespace impress::protein {
+
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<AminoAcid> residues)
+      : residues_(std::move(residues)) {}
+  Sequence(std::initializer_list<AminoAcid> residues) : residues_(residues) {}
+
+  /// Parse from one-letter codes; throws std::invalid_argument on any
+  /// character that is not one of the 20 canonical residues.
+  [[nodiscard]] static Sequence from_string(std::string_view s);
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return residues_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return residues_.empty(); }
+
+  [[nodiscard]] AminoAcid operator[](std::size_t i) const { return residues_[i]; }
+  [[nodiscard]] AminoAcid at(std::size_t i) const { return residues_.at(i); }
+  void set(std::size_t i, AminoAcid aa) { residues_.at(i) = aa; }
+
+  [[nodiscard]] auto begin() const noexcept { return residues_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return residues_.end(); }
+
+  [[nodiscard]] const std::vector<AminoAcid>& residues() const noexcept {
+    return residues_;
+  }
+
+  /// Last `n` residues (the paper uses the last 10 and last 4 residues of
+  /// alpha-synuclein as the design targets). Throws if n > size().
+  [[nodiscard]] Sequence tail(std::size_t n) const;
+
+  /// Copy with one substitution.
+  [[nodiscard]] Sequence with_mutation(std::size_t pos, AminoAcid aa) const;
+
+  /// Number of differing positions; sequences must be equal length
+  /// (throws std::invalid_argument otherwise).
+  [[nodiscard]] std::size_t hamming_distance(const Sequence& other) const;
+
+  /// Fraction of identical positions in [0,1]; equal-length required.
+  [[nodiscard]] double identity(const Sequence& other) const;
+
+  bool operator==(const Sequence&) const = default;
+
+ private:
+  std::vector<AminoAcid> residues_;
+};
+
+}  // namespace impress::protein

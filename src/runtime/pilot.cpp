@@ -1,0 +1,132 @@
+#include "runtime/pilot.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace impress::rp {
+
+std::string_view to_string(PilotState s) noexcept {
+  switch (s) {
+    case PilotState::kLaunching: return "LAUNCHING";
+    case PilotState::kActive: return "ACTIVE";
+    case PilotState::kDone: return "DONE";
+  }
+  return "?";
+}
+
+Pilot::Pilot(std::string uid, PilotDescription description,
+             hpc::Profiler& profiler, std::function<double()> now_fn)
+    : uid_(std::move(uid)),
+      description_(std::move(description)),
+      profiler_(profiler),
+      now_(std::move(now_fn)),
+      pool_(description_.nodes),
+      recorder_(pool_.total_cores(), pool_.total_gpus()),
+      scheduler_(description_.policy, pool_,
+                 [this](TaskPtr t, hpc::Allocation a) {
+                   place(std::move(t), std::move(a));
+                 }) {
+  profiler_.record(now_(), uid_, hpc::events::kBootstrapStart);
+}
+
+void Pilot::attach(Executor& executor, CompletionFn on_task_terminal) {
+  std::lock_guard lock(mutex_);
+  executor_ = &executor;
+  on_task_terminal_ = std::move(on_task_terminal);
+}
+
+void Pilot::activate() {
+  std::lock_guard lock(mutex_);
+  if (state_ != PilotState::kLaunching) return;
+  state_ = PilotState::kActive;
+  profiler_.record(now_(), uid_, hpc::events::kBootstrapStop);
+  IMPRESS_LOG(kInfo, "pilot") << uid_ << " active ("
+                              << pool_.total_cores() << " cores, "
+                              << pool_.total_gpus() << " gpus)";
+  scheduler_.try_schedule();
+}
+
+void Pilot::enqueue(TaskPtr task) {
+  std::lock_guard lock(mutex_);
+  if (state_ == PilotState::kDone)
+    throw std::logic_error("Pilot::enqueue on finished pilot " + uid_);
+  if (!pool_.fits_ever(task->description().resources))
+    throw std::invalid_argument("task " + task->uid() +
+                                " can never fit on pilot " + uid_);
+  task->set_state(TaskState::kScheduling, now_());
+  profiler_.record(now_(), task->uid(), hpc::events::kSchedule, uid_);
+  scheduler_.enqueue(std::move(task));
+  if (state_ == PilotState::kActive) scheduler_.try_schedule();
+}
+
+bool Pilot::dequeue(const TaskPtr& task) {
+  std::lock_guard lock(mutex_);
+  return scheduler_.remove(task);
+}
+
+bool Pilot::cancel(const TaskPtr& task) {
+  CompletionFn notify;
+  Executor* executor = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (scheduler_.remove(task)) {
+      task->set_state(TaskState::kCancelled, now_());
+      profiler_.record(now_(), task->uid(), hpc::events::kCancelled, uid_);
+      notify = on_task_terminal_;
+    } else {
+      executor = executor_;
+    }
+  }
+  if (notify) {
+    notify(task);
+    return true;
+  }
+  // Executing (or already gone): forward to the executor *outside* the
+  // pilot lock — its completion path re-enters on_complete and then the
+  // TaskManager, and holding mutex_ across that inverts the
+  // TaskManager->Pilot lock order used by submit()/route().
+  return executor != nullptr && executor->cancel(task);
+}
+
+std::size_t Pilot::queue_length() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.queue_length();
+}
+
+void Pilot::finish() {
+  std::lock_guard lock(mutex_);
+  state_ = PilotState::kDone;
+}
+
+void Pilot::place(TaskPtr task, hpc::Allocation alloc) {
+  // Called from scheduler.try_schedule() with mutex_ held.
+  if (executor_ == nullptr)
+    throw std::logic_error("Pilot::place before attach on " + uid_);
+  task->set_allocation(std::move(alloc));
+  task->set_state(TaskState::kExecuting, now_());
+  ++running_;
+  executor_->launch(std::move(task),
+                    [this](const TaskPtr& t) { on_complete(t); });
+}
+
+void Pilot::on_complete(const TaskPtr& task) {
+  CompletionFn notify;
+  {
+    std::lock_guard lock(mutex_);
+    pool_.release(task->allocation());
+    task->clear_allocation();
+    --running_;
+    profiler_.record(now_(), task->uid(),
+                     task->state() == TaskState::kDone ? hpc::events::kDone
+                     : task->state() == TaskState::kFailed
+                         ? hpc::events::kFailed
+                         : hpc::events::kCancelled,
+                     uid_);
+    if (state_ == PilotState::kActive) scheduler_.try_schedule();
+    notify = on_task_terminal_;
+  }
+  if (notify) notify(task);
+}
+
+}  // namespace impress::rp

@@ -1,0 +1,117 @@
+// Pilot: a placeholder job that owns a slice of machine resources and
+// runs tasks inside it without further batch-system interaction — the
+// central abstraction of RADICAL-Pilot, reimplemented here.
+//
+// Lifecycle: LAUNCHING --(bootstrap overhead)--> ACTIVE --> DONE.
+// While ACTIVE, the pilot's agent scheduler places queued tasks onto the
+// pilot's ResourcePool and hands them to the executor; completions release
+// resources and immediately re-schedule, which is what produces the
+// "offload new pipelines to idle resources" behaviour of IM-RP.
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hpc/node.hpp"
+#include "hpc/profiler.hpp"
+#include "hpc/resource_pool.hpp"
+#include "hpc/utilization.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+
+namespace impress::rp {
+
+enum class PilotState { kLaunching, kActive, kDone };
+
+[[nodiscard]] std::string_view to_string(PilotState s) noexcept;
+
+struct PilotDescription {
+  std::vector<hpc::NodeSpec> nodes{hpc::amarel_node()};
+  double bootstrap_s = 0.0;  ///< agent start-up ("Bootstrap" in Fig 5)
+  ExecOverheadModel exec_overhead;  ///< per-task sandbox/launch-script cost
+  SchedulerPolicy policy = SchedulerPolicy::kBackfill;
+};
+
+class Pilot {
+ public:
+  /// `now_fn` reads the session clock; `on_task_terminal` reports back to
+  /// the TaskManager after resources are released.
+  Pilot(std::string uid, PilotDescription description, hpc::Profiler& profiler,
+        std::function<double()> now_fn);
+
+  Pilot(const Pilot&) = delete;
+  Pilot& operator=(const Pilot&) = delete;
+
+  [[nodiscard]] const std::string& uid() const noexcept { return uid_; }
+  [[nodiscard]] const PilotDescription& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] PilotState state() const noexcept { return state_.load(); }
+  [[nodiscard]] hpc::ResourcePool& pool() noexcept { return pool_; }
+  [[nodiscard]] const hpc::ResourcePool& pool() const noexcept { return pool_; }
+  [[nodiscard]] hpc::UtilizationRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const hpc::UtilizationRecorder& recorder() const noexcept {
+    return recorder_;
+  }
+
+  /// Wire the executor (owned by the session, depends on this pilot's
+  /// recorder) and the terminal-task callback. Must be called before any
+  /// enqueue().
+  void attach(Executor& executor, CompletionFn on_task_terminal);
+
+  /// Mark bootstrap finished; queued tasks start flowing.
+  void activate();
+
+  /// Accept a task into the agent scheduler queue.
+  void enqueue(TaskPtr task);
+
+  /// Remove a still-queued task; returns false if it already left the
+  /// queue (executing or terminal).
+  bool dequeue(const TaskPtr& task);
+
+  /// Cancel a task owned by this pilot: removed from the queue if still
+  /// waiting, otherwise forwarded to the executor. Returns false if the
+  /// task is not under this pilot's control anymore.
+  bool cancel(const TaskPtr& task);
+
+  /// Number of tasks waiting in the agent queue.
+  [[nodiscard]] std::size_t queue_length() const;
+
+  /// Tasks currently holding an allocation.
+  [[nodiscard]] std::size_t running() const noexcept {
+    return running_.load();
+  }
+
+  /// Mark the pilot done (no new placements; running tasks finish).
+  void finish();
+
+ private:
+  void place(TaskPtr task, hpc::Allocation alloc);
+  void on_complete(const TaskPtr& task);
+
+  std::string uid_;
+  PilotDescription description_;
+  hpc::Profiler& profiler_;
+  std::function<double()> now_;
+  hpc::ResourcePool pool_;
+  hpc::UtilizationRecorder recorder_;
+  Scheduler scheduler_;
+  Executor* executor_ = nullptr;
+  CompletionFn on_task_terminal_;
+  // Atomic: read lock-free by TaskManager::route while activate()/finish()
+  // write it under mutex_ from timer/worker threads.
+  std::atomic<PilotState> state_{PilotState::kLaunching};
+  // Atomic for the same reason as state_: routing reads it lock-free.
+  std::atomic<std::size_t> running_{0};
+  mutable std::recursive_mutex mutex_;
+};
+
+using PilotPtr = std::shared_ptr<Pilot>;
+
+}  // namespace impress::rp

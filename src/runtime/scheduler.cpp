@@ -1,0 +1,59 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace impress::rp {
+
+std::string_view to_string(SchedulerPolicy p) noexcept {
+  switch (p) {
+    case SchedulerPolicy::kFifo: return "FIFO";
+    case SchedulerPolicy::kBackfill: return "BACKFILL";
+  }
+  return "?";
+}
+
+void Scheduler::enqueue(TaskPtr task) { queue_.push_back(std::move(task)); }
+
+bool Scheduler::remove(const TaskPtr& task) {
+  const auto it = std::find(queue_.begin(), queue_.end(), task);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+std::size_t Scheduler::try_schedule() {
+  std::size_t started = 0;
+  if (policy_ == SchedulerPolicy::kFifo) {
+    while (!queue_.empty()) {
+      auto alloc = pool_.allocate(queue_.front()->description().resources);
+      if (!alloc) break;  // strict order: head blocks the rest
+      TaskPtr task = std::move(queue_.front());
+      queue_.pop_front();
+      place_(std::move(task), std::move(*alloc));
+      ++started;
+    }
+    return started;
+  }
+
+  // Backfill: stable sort by priority (submission order preserved within a
+  // priority class), then place everything that fits right now.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const TaskPtr& a, const TaskPtr& b) {
+                     return a->description().priority > b->description().priority;
+                   });
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    auto alloc = pool_.allocate((*it)->description().resources);
+    if (!alloc) {
+      ++it;
+      continue;
+    }
+    TaskPtr task = std::move(*it);
+    it = queue_.erase(it);
+    place_(std::move(task), std::move(*alloc));
+    ++started;
+  }
+  return started;
+}
+
+}  // namespace impress::rp

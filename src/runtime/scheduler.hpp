@@ -1,0 +1,58 @@
+// Agent-side scheduler: orders waiting tasks and places them onto the
+// pilot's resource pool.
+//
+// Policies:
+//  * kFifo     — strict submission order; the queue head blocks everything
+//                behind it (models a plain sequential backend).
+//  * kBackfill — any waiting task that fits may start, higher priority and
+//                earlier submission first. This is what lets IM-RP fill
+//                idle cores with sub-pipeline tasks while a wide AlphaFold
+//                feature stage is still running (paper §III-B).
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "hpc/resource_pool.hpp"
+#include "runtime/task.hpp"
+
+namespace impress::rp {
+
+enum class SchedulerPolicy { kFifo, kBackfill };
+
+[[nodiscard]] std::string_view to_string(SchedulerPolicy p) noexcept;
+
+class Scheduler {
+ public:
+  /// `place` is invoked for every task the scheduler starts; the caller
+  /// (the pilot) launches it on its executor.
+  using PlaceFn = std::function<void(TaskPtr, hpc::Allocation)>;
+
+  Scheduler(SchedulerPolicy policy, hpc::ResourcePool& pool, PlaceFn place)
+      : policy_(policy), pool_(pool), place_(std::move(place)) {}
+
+  /// Add a task to the waiting queue (does not schedule yet).
+  void enqueue(TaskPtr task);
+
+  /// Remove a queued task; returns false if it is not waiting here.
+  bool remove(const TaskPtr& task);
+
+  /// Place as many waiting tasks as the policy and free resources allow.
+  /// Returns the number of tasks started.
+  std::size_t try_schedule();
+
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
+
+ private:
+  SchedulerPolicy policy_;
+  hpc::ResourcePool& pool_;
+  PlaceFn place_;
+  std::deque<TaskPtr> queue_;
+};
+
+}  // namespace impress::rp

@@ -1,0 +1,88 @@
+#include "runtime/session.hpp"
+
+#include <thread>
+
+#include "common/logging.hpp"
+#include "runtime/sim_executor.hpp"
+#include "runtime/thread_executor.hpp"
+
+namespace impress::rp {
+
+Session::Session(SessionConfig config)
+    : config_(config),
+      rng_(common::Rng(config.seed)),
+      wall_start_(std::chrono::steady_clock::now()) {
+  if (config_.mode == ExecutionMode::kThreaded)
+    pool_.emplace(config_.worker_threads);
+  tmgr_ = std::make_unique<TaskManager>(uids_, profiler_,
+                                        [this] { return now(); });
+}
+
+Session::~Session() {
+  close();
+  // Join detached-timer threads before members are destroyed.
+  for (auto& t : timers_)
+    if (t.joinable()) t.join();
+}
+
+double Session::now() const {
+  if (config_.mode == ExecutionMode::kSimulated) return engine_.now();
+  const auto wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start_)
+                        .count();
+  return wall / config_.time_scale;
+}
+
+common::Rng Session::fork_rng(std::string_view tag) const {
+  return rng_.fork(tag);
+}
+
+PilotPtr Session::submit_pilot(const PilotDescription& description) {
+  auto pilot = std::make_shared<Pilot>(uids_.next("pilot"), description,
+                                       profiler_, [this] { return now(); });
+
+  std::unique_ptr<Executor> exec;
+  const auto exec_rng = rng_.fork("executor." + pilot->uid());
+  if (config_.mode == ExecutionMode::kSimulated) {
+    exec = std::make_unique<SimExecutor>(engine_, profiler_, pilot->recorder(),
+                                         description.exec_overhead, exec_rng);
+  } else {
+    exec = std::make_unique<ThreadExecutor>(
+        *pool_, profiler_, pilot->recorder(), description.exec_overhead,
+        exec_rng, config_.time_scale, [this] { return now(); });
+  }
+  pilot->attach(*exec, tmgr_->terminal_handler());
+  executors_.push_back(std::move(exec));
+  pilots_.push_back(pilot);
+  tmgr_->add_pilot(pilot);
+
+  call_after(description.bootstrap_s, [pilot] { pilot->activate(); });
+  return pilot;
+}
+
+void Session::run() {
+  if (config_.mode == ExecutionMode::kSimulated) {
+    engine_.run();
+  } else {
+    tmgr_->wait_all();
+  }
+}
+
+void Session::call_after(double delay_s, std::function<void()> fn) {
+  if (config_.mode == ExecutionMode::kSimulated) {
+    engine_.schedule_after(delay_s, std::move(fn));
+    return;
+  }
+  const auto wall = std::chrono::duration<double>(delay_s * config_.time_scale);
+  std::lock_guard lock(timer_mutex_);
+  timers_.emplace_back([wall, fn = std::move(fn)] {
+    std::this_thread::sleep_for(wall);
+    fn();
+  });
+}
+
+void Session::close() {
+  for (const auto& p : pilots_) p->finish();
+}
+
+}  // namespace impress::rp

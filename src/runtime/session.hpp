@@ -1,0 +1,104 @@
+// Session: top-level owner of one runtime instance (RP's Session analog).
+//
+// A session fixes the execution mode (simulated virtual clock vs real
+// worker threads), the master seed, and owns the engine, profiler, uid
+// generator, pilots, executors and the TaskManager. Everything an IMPRESS
+// campaign needs hangs off a Session, and two Sessions in one process are
+// fully independent — the Table-I bench runs the CONT-V and IM-RP
+// campaigns back to back in separate sessions.
+
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/uid.hpp"
+#include "hpc/profiler.hpp"
+#include "runtime/pilot.hpp"
+#include "runtime/task_manager.hpp"
+#include "sim/engine.hpp"
+
+namespace impress::rp {
+
+enum class ExecutionMode {
+  kSimulated,  ///< discrete-event virtual clock; deterministic, instant
+  kThreaded,   ///< real worker threads; wall delays scaled by time_scale
+};
+
+struct SessionConfig {
+  ExecutionMode mode = ExecutionMode::kSimulated;
+  std::uint64_t seed = 42;
+  /// Threaded mode: wall seconds per simulated second (1e-4 => a one-hour
+  /// task sleeps 0.36 s).
+  double time_scale = 1e-4;
+  /// Threaded mode: executor pool width; must be >= the maximum number of
+  /// concurrently running tasks or placements will serialize behind
+  /// sleeping workers.
+  std::size_t worker_threads = 16;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Create a pilot, wire its executor, and schedule its bootstrap
+  /// completion. The pilot becomes ACTIVE after description.bootstrap_s.
+  PilotPtr submit_pilot(const PilotDescription& description);
+
+  [[nodiscard]] TaskManager& task_manager() noexcept { return *tmgr_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] hpc::Profiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] common::UidGenerator& uids() noexcept { return uids_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ExecutionMode mode() const noexcept { return config_.mode; }
+  [[nodiscard]] const std::vector<PilotPtr>& pilots() const noexcept {
+    return pilots_;
+  }
+
+  /// Session clock in simulated seconds (virtual clock or scaled wall).
+  [[nodiscard]] double now() const;
+
+  /// Independent child generator for a named component.
+  [[nodiscard]] common::Rng fork_rng(std::string_view tag) const;
+
+  /// Run until the workload completes: simulated mode drains the event
+  /// loop; threaded mode blocks until no task is outstanding.
+  void run();
+
+  /// Schedule a callback `delay_s` simulated seconds from now (engine
+  /// event or detached timer depending on mode).
+  void call_after(double delay_s, std::function<void()> fn);
+
+  /// Mark all pilots done. Called by the destructor.
+  void close();
+
+ private:
+  SessionConfig config_;
+  sim::Engine engine_;
+  hpc::Profiler profiler_;
+  common::UidGenerator uids_;
+  common::Rng rng_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::unique_ptr<TaskManager> tmgr_;
+  std::vector<PilotPtr> pilots_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  // Declared after everything worker threads touch: destroying the pool
+  // joins the workers, so the TaskManager, pilots and executors are
+  // guaranteed to outlive every in-flight completion callback.
+  std::optional<common::ThreadPool> pool_;
+  std::vector<std::thread> timers_;
+  std::mutex timer_mutex_;
+};
+
+}  // namespace impress::rp

@@ -1,0 +1,90 @@
+#include "runtime/sim_executor.hpp"
+
+#include <exception>
+#include <vector>
+
+namespace impress::rp {
+
+void SimExecutor::launch(TaskPtr task, CompletionFn on_complete) {
+  const double now = engine_.now();
+  profiler_.record(now, task->uid(), hpc::events::kExecSetupStart);
+  double setup = overhead_.setup_mean_s;
+  if (setup > 0.0 && overhead_.setup_jitter_sigma > 0.0)
+    setup = rng_.lognormal_mean(setup, overhead_.setup_jitter_sigma);
+  auto& entry = pending_[task->uid()];
+  entry.on_complete = std::move(on_complete);
+  entry.event =
+      engine_.schedule_after(setup, [this, task] { start_phases(task); });
+}
+
+void SimExecutor::start_phases(const TaskPtr& task) {
+  const double start = engine_.now();
+  profiler_.record(start, task->uid(), hpc::events::kExecStart);
+
+  // Draw all phase durations now so the usage intervals and the completion
+  // time agree exactly.
+  double t = start;
+  std::vector<hpc::UsageInterval> intervals;
+  for (const auto& p : task->description().phases) {
+    double d = p.duration_s;
+    if (d > 0.0 && p.jitter_sigma > 0.0) d = rng_.lognormal_mean(d, p.jitter_sigma);
+    intervals.push_back(hpc::UsageInterval{.start = t,
+                                           .end = t + d,
+                                           .cores = p.cores,
+                                           .gpus = p.gpus,
+                                           .cpu_intensity = p.cpu_intensity,
+                                           .gpu_intensity = p.gpu_intensity,
+                                           .task_uid = task->uid()});
+    t += d;
+  }
+
+  const auto it = pending_.find(task->uid());
+  if (it == pending_.end()) return;  // cancelled between events
+  it->second.event = engine_.schedule_at(
+      t, [this, task, intervals = std::move(intervals)]() mutable {
+        // Usage is only recorded when the task actually ran to completion;
+        // a cancelled task never reaches this event.
+        for (auto& iv : intervals) recorder_.record(std::move(iv));
+        finish(task);
+      });
+}
+
+void SimExecutor::finish(const TaskPtr& task) {
+  const auto it = pending_.find(task->uid());
+  if (it == pending_.end()) return;
+  CompletionFn on_complete = std::move(it->second.on_complete);
+  pending_.erase(it);
+
+  const double now = engine_.now();
+  if (task->description().work) {
+    try {
+      task->set_result(task->description().work(*task));
+      task->set_state(TaskState::kDone, now);
+    } catch (const std::exception& e) {
+      task->set_error(e.what());
+      task->set_state(TaskState::kFailed, now);
+    } catch (...) {
+      task->set_error("unknown error");
+      task->set_state(TaskState::kFailed, now);
+    }
+  } else {
+    task->set_state(TaskState::kDone, now);
+  }
+  profiler_.record(now, task->uid(), hpc::events::kExecStop);
+  if (on_complete) on_complete(task);
+}
+
+bool SimExecutor::cancel(const TaskPtr& task) {
+  const auto it = pending_.find(task->uid());
+  if (it == pending_.end()) return false;
+  engine_.cancel(it->second.event);
+  CompletionFn on_complete = std::move(it->second.on_complete);
+  pending_.erase(it);
+  task->set_state(TaskState::kCancelled, engine_.now());
+  profiler_.record(engine_.now(), task->uid(), hpc::events::kExecStop,
+                   "cancelled");
+  if (on_complete) on_complete(task);
+  return true;
+}
+
+}  // namespace impress::rp

@@ -1,0 +1,91 @@
+#include "runtime/task.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace impress::rp {
+
+std::string_view to_string(TaskState s) noexcept {
+  switch (s) {
+    case TaskState::kNew: return "NEW";
+    case TaskState::kSubmitted: return "SUBMITTED";
+    case TaskState::kScheduling: return "SCHEDULING";
+    case TaskState::kExecuting: return "EXECUTING";
+    case TaskState::kDone: return "DONE";
+    case TaskState::kFailed: return "FAILED";
+    case TaskState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+bool is_terminal(TaskState s) noexcept {
+  return s == TaskState::kDone || s == TaskState::kFailed ||
+         s == TaskState::kCancelled;
+}
+
+void TaskDescription::validate_and_normalize() {
+  if (resources.cores == 0 && resources.gpus == 0)
+    throw std::invalid_argument("task '" + name + "': requests no resources");
+  if (phases.empty())
+    phases.push_back(TaskPhase{.name = "run",
+                               .duration_s = 0.0,
+                               .jitter_sigma = 0.0,
+                               .cores = resources.cores,
+                               .gpus = resources.gpus,
+                               .cpu_intensity = 1.0,
+                               .gpu_intensity = 1.0});
+  for (auto& p : phases) {
+    if (p.duration_s < 0.0)
+      throw std::invalid_argument("task '" + name + "': negative duration");
+    if (p.cores > resources.cores || p.gpus > resources.gpus)
+      throw std::invalid_argument("task '" + name +
+                                  "': phase uses more than the allocation");
+    if (p.cpu_intensity < 0.0 || p.cpu_intensity > 1.0 ||
+        p.gpu_intensity < 0.0 || p.gpu_intensity > 1.0)
+      throw std::invalid_argument("task '" + name +
+                                  "': intensity outside [0,1]");
+  }
+}
+
+double TaskDescription::total_duration_s() const noexcept {
+  double t = 0.0;
+  for (const auto& p : phases) t += p.duration_s;
+  return t;
+}
+
+TaskDescription make_simple_task(std::string name, std::uint32_t cores,
+                                 std::uint32_t gpus, double duration_s,
+                                 WorkFn work) {
+  TaskDescription td;
+  td.name = std::move(name);
+  td.resources = hpc::ResourceRequest{.cores = cores, .gpus = gpus, .mem_gb = 0.0};
+  td.phases.push_back(TaskPhase{.name = "run",
+                                .duration_s = duration_s,
+                                .jitter_sigma = 0.0,
+                                .cores = cores,
+                                .gpus = gpus,
+                                .cpu_intensity = 1.0,
+                                .gpu_intensity = 1.0});
+  td.work = std::move(work);
+  return td;
+}
+
+Task::Task(std::string uid, TaskDescription description)
+    : uid_(std::move(uid)), description_(std::move(description)) {
+  description_.validate_and_normalize();
+  for (auto& t : state_times_) t = std::numeric_limits<double>::quiet_NaN();
+  state_times_[static_cast<int>(TaskState::kNew)] = 0.0;
+}
+
+double Task::state_time(TaskState s) const noexcept {
+  return state_times_[static_cast<int>(s)];
+}
+
+void Task::set_state(TaskState s, double now) noexcept {
+  state_.store(s);
+  auto& slot = state_times_[static_cast<int>(s)];
+  if (std::isnan(slot)) slot = now;
+}
+
+}  // namespace impress::rp

@@ -1,0 +1,132 @@
+// Task model of the pilot runtime (RADICAL-Pilot analog).
+//
+// A task is the unit of work the IMPRESS pipelines submit: a resource
+// request (cores/GPUs/memory), one or more execution *phases* with
+// durations and intensities, and a work function — the "science" payload
+// (surrogate ProteinMPNN / AlphaFold call) that produces the task result.
+//
+// Phases model applications whose resource footprint changes over their
+// lifetime: AlphaFold first runs a CPU-bound MSA/feature stage for hours
+// and only then a GPU-bound inference stage [ParaFold, HPCAsia'22]. The
+// allocation is held for the whole task (as a real batch allocation
+// would be) while per-phase intensities drive the *active* utilization
+// accounting that reproduces the paper's Fig 4/5 measurements.
+
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpc/resource_pool.hpp"
+
+namespace impress::rp {
+
+enum class TaskState {
+  kNew,         ///< described, not yet submitted
+  kSubmitted,   ///< accepted by the TaskManager
+  kScheduling,  ///< waiting in an agent scheduler queue
+  kExecuting,   ///< holds an allocation (includes exec-setup time)
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+[[nodiscard]] std::string_view to_string(TaskState s) noexcept;
+[[nodiscard]] bool is_terminal(TaskState s) noexcept;
+
+/// One temporal slice of a task's execution.
+struct TaskPhase {
+  std::string name = "run";
+  double duration_s = 0.0;      ///< mean duration (simulated seconds)
+  double jitter_sigma = 0.0;    ///< lognormal sigma; 0 = deterministic
+  std::uint32_t cores = 0;      ///< cores actively used this phase
+  std::uint32_t gpus = 0;       ///< gpus actively used this phase
+  double cpu_intensity = 1.0;   ///< busy fraction of the used cores [0,1]
+  double gpu_intensity = 1.0;   ///< busy fraction of the used gpus [0,1]
+};
+
+class Task;
+
+/// Science payload. Runs exactly once when the task reaches its final
+/// execution phase; the return value becomes Task::result(). Throwing
+/// moves the task to kFailed with the exception text as the error.
+using WorkFn = std::function<std::any(Task&)>;
+
+struct TaskDescription {
+  std::string name;                     ///< human label, e.g. "af2.NHERF3.c2"
+  hpc::ResourceRequest resources;       ///< allocation held for all phases
+  std::vector<TaskPhase> phases;        ///< executed in order; never empty
+                                        ///< after normalize()
+  WorkFn work;                          ///< may be empty (pure timing task)
+  int priority = 0;                     ///< higher runs earlier (backfill)
+  std::map<std::string, std::string> metadata;  ///< opaque to the runtime
+
+  /// Ensure at least one phase exists and phase usage fits the request.
+  /// Throws std::invalid_argument on inconsistent descriptions.
+  void validate_and_normalize();
+
+  /// Sum of mean phase durations.
+  [[nodiscard]] double total_duration_s() const noexcept;
+};
+
+/// Convenience builder for a single-phase task.
+[[nodiscard]] TaskDescription make_simple_task(std::string name,
+                                               std::uint32_t cores,
+                                               std::uint32_t gpus,
+                                               double duration_s,
+                                               WorkFn work = {});
+
+class Task {
+ public:
+  Task(std::string uid, TaskDescription description);
+
+  [[nodiscard]] const std::string& uid() const noexcept { return uid_; }
+  [[nodiscard]] const TaskDescription& description() const noexcept {
+    return description_;
+  }
+
+  [[nodiscard]] TaskState state() const noexcept { return state_.load(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const std::any& result() const noexcept { return result_; }
+
+  /// Timestamp (seconds) of the first entry into each state; NaN if never.
+  [[nodiscard]] double state_time(TaskState s) const noexcept;
+
+  /// The allocation while executing (empty otherwise).
+  [[nodiscard]] const hpc::Allocation& allocation() const noexcept {
+    return allocation_;
+  }
+
+  /// Typed access to the result; throws std::bad_any_cast on mismatch.
+  template <typename T>
+  [[nodiscard]] const T& result_as() const {
+    return std::any_cast<const T&>(result_);
+  }
+
+  // --- runtime-internal mutators (used by managers/executors) ---
+  void set_state(TaskState s, double now) noexcept;
+  void set_error(std::string msg) { error_ = std::move(msg); }
+  void set_result(std::any r) { result_ = std::move(r); }
+  void set_allocation(hpc::Allocation a) { allocation_ = std::move(a); }
+  void clear_allocation() { allocation_ = {}; }
+
+ private:
+  std::string uid_;
+  TaskDescription description_;
+  // Atomic: executors write the state from worker threads / engine events
+  // while TaskManager::cancel and user code poll it lock-free.
+  std::atomic<TaskState> state_{TaskState::kNew};
+  std::string error_;
+  std::any result_;
+  hpc::Allocation allocation_;
+  double state_times_[7];
+};
+
+using TaskPtr = std::shared_ptr<Task>;
+
+}  // namespace impress::rp

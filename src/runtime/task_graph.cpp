@@ -1,0 +1,179 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace impress::rp {
+
+TaskGraph::NodeId TaskGraph::add(TaskDescription description) {
+  description.validate_and_normalize();
+  nodes_.push_back(NodeSpec{std::move(description), {}, 0});
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::add_edge(NodeId before, NodeId after) {
+  if (before >= nodes_.size() || after >= nodes_.size())
+    throw std::out_of_range("TaskGraph::add_edge: unknown node id");
+  if (before == after)
+    throw std::invalid_argument("TaskGraph::add_edge: self-dependency");
+  auto& deps = nodes_[before].dependents;
+  if (std::find(deps.begin(), deps.end(), after) != deps.end()) return;
+  deps.push_back(after);
+  ++nodes_[after].indegree;
+}
+
+void TaskGraph::validate() const {
+  // Kahn's algorithm: if a topological order covers every node, no cycle.
+  std::vector<std::size_t> indegree(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    indegree[i] = nodes_[i].indegree;
+  std::deque<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (indegree[i] == 0) ready.push_back(i);
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (const NodeId d : nodes_[id].dependents)
+      if (--indegree[d] == 0) ready.push_back(d);
+  }
+  if (visited != nodes_.size())
+    throw std::invalid_argument("TaskGraph: dependency cycle detected");
+}
+
+std::shared_ptr<TaskGraph::Execution> TaskGraph::run(TaskManager& tmgr) const {
+  validate();
+  auto exec = std::make_shared<Execution>();
+  exec->nodes_.reserve(nodes_.size());
+  for (const auto& spec : nodes_) {
+    Execution::Node node;
+    node.description = spec.description;
+    node.dependents = spec.dependents;
+    node.indegree = spec.indegree;
+    exec->nodes_.push_back(std::move(node));
+  }
+  exec->remaining_ = exec->nodes_.size();
+
+  // The callback must keep the execution alive even if the caller drops
+  // its handle mid-flight.
+  tmgr.add_callback([exec, &tmgr](const TaskPtr& task) {
+    exec->on_terminal(task, tmgr);
+  });
+  exec->submit_ready(tmgr);
+  return exec;
+}
+
+void TaskGraph::Execution::submit_ready(TaskManager& tmgr) {
+  // Collect ready nodes under the lock, submit outside it (submission
+  // can complete synchronously in degenerate setups and re-enter).
+  std::vector<NodeId> ready;
+  {
+    std::lock_guard lock(mutex_);
+    for (NodeId id = 0; id < nodes_.size(); ++id)
+      if (nodes_[id].state == NodeState::kPending && nodes_[id].indegree == 0) {
+        nodes_[id].state = NodeState::kSubmitted;
+        ready.push_back(id);
+      }
+  }
+  for (const NodeId id : ready) {
+    TaskDescription td;
+    {
+      std::lock_guard lock(mutex_);
+      td = nodes_[id].description;
+    }
+    const TaskPtr task = tmgr.submit(std::move(td));
+    std::lock_guard lock(mutex_);
+    nodes_[id].task = task;
+    by_uid_[task->uid()] = id;
+  }
+}
+
+void TaskGraph::Execution::skip_dependents(NodeId id) {
+  // Called with mutex_ held. BFS over the dependent closure.
+  std::deque<NodeId> queue(nodes_[id].dependents.begin(),
+                           nodes_[id].dependents.end());
+  while (!queue.empty()) {
+    const NodeId d = queue.front();
+    queue.pop_front();
+    auto& node = nodes_[d];
+    if (node.state != NodeState::kPending) continue;
+    node.state = NodeState::kSkipped;
+    --remaining_;
+    queue.insert(queue.end(), node.dependents.begin(), node.dependents.end());
+  }
+}
+
+void TaskGraph::Execution::on_terminal(const TaskPtr& task, TaskManager& tmgr) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = by_uid_.find(task->uid());
+    if (it == by_uid_.end()) return;  // not one of ours
+    const NodeId id = it->second;
+    auto& node = nodes_[id];
+    --remaining_;
+    if (task->state() == TaskState::kDone) {
+      node.state = NodeState::kDone;
+      for (const NodeId d : node.dependents) {
+        if (nodes_[d].indegree > 0) --nodes_[d].indegree;
+      }
+    } else {
+      node.state = NodeState::kFailed;
+      skip_dependents(id);
+    }
+  }
+  submit_ready(tmgr);
+}
+
+TaskPtr TaskGraph::Execution::task(NodeId id) const {
+  std::lock_guard lock(mutex_);
+  return nodes_.at(id).task;
+}
+
+TaskGraph::Execution::NodeState TaskGraph::Execution::state(NodeId id) const {
+  std::lock_guard lock(mutex_);
+  return nodes_.at(id).state;
+}
+
+bool TaskGraph::Execution::finished() const {
+  std::lock_guard lock(mutex_);
+  return remaining_ == 0;
+}
+
+bool TaskGraph::Execution::failed() const {
+  std::lock_guard lock(mutex_);
+  for (const auto& n : nodes_)
+    if (n.state == NodeState::kFailed || n.state == NodeState::kSkipped)
+      return true;
+  return false;
+}
+
+std::size_t TaskGraph::Execution::done_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (node.state == NodeState::kDone) ++n;
+  return n;
+}
+
+std::size_t TaskGraph::Execution::skipped_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (node.state == NodeState::kSkipped) ++n;
+  return n;
+}
+
+TaskGraph make_chain(std::vector<TaskDescription> stages) {
+  TaskGraph graph;
+  TaskGraph::NodeId prev = 0;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto id = graph.add(std::move(stages[i]));
+    if (i > 0) graph.add_edge(prev, id);
+    prev = id;
+  }
+  return graph;
+}
+
+}  // namespace impress::rp

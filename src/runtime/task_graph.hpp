@@ -1,0 +1,102 @@
+// Task graphs: explicit dependencies over runtime tasks.
+//
+// RADICAL-Pilot "does not provide an abstraction of a pipeline nor a
+// workflow" (paper §II-D) — the IMPRESS authors built a Pipeline class on
+// top of raw tasks. This is the general form of that layer: a DAG of task
+// descriptions where each node is submitted the moment its predecessors
+// complete. The IMPRESS coordinator keeps its bespoke state machine (its
+// edges depend on results, not just completion), but linear stages,
+// fan-out/fan-in ensembles and analysis postprocessing map directly onto
+// a TaskGraph.
+//
+// Failure semantics: when a node fails (or is cancelled), every
+// transitive dependent is *skipped* — never submitted — and the execution
+// still terminates. Independent branches keep running.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "runtime/task_manager.hpp"
+
+namespace impress::rp {
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// Add a node; returns its id (dense, starting at 0).
+  NodeId add(TaskDescription description);
+
+  /// Declare that `before` must complete before `after` starts.
+  /// Throws std::out_of_range for unknown ids and std::invalid_argument
+  /// for self-edges. Duplicate edges are idempotent.
+  void add_edge(NodeId before, NodeId after);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Validate acyclicity; throws std::invalid_argument on a cycle.
+  void validate() const;
+
+  /// Live view of one graph execution.
+  class Execution {
+   public:
+    enum class NodeState { kPending, kSubmitted, kDone, kFailed, kSkipped };
+
+    /// Task handle for a node (null until submitted).
+    [[nodiscard]] TaskPtr task(NodeId id) const;
+    [[nodiscard]] NodeState state(NodeId id) const;
+    /// True once every node is kDone/kFailed/kSkipped.
+    [[nodiscard]] bool finished() const;
+    /// True if any node failed or was skipped.
+    [[nodiscard]] bool failed() const;
+    [[nodiscard]] std::size_t done_count() const;
+    [[nodiscard]] std::size_t skipped_count() const;
+
+   private:
+    friend class TaskGraph;
+    struct Node {
+      TaskDescription description;
+      std::vector<NodeId> dependents;
+      std::size_t indegree = 0;
+      TaskPtr task;
+      NodeState state = NodeState::kPending;
+    };
+
+    void submit_ready(TaskManager& tmgr);
+    void on_terminal(const TaskPtr& task, TaskManager& tmgr);
+    void skip_dependents(NodeId id);
+
+    mutable std::mutex mutex_;
+    std::vector<Node> nodes_;
+    std::unordered_map<std::string, NodeId> by_uid_;
+    std::size_t remaining_ = 0;
+  };
+
+  /// Start executing on `tmgr`. Non-blocking: drive the session to
+  /// completion as usual (Session::run()). The returned Execution stays
+  /// valid as long as the shared_ptr lives; the graph itself can be
+  /// reused for further runs.
+  [[nodiscard]] std::shared_ptr<Execution> run(TaskManager& tmgr) const;
+
+ private:
+  struct NodeSpec {
+    TaskDescription description;
+    std::vector<NodeId> dependents;
+    std::size_t indegree = 0;
+  };
+  std::vector<NodeSpec> nodes_;
+};
+
+/// Convenience: a linear chain of task descriptions (stage_i -> stage_i+1),
+/// the shape of one IMPRESS pipeline cycle.
+[[nodiscard]] TaskGraph make_chain(std::vector<TaskDescription> stages);
+
+}  // namespace impress::rp

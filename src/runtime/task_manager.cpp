@@ -1,0 +1,139 @@
+#include "runtime/task_manager.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace impress::rp {
+
+TaskManager::TaskManager(common::UidGenerator& uids, hpc::Profiler& profiler,
+                         std::function<double()> now_fn)
+    : uids_(uids), profiler_(profiler), now_(std::move(now_fn)) {}
+
+void TaskManager::add_pilot(PilotPtr pilot) {
+  std::lock_guard lock(mutex_);
+  pilots_.push_back(std::move(pilot));
+}
+
+PilotPtr TaskManager::route(const TaskDescription& td) {
+  // Least-loaded (queued + running) among pilots that can ever fit.
+  PilotPtr best;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (const auto& p : pilots_) {
+    if (p->state() == PilotState::kDone) continue;
+    if (!p->pool().fits_ever(td.resources)) continue;
+    const std::size_t load = p->queue_length() + p->running();
+    if (load < best_load) {
+      best_load = load;
+      best = p;
+    }
+  }
+  return best;
+}
+
+TaskPtr TaskManager::submit(TaskDescription description) {
+  PilotPtr pilot;
+  TaskPtr task;
+  {
+    std::lock_guard lock(mutex_);
+    pilot = route(description);
+    if (!pilot)
+      throw std::runtime_error("TaskManager: no pilot can run task '" +
+                               description.name + "'");
+    task = std::make_shared<Task>(uids_.next("task"), std::move(description));
+    task->set_state(TaskState::kSubmitted, now_());
+    profiler_.record(now_(), task->uid(), hpc::events::kSubmit,
+                     task->description().name);
+    task_pilot_[task->uid()] = pilot;
+    ++outstanding_;
+    ++submitted_;
+  }
+  IMPRESS_LOG(kDebug, "tmgr") << "submit " << task->uid() << " ('"
+                              << task->description().name << "') -> "
+                              << pilot->uid();
+  pilot->enqueue(task);
+  return task;
+}
+
+std::vector<TaskPtr> TaskManager::submit(std::vector<TaskDescription> descriptions) {
+  std::vector<TaskPtr> out;
+  out.reserve(descriptions.size());
+  for (auto& d : descriptions) out.push_back(submit(std::move(d)));
+  return out;
+}
+
+std::size_t TaskManager::add_callback(Callback cb) {
+  std::lock_guard lock(mutex_);
+  callbacks_.push_back(std::move(cb));
+  return callbacks_.size() - 1;
+}
+
+bool TaskManager::cancel(const TaskPtr& task) {
+  if (is_terminal(task->state())) return false;
+  PilotPtr pilot;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = task_pilot_.find(task->uid());
+    if (it == task_pilot_.end()) return false;
+    pilot = it->second;
+  }
+  return pilot->cancel(task);
+}
+
+std::size_t TaskManager::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return outstanding_;
+}
+
+std::size_t TaskManager::submitted() const {
+  std::lock_guard lock(mutex_);
+  return submitted_;
+}
+
+std::size_t TaskManager::done() const {
+  std::lock_guard lock(mutex_);
+  return done_;
+}
+
+std::size_t TaskManager::failed() const {
+  std::lock_guard lock(mutex_);
+  return failed_;
+}
+
+std::size_t TaskManager::cancelled() const {
+  std::lock_guard lock(mutex_);
+  return cancelled_;
+}
+
+void TaskManager::wait_all() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+CompletionFn TaskManager::terminal_handler() {
+  return [this](const TaskPtr& task) { on_terminal(task); };
+}
+
+void TaskManager::on_terminal(const TaskPtr& task) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard lock(mutex_);
+    task_pilot_.erase(task->uid());
+    if (outstanding_ > 0) --outstanding_;
+    switch (task->state()) {
+      case TaskState::kDone: ++done_; break;
+      case TaskState::kFailed: ++failed_; break;
+      case TaskState::kCancelled: ++cancelled_; break;
+      default: break;
+    }
+    callbacks = callbacks_;  // snapshot: callbacks may submit more tasks
+  }
+  // Run callbacks before waking waiters: a callback that submits
+  // follow-on work bumps `outstanding_` back up, so wait_all() does not
+  // return in the middle of an adaptive campaign.
+  for (const auto& cb : callbacks) cb(task);
+  idle_cv_.notify_all();
+}
+
+}  // namespace impress::rp

@@ -1,0 +1,86 @@
+// TaskManager: the client-facing entry point of the runtime.
+//
+// Mirrors RP's TaskManager: accepts task descriptions, assigns uids,
+// routes tasks to pilots (least-loaded among the pilots that can ever fit
+// the request), and fires user callbacks when tasks reach a terminal
+// state. The IMPRESS coordinator registers one callback that feeds its
+// completed-task channel.
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/uid.hpp"
+#include "hpc/profiler.hpp"
+#include "runtime/pilot.hpp"
+#include "runtime/task.hpp"
+
+namespace impress::rp {
+
+class TaskManager {
+ public:
+  /// Fired once per task when it becomes kDone / kFailed / kCancelled.
+  using Callback = std::function<void(const TaskPtr&)>;
+
+  TaskManager(common::UidGenerator& uids, hpc::Profiler& profiler,
+              std::function<double()> now_fn);
+
+  /// Register a pilot as a routing target. The session wires the pilot's
+  /// terminal notifications back to this manager.
+  void add_pilot(PilotPtr pilot);
+
+  /// Submit one task; returns the live Task handle.
+  /// Throws std::runtime_error if no registered pilot can ever fit it.
+  TaskPtr submit(TaskDescription description);
+  std::vector<TaskPtr> submit(std::vector<TaskDescription> descriptions);
+
+  /// Register a terminal-state callback; returns its registration id.
+  std::size_t add_callback(Callback cb);
+
+  /// Cancel a submitted task (queued or executing). Returns false if the
+  /// task is already terminal.
+  bool cancel(const TaskPtr& task);
+
+  /// Tasks submitted but not yet terminal.
+  [[nodiscard]] std::size_t outstanding() const;
+
+  /// Counters over everything ever submitted.
+  [[nodiscard]] std::size_t submitted() const;
+  [[nodiscard]] std::size_t done() const;
+  [[nodiscard]] std::size_t failed() const;
+  [[nodiscard]] std::size_t cancelled() const;
+
+  /// Block the calling thread until outstanding() == 0. Only meaningful
+  /// with the threaded executor — with the simulated executor use
+  /// Session::run(), which drives the event loop instead of blocking.
+  void wait_all();
+
+  /// The handler the session installs on each pilot.
+  [[nodiscard]] CompletionFn terminal_handler();
+
+ private:
+  void on_terminal(const TaskPtr& task);
+  PilotPtr route(const TaskDescription& td);
+
+  common::UidGenerator& uids_;
+  hpc::Profiler& profiler_;
+  std::function<double()> now_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::vector<PilotPtr> pilots_;
+  std::vector<Callback> callbacks_;
+  std::unordered_map<std::string, PilotPtr> task_pilot_;
+  std::size_t outstanding_ = 0;
+  std::size_t submitted_ = 0;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace impress::rp

@@ -1,0 +1,94 @@
+#include "runtime/thread_executor.hpp"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace impress::rp {
+
+void ThreadExecutor::sleep_scaled(double sim_seconds) const {
+  if (sim_seconds <= 0.0) return;
+  const auto wall = std::chrono::duration<double>(sim_seconds * time_scale_);
+  std::this_thread::sleep_for(wall);
+}
+
+void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
+  // Draw jitter on the caller's thread (serialized by the pilot lock) so
+  // the Rng needs no synchronization.
+  double setup = overhead_.setup_mean_s;
+  if (setup > 0.0 && overhead_.setup_jitter_sigma > 0.0)
+    setup = rng_.lognormal_mean(setup, overhead_.setup_jitter_sigma);
+  std::vector<double> durations;
+  durations.reserve(task->description().phases.size());
+  for (const auto& p : task->description().phases) {
+    double d = p.duration_s;
+    if (d > 0.0 && p.jitter_sigma > 0.0) d = rng_.lognormal_mean(d, p.jitter_sigma);
+    durations.push_back(d);
+  }
+
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard lock(mutex_);
+    cancel_flags_[task->uid()] = flag;
+  }
+
+  pool_.submit([this, task = std::move(task), on_complete = std::move(on_complete),
+                setup, durations = std::move(durations), flag] {
+    profiler_.record(now_(), task->uid(), hpc::events::kExecSetupStart);
+    sleep_scaled(setup);
+    profiler_.record(now_(), task->uid(), hpc::events::kExecStart);
+
+    bool cancelled = false;
+    const auto& phases = task->description().phases;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (flag->load()) {
+        cancelled = true;
+        break;
+      }
+      const double t0 = now_();
+      sleep_scaled(durations[i]);
+      recorder_.record(hpc::UsageInterval{.start = t0,
+                                          .end = now_(),
+                                          .cores = phases[i].cores,
+                                          .gpus = phases[i].gpus,
+                                          .cpu_intensity = phases[i].cpu_intensity,
+                                          .gpu_intensity = phases[i].gpu_intensity,
+                                          .task_uid = task->uid()});
+    }
+
+    const double now = now_();
+    if (cancelled) {
+      task->set_state(TaskState::kCancelled, now);
+    } else if (task->description().work) {
+      try {
+        task->set_result(task->description().work(*task));
+        task->set_state(TaskState::kDone, now);
+      } catch (const std::exception& e) {
+        task->set_error(e.what());
+        task->set_state(TaskState::kFailed, now);
+      } catch (...) {
+        task->set_error("unknown error");
+        task->set_state(TaskState::kFailed, now);
+      }
+    } else {
+      task->set_state(TaskState::kDone, now);
+    }
+    profiler_.record(now_(), task->uid(), hpc::events::kExecStop);
+    {
+      std::lock_guard lock(mutex_);
+      cancel_flags_.erase(task->uid());
+    }
+    if (on_complete) on_complete(task);
+  });
+}
+
+bool ThreadExecutor::cancel(const TaskPtr& task) {
+  std::lock_guard lock(mutex_);
+  const auto it = cancel_flags_.find(task->uid());
+  if (it == cancel_flags_.end()) return false;
+  it->second->store(true);
+  return true;
+}
+
+}  // namespace impress::rp

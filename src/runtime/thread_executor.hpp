@@ -1,0 +1,59 @@
+// Real-concurrency executor: runs tasks on a worker pool with wall-clock
+// delays scaled from simulated seconds. Validates that the middleware
+// (scheduler, channels, coordinator) behaves correctly under genuine
+// parallelism, races and all; campaign *figures* use SimExecutor instead.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "hpc/profiler.hpp"
+#include "hpc/utilization.hpp"
+#include "runtime/executor.hpp"
+
+namespace impress::rp {
+
+class ThreadExecutor : public Executor {
+ public:
+  /// `time_scale` converts simulated seconds to wall seconds for sleeps
+  /// (e.g. 1e-4 runs a 1-hour task in 0.36 s). `now_fn` reads the session
+  /// clock in simulated seconds.
+  ThreadExecutor(common::ThreadPool& pool, hpc::Profiler& profiler,
+                 hpc::UtilizationRecorder& recorder,
+                 ExecOverheadModel overhead, common::Rng rng,
+                 double time_scale, std::function<double()> now_fn)
+      : pool_(pool),
+        profiler_(profiler),
+        recorder_(recorder),
+        overhead_(overhead),
+        rng_(rng),
+        time_scale_(time_scale),
+        now_(std::move(now_fn)) {}
+
+  void launch(TaskPtr task, CompletionFn on_complete) override;
+
+  /// Cooperative cancel: takes effect at the next phase boundary.
+  bool cancel(const TaskPtr& task) override;
+
+ private:
+  void sleep_scaled(double sim_seconds) const;
+
+  common::ThreadPool& pool_;
+  hpc::Profiler& profiler_;
+  hpc::UtilizationRecorder& recorder_;
+  ExecOverheadModel overhead_;
+  common::Rng rng_;
+  double time_scale_;
+  std::function<double()> now_;
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<std::atomic<bool>>> cancel_flags_;
+};
+
+}  // namespace impress::rp

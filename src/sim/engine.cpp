@@ -1,0 +1,74 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace impress::sim {
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    const auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    now_ = ev.time;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime t_end) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_) {
+    // Peek past cancelled entries to find the next live event time.
+    bool found = false;
+    while (!queue_.empty()) {
+      if (callbacks_.contains(queue_.top().id)) {
+        found = true;
+        break;
+      }
+      queue_.pop();
+    }
+    if (!found || queue_.top().time > t_end) break;
+    step();
+    ++n;
+  }
+  // Even if no event fires at t_end, time advances to it — unless an
+  // event called stop(), in which case the clock stays where it halted.
+  if (!stopped_) now_ = std::max(now_, t_end);
+  return n;
+}
+
+}  // namespace impress::sim

@@ -1,0 +1,71 @@
+#include "common/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace impress::common {
+namespace {
+
+TEST(BarChart, RendersTitleSeriesAndValues) {
+  BarChart chart("pTM", "0-1");
+  chart.add_group({"iter 1",
+                   {{"CONT-V", 0.5, 0.05}, {"IM-RP", 0.8, 0.02}}});
+  const auto out = chart.render(20);
+  EXPECT_NE(out.find("## pTM [0-1]"), std::string::npos);
+  EXPECT_NE(out.find("CONT-V"), std::string::npos);
+  EXPECT_NE(out.find("IM-RP"), std::string::npos);
+  EXPECT_NE(out.find("0.80"), std::string::npos);
+  EXPECT_NE(out.find("+/- 0.05"), std::string::npos);
+}
+
+TEST(BarChart, LargestValueSpansFullWidth) {
+  BarChart chart("t", "");
+  chart.add_group({"g", {{"a", 10.0, 0.0}, {"b", 5.0, 0.0}}});
+  const auto out = chart.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####     "), std::string::npos);
+}
+
+TEST(BarChart, ZeroErrorHidesAnnotation) {
+  BarChart chart("t", "");
+  chart.add_group({"g", {{"a", 1.0, 0.0}}});
+  EXPECT_EQ(chart.render().find("+/-"), std::string::npos);
+}
+
+TEST(BarChart, AllZeroValuesDoNotCrash) {
+  BarChart chart("t", "");
+  chart.add_group({"g", {{"a", 0.0, 0.0}}});
+  const auto out = chart.render(10);
+  EXPECT_NE(out.find("0.00"), std::string::npos);
+}
+
+TEST(TimelineChart, RendersRowsAxisAndAverages) {
+  TimelineChart chart("util", 27.7);
+  chart.add_row({"CPU", {0.0, 0.5, 1.0, 0.5}});
+  chart.add_row({"GPU", {0.0, 0.0, 0.1, 0.0}});
+  const auto out = chart.render();
+  EXPECT_NE(out.find("## util"), std::string::npos);
+  EXPECT_NE(out.find("CPU"), std::string::npos);
+  EXPECT_NE(out.find("GPU"), std::string::npos);
+  EXPECT_NE(out.find("avg 50.0%"), std::string::npos);
+  EXPECT_NE(out.find("27.7h"), std::string::npos);
+}
+
+TEST(TimelineChart, IntensityRampUsesExpectedCharacters) {
+  TimelineChart chart("t", 1.0);
+  chart.add_row({"r", {0.0, 0.95, 1.0}});
+  const auto out = chart.render();
+  // 0 -> space, >=0.9 -> '@'.
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(TimelineChart, ClampsOutOfRangeValues) {
+  TimelineChart chart("t", 1.0);
+  chart.add_row({"r", {-0.5, 1.7}});
+  const auto out = chart.render();
+  EXPECT_FALSE(out.empty());  // no crash; avg clamp is rendering-side only
+}
+
+}  // namespace
+}  // namespace impress::common

@@ -1,0 +1,187 @@
+#include "common/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace impress::common {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Channel, SendThenReceive) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.send(42));
+  const auto v = ch.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ch.receive().value(), i);
+}
+
+TEST(Channel, TryReceiveEmptyIsNullopt) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, TrySendRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, UnboundedNeverRefusesTrySend) {
+  Channel<int> ch(0);
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(ch.try_send(i));
+  EXPECT_EQ(ch.size(), 10000u);
+}
+
+TEST(Channel, CloseWakesReceivers) {
+  Channel<int> ch;
+  std::thread receiver([&] {
+    const auto v = ch.receive();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(10ms);
+  ch.close();
+  receiver.join();
+}
+
+TEST(Channel, CloseDrainsBeforeFailing) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_EQ(ch.receive().value(), 2);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, SendAfterCloseFails) {
+  Channel<int> ch;
+  ch.close();
+  EXPECT_FALSE(ch.send(1));
+  EXPECT_FALSE(ch.try_send(1));
+}
+
+TEST(Channel, CloseIsIdempotent) {
+  Channel<int> ch;
+  ch.close();
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, ReceiveForTimesOut) {
+  Channel<int> ch;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto v = ch.receive_for(30ms);
+  EXPECT_FALSE(v.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+}
+
+TEST(Channel, ReceiveForGetsValueEarly) {
+  Channel<int> ch;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(10ms);
+    ch.send(5);
+  });
+  const auto v = ch.receive_for(2s);
+  sender.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Channel, BlockingSendUnblocksWhenSpaceFrees) {
+  Channel<int> ch(1);
+  ch.send(1);
+  std::atomic<bool> sent{false};
+  std::thread sender([&] {
+    ch.send(2);  // blocks until a receive frees space
+    sent = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(sent.load());
+  EXPECT_EQ(ch.receive().value(), 1);
+  sender.join();
+  EXPECT_TRUE(sent.load());
+  EXPECT_EQ(ch.receive().value(), 2);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch;
+  ch.send(std::make_unique<int>(9));
+  auto v = ch.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 9);
+}
+
+TEST(Channel, MpmcAllItemsDeliveredExactlyOnce) {
+  Channel<int> ch(64);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.send(p * kPerProducer + i);
+    });
+
+  std::atomic<long> total{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      while (auto v = ch.receive()) {
+        total += *v;
+        ++count;
+      }
+    });
+
+  for (auto& t : producers) t.join();
+  ch.close();
+  for (auto& t : consumers) t.join();
+
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(total.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+// Property sweep over capacities: conservation under concurrency.
+class ChannelCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelCapacitySweep, NoLossNoDuplication) {
+  Channel<int> ch(GetParam());
+  constexpr int kItems = 3000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ch.send(i);
+    ch.close();
+  });
+  std::vector<char> seen(kItems, 0);
+  int received = 0;
+  while (auto v = ch.receive()) {
+    ASSERT_GE(*v, 0);
+    ASSERT_LT(*v, kItems);
+    EXPECT_EQ(seen[*v], 0);
+    seen[*v] = 1;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kItems);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ChannelCapacitySweep,
+                         ::testing::Values(0u, 1u, 2u, 16u, 1024u));
+
+}  // namespace
+}  // namespace impress::common

@@ -1,0 +1,75 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace impress::common {
+namespace {
+
+TEST(Histogram, ConstructionValidates) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0) + h.count(1), 0u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, AddAllFromSpan) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> xs{0.5, 1.5, 1.6, 3.9};
+  h.add_all(xs);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, RenderShowsBarsAndCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto out = h.render(10, "s");
+  EXPECT_NE(out.find("##########"), std::string::npos);  // fullest bin
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("s |"), std::string::npos);
+}
+
+TEST(Histogram, RenderEmptyDoesNotDivideByZero) {
+  const Histogram h(0.0, 1.0, 3);
+  const auto out = h.render();
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace impress::common

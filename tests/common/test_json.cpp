@@ -1,0 +1,187 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace impress::common {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3.5).dump(), "-3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::size_t{7}).dump(), "7");
+}
+
+TEST(Json, IntegralDoublesPrintWithoutDecimals) {
+  EXPECT_EQ(Json(100.0).dump(), "100");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json j(Json::Array{Json(1), Json("two"), Json(nullptr)});
+  EXPECT_EQ(j.dump(), "[1,\"two\",null]");
+  Json obj(Json::Object{{"b", Json(2)}, {"a", Json(1)}});
+  // std::map orders keys.
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json(Json::Array{}).dump(), "[]");
+  EXPECT_EQ(Json(Json::Object{}).dump(), "{}");
+}
+
+TEST(Json, PrettyPrint) {
+  Json obj(Json::Object{{"a", Json(Json::Array{Json(1), Json(2)})}});
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-2e3").as_number(), -2000.0);
+  EXPECT_EQ(Json::parse("\"x\"").as_string(), "x");
+}
+
+TEST(Json, ParseNested) {
+  const auto j = Json::parse(R"({"a": [1, {"b": "c"}], "d": null})");
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("a").at(0).as_number(), 1.0);
+  EXPECT_EQ(j.at("a").at(1).at("b").as_string(), "c");
+  EXPECT_TRUE(j.at("d").is_null());
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zzz"));
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const auto j = Json::parse("  {\n\t\"a\" :\r [ ] }  ");
+  EXPECT_TRUE(j.at("a").is_array());
+}
+
+TEST(Json, ParseStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb\t\"\\")").as_string(), "a\nb\t\"\\");
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("1 2"), std::invalid_argument);  // trailing
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("01x"), std::invalid_argument);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j(42);
+  EXPECT_THROW((void)j.as_string(), std::bad_variant_access);
+  EXPECT_THROW((void)j.at("k"), std::bad_variant_access);
+}
+
+TEST(Json, RoundTripComplexDocument) {
+  Json doc(Json::Object{
+      {"name", Json("IM-RP")},
+      {"values", Json(Json::Array{Json(1.5), Json(-0.25), Json(1e-9)})},
+      {"nested", Json(Json::Object{{"flag", Json(true)},
+                                   {"text", Json("line1\nline2")}})},
+      {"empty_arr", Json(Json::Array{})},
+      {"empty_obj", Json(Json::Object{})},
+  });
+  for (int indent : {0, 2, 4}) {
+    const auto parsed = Json::parse(doc.dump(indent));
+    EXPECT_EQ(parsed, doc) << "indent=" << indent;
+  }
+}
+
+// Property fuzz: randomly generated documents round-trip through dump()
+// and parse() at every indentation.
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace fuzz {
+
+Json random_value(std::uint64_t& state, int depth) {
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(state >> 33);
+  };
+  const auto kind = next() % (depth > 3 ? 4u : 6u);
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(next() % 2 == 0);
+    case 2:
+      return Json((static_cast<double>(next()) - 2147483648.0) / 1024.0);
+    case 3: {
+      std::string s;
+      const auto len = next() % 12;
+      for (std::uint32_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>(' ' + next() % 94));
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json::Array a;
+      const auto len = next() % 5;
+      for (std::uint32_t i = 0; i < len; ++i)
+        a.push_back(random_value(state, depth + 1));
+      return Json(std::move(a));
+    }
+    default: {
+      Json::Object o;
+      const auto len = next() % 5;
+      for (std::uint32_t i = 0; i < len; ++i)
+        o.emplace("k" + std::to_string(next() % 100),
+                  random_value(state, depth + 1));
+      return Json(std::move(o));
+    }
+  }
+}
+
+}  // namespace fuzz
+
+TEST_P(JsonFuzz, RoundTripAnyDocument) {
+  std::uint64_t state = GetParam() * 0x9e3779b97f4a7c15ULL + 1;
+  for (int i = 0; i < 30; ++i) {
+    const Json doc = fuzz::random_value(state, 0);
+    for (int indent : {0, 2}) {
+      const Json back = Json::parse(doc.dump(indent));
+      EXPECT_EQ(back, doc);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Json, EqualityIsDeep) {
+  const auto a = Json::parse(R"({"x":[1,2,{"y":true}]})");
+  const auto b = Json::parse(R"({ "x" : [ 1, 2, { "y" : true } ] })");
+  EXPECT_EQ(a, b);
+  const auto c = Json::parse(R"({"x":[1,2,{"y":false}]})");
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace impress::common

@@ -1,0 +1,73 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace impress::common {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Logging, SuppressedLevelsDoNotEvaluateStream) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  bool evaluated = false;
+  auto probe = [&] {
+    evaluated = true;
+    return "x";
+  };
+  IMPRESS_LOG(kDebug, "test") << probe();
+  EXPECT_FALSE(evaluated);
+}
+
+TEST(Logging, EnabledLevelEvaluatesStream) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  bool evaluated = false;
+  auto probe = [&] {
+    evaluated = true;
+    return "x";
+  };
+  IMPRESS_LOG(kError, "test") << probe();
+  EXPECT_TRUE(evaluated);
+}
+
+TEST(Logging, ConcurrentLoggingDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);  // exercise the code path quietly
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i)
+        log(LogLevel::kDebug, "component", "message");
+    });
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace impress::common

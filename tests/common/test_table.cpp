@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impress::common {
+namespace {
+
+TEST(Table, RendersHeaderAndSeparator) {
+  Table t({"name", "value"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, PadsColumnsToWidestCell) {
+  Table t({"a"});
+  t.add_row({"longcell"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| longcell |"), std::string::npos);
+  EXPECT_NE(out.find("| a        |"), std::string::npos);
+}
+
+TEST(Table, RightAlignment) {
+  Table t({"n"});
+  t.set_align(0, Table::Align::kRight);
+  t.add_row({"5"});
+  t.add_row({"12345"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("|     5 |"), std::string::npos);
+  // Right-aligned columns get the markdown ':' marker.
+  EXPECT_NE(out.find("-:|"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  const auto out = t.render();
+  // Three pipes worth of columns on the data row.
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, LongRowsExtendColumns) {
+  Table t({"a"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"x", "y"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, LineCountMatchesRows) {
+  Table t({"h"});
+  t.add_row({"r1"});
+  t.add_row({"r2"});
+  const auto out = t.render();
+  const auto lines = static_cast<std::size_t>(
+      std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(lines, 4u);  // header + separator + 2 rows
+}
+
+}  // namespace
+}  // namespace impress::common

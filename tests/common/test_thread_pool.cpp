@@ -1,0 +1,107 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace impress::common {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ForwardsArguments) {
+  ThreadPool pool(1);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 3, 4);
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] {
+      const int r = ++running;
+      int p = peak.load();
+      while (r > p && !peak.compare_exchange_weak(p, r)) {
+      }
+      std::this_thread::sleep_for(20ms);
+      --running;
+    });
+  pool.wait_idle();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&] {
+        std::this_thread::sleep_for(1ms);
+        ++counter;
+      });
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 64, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+class ThreadPoolWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadPoolWidthSweep, SumReduction) {
+  ThreadPool pool(GetParam());
+  std::atomic<long> sum{0};
+  parallel_for(pool, 500, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThreadPoolWidthSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace impress::common

@@ -1,0 +1,57 @@
+#include "common/uid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace impress::common {
+namespace {
+
+TEST(UidGenerator, SequentialPerNamespace) {
+  UidGenerator gen;
+  EXPECT_EQ(gen.next("task"), "task.000000");
+  EXPECT_EQ(gen.next("task"), "task.000001");
+  EXPECT_EQ(gen.next("pilot"), "pilot.000000");
+  EXPECT_EQ(gen.next("task"), "task.000002");
+}
+
+TEST(UidGenerator, CountTracksIssued) {
+  UidGenerator gen;
+  EXPECT_EQ(gen.count("task"), 0u);
+  (void)gen.next("task");
+  (void)gen.next("task");
+  EXPECT_EQ(gen.count("task"), 2u);
+  EXPECT_EQ(gen.count("other"), 0u);
+}
+
+TEST(UidGenerator, IndependentInstances) {
+  UidGenerator a, b;
+  EXPECT_EQ(a.next("t"), "t.000000");
+  EXPECT_EQ(b.next("t"), "t.000000");
+}
+
+TEST(UidGenerator, ThreadSafeUniqueness) {
+  UidGenerator gen;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::string>> results(4);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) results[t].push_back(gen.next("task"));
+    });
+  for (auto& t : threads) t.join();
+  std::set<std::string> all;
+  for (const auto& r : results) all.insert(r.begin(), r.end());
+  EXPECT_EQ(all.size(), 2000u);
+  EXPECT_EQ(gen.count("task"), 2000u);
+}
+
+TEST(UidNamespace, ExtractsPrefix) {
+  EXPECT_EQ(uid_namespace("task.000042"), "task");
+  EXPECT_EQ(uid_namespace("a.b.000001"), "a.b");
+  EXPECT_EQ(uid_namespace("nodot"), "nodot");
+}
+
+}  // namespace
+}  // namespace impress::common

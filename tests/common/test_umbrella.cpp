@@ -1,0 +1,22 @@
+// The umbrella header must compile standalone and expose the whole API.
+
+#include "impress.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EveryModuleReachable) {
+  // One symbol from each namespace proves the include set is complete.
+  EXPECT_EQ(impress::common::stable_hash("x"), impress::common::stable_hash("x"));
+  impress::sim::Engine engine;
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(impress::hpc::amarel_node().cores, 28u);
+  EXPECT_EQ(impress::rp::to_string(impress::rp::TaskState::kDone), "DONE");
+  EXPECT_EQ(impress::protein::alpha_synuclein().size(), 140u);
+  EXPECT_EQ(impress::mpnn::SamplerConfig{}.num_sequences, 10u);
+  EXPECT_EQ(impress::fold::PredictorConfig{}.num_models, 5u);
+  EXPECT_EQ(impress::core::calibration::kCycles, 4);
+}
+
+}  // namespace

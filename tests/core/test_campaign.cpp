@@ -1,0 +1,149 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+namespace {
+
+std::vector<protein::DesignTarget> small_targets() {
+  std::vector<protein::DesignTarget> out;
+  out.push_back(
+      protein::make_target("CAMP-A", 84, protein::alpha_synuclein().tail(10)));
+  out.push_back(
+      protein::make_target("CAMP-B", 90, protein::alpha_synuclein().tail(10)));
+  return out;
+}
+
+TEST(CampaignConfig, PresetsMatchPaperArms) {
+  const auto im = im_rp_campaign();
+  EXPECT_EQ(im.name, "IM-RP");
+  EXPECT_TRUE(im.protocol.adaptive);
+  EXPECT_FALSE(im.protocol.random_selection);
+  EXPECT_FALSE(im.coordinator.sequential);
+  EXPECT_EQ(im.pilot.policy, rp::SchedulerPolicy::kBackfill);
+
+  const auto cv = cont_v_campaign();
+  EXPECT_EQ(cv.name, "CONT-V");
+  EXPECT_FALSE(cv.protocol.adaptive);
+  EXPECT_TRUE(cv.protocol.random_selection);
+  EXPECT_TRUE(cv.coordinator.sequential);
+  EXPECT_FALSE(cv.protocol.spawn_subpipelines);
+}
+
+TEST(Campaign, ContVProducesOneTrajectoryPerTargetPerCycle) {
+  const auto targets = small_targets();
+  Campaign campaign(cont_v_campaign(7));
+  const auto r = campaign.run(targets);
+  EXPECT_EQ(r.name, "CONT-V");
+  EXPECT_EQ(r.targets, 2u);
+  EXPECT_EQ(r.root_pipelines, 2u);
+  EXPECT_EQ(r.subpipelines, 0u);
+  EXPECT_EQ(r.fold_retries, 0u);
+  // CONT-V never prunes: exactly cycles x targets accepted iterations.
+  EXPECT_EQ(r.total_trajectories(),
+            static_cast<std::size_t>(calibration::kCycles) * targets.size());
+  EXPECT_EQ(r.failed_tasks, 0u);
+}
+
+TEST(Campaign, ResultsCarryComputeMetrics) {
+  const auto targets = small_targets();
+  Campaign campaign(cont_v_campaign(7));
+  const auto r = campaign.run(targets);
+  EXPECT_GT(r.makespan_h, 1.0);
+  EXPECT_GT(r.utilization.cpu_active, 0.0);
+  EXPECT_LT(r.utilization.cpu_active, 1.0);
+  EXPECT_EQ(r.cpu_series.size(), 100u);
+  EXPECT_EQ(r.gpu_series.size(), 100u);
+  EXPECT_GT(r.phase_hours.at("running"), 0.0);
+  EXPECT_GT(r.phase_hours.at("exec_setup"), 0.0);
+  EXPECT_GT(r.phase_hours.at("bootstrap"), 0.0);
+}
+
+TEST(Campaign, ImRpEvaluatesAtLeastAsManyTrajectories) {
+  const auto targets = small_targets();
+  Campaign cont(cont_v_campaign(11));
+  Campaign im(im_rp_campaign(11));
+  const auto rc = cont.run(targets);
+  const auto ri = im.run(targets);
+  EXPECT_GE(ri.total_trajectories(), rc.total_trajectories());
+  EXPECT_GE(ri.fold_tasks, rc.fold_tasks);
+}
+
+TEST(Campaign, GeneratorOverrideIsUsed) {
+  auto cfg = im_rp_campaign(3);
+  cfg.generator = std::make_shared<RandomMutagenesisGenerator>(10, 2);
+  cfg.protocol.spawn_subpipelines = false;
+  Campaign campaign(cfg);
+  const auto targets = small_targets();
+  const auto r = campaign.run(targets);
+  EXPECT_GT(r.total_trajectories(), 0u);
+}
+
+TEST(Campaign, SeparateSessionsAreIndependent) {
+  const auto targets = small_targets();
+  Campaign a(im_rp_campaign(5));
+  Campaign b(im_rp_campaign(5));
+  const auto ra = a.run(targets);
+  const auto rb = b.run(targets);
+  // Identical configuration and seed => identical outcome.
+  EXPECT_EQ(ra.total_trajectories(), rb.total_trajectories());
+  EXPECT_DOUBLE_EQ(ra.makespan_h, rb.makespan_h);
+  EXPECT_EQ(ra.fold_tasks, rb.fold_tasks);
+}
+
+TEST(Campaign, SeedChangesOutcome) {
+  const auto targets = small_targets();
+  const auto ra = Campaign(im_rp_campaign(1)).run(targets);
+  const auto rb = Campaign(im_rp_campaign(2)).run(targets);
+  // Some observable differs (makespans carry lognormal jitter).
+  EXPECT_NE(ra.makespan_h, rb.makespan_h);
+}
+
+TEST(Campaign, ResumeContinuesFromBestDesigns) {
+  const auto targets = small_targets();
+  auto cfg = im_rp_campaign(5);
+  cfg.protocol.spawn_subpipelines = false;
+  const auto first = Campaign(cfg).run(targets);
+  const double first_final =
+      median_at_cycle(first, Metric::kPtm, calibration::kCycles,
+                      calibration::kCycles);
+
+  const auto second = resume_campaign(cfg, first, targets);
+  EXPECT_EQ(second.name, "IM-RP-resumed");
+  EXPECT_GT(second.total_trajectories(), 0u);
+  // Resumed campaigns start from the previous best designs, so their
+  // first-cycle medians begin near (or above) where the first run ended.
+  const double resumed_start =
+      median_at_cycle(second, Metric::kPtm, 1, calibration::kCycles);
+  EXPECT_GT(resumed_start, first_final - 0.12);
+  // True fitness of resumed starting points exceeds the original ones.
+  double original_start_f = 0.0, resumed_start_f = 0.0;
+  for (const auto& t : first.trajectories)
+    if (!t.history.empty()) original_start_f += t.history.front().true_fitness;
+  for (const auto& t : second.trajectories)
+    if (!t.history.empty()) resumed_start_f += t.history.front().true_fitness;
+  EXPECT_GT(resumed_start_f, original_start_f);
+}
+
+TEST(Campaign, ResumeWithEmptyPreviousIsPlainRun) {
+  const auto targets = small_targets();
+  auto cfg = cont_v_campaign(5);
+  const CampaignResult empty;
+  const auto r = resume_campaign(cfg, empty, targets);
+  EXPECT_EQ(r.total_trajectories(),
+            static_cast<std::size_t>(calibration::kCycles) * targets.size());
+}
+
+TEST(CampaignResult, TrajectoryCountingMatchesHistories) {
+  const auto targets = small_targets();
+  const auto r = Campaign(im_rp_campaign(9)).run(targets);
+  std::size_t manual = 0;
+  for (const auto& t : r.trajectories) manual += t.history.size();
+  EXPECT_EQ(r.total_trajectories(), manual);
+}
+
+}  // namespace
+}  // namespace impress::core

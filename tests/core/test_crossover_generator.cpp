@@ -1,0 +1,119 @@
+#include "core/crossover_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+namespace {
+
+const protein::DesignTarget& target() {
+  static const auto t =
+      protein::make_target("XO-T", 84, protein::alpha_synuclein().tail(10));
+  return t;
+}
+
+std::shared_ptr<MpnnGenerator> inner() {
+  return std::make_shared<MpnnGenerator>(mpnn::SamplerConfig{});
+}
+
+TEST(CrossoverGenerator, ConfigValidation) {
+  EXPECT_THROW(CrossoverGenerator(nullptr), std::invalid_argument);
+  CrossoverGenerator::Config bad;
+  bad.crossover_fraction = 1.5;
+  EXPECT_THROW(CrossoverGenerator(inner(), bad), std::invalid_argument);
+  bad = CrossoverGenerator::Config{};
+  bad.population_size = 1;
+  EXPECT_THROW(CrossoverGenerator(inner(), bad), std::invalid_argument);
+}
+
+TEST(CrossoverGenerator, NameAnnotatesInner) {
+  const CrossoverGenerator gen(inner());
+  EXPECT_EQ(gen.name(), "proteinmpnn+crossover");
+}
+
+TEST(CrossoverGenerator, WithoutParentsDelegatesEntirely) {
+  const CrossoverGenerator gen(inner());
+  common::Rng r1(1), r2(1);
+  const auto plain = inner()->generate(target().start_complex(),
+                                       target().landscape, r1);
+  const auto wrapped =
+      gen.generate(target().start_complex(), target().landscape, r2);
+  ASSERT_EQ(plain.size(), wrapped.size());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_EQ(plain[i].sequence, wrapped[i].sequence);
+}
+
+TEST(CrossoverGenerator, PopulationIsElitistAndBounded) {
+  CrossoverGenerator::Config cfg;
+  cfg.population_size = 3;
+  const CrossoverGenerator gen(inner(), cfg);
+  const auto base = target().start_receptor;
+  for (int i = 0; i < 10; ++i)
+    gen.observe(base.with_mutation(0, static_cast<protein::AminoAcid>(i)),
+                0.1 * i);
+  EXPECT_EQ(gen.population(base.size()), 3u);
+}
+
+TEST(CrossoverGenerator, PopulationsArePerLength) {
+  const CrossoverGenerator gen(inner());
+  gen.observe(target().start_receptor, 0.5);
+  gen.observe(protein::Sequence::from_string("MKVLA"), 0.5);
+  EXPECT_EQ(gen.population(84), 1u);
+  EXPECT_EQ(gen.population(5), 1u);
+  EXPECT_EQ(gen.population(99), 0u);
+}
+
+TEST(CrossoverGenerator, RecombinantsMixParentPocketResidues) {
+  // Two parents with distinct, recognizable pocket residues; with
+  // mixing=0.5 and full crossover, children must draw from both.
+  const auto& iface = target().landscape.interface_positions();
+  auto parent_a = target().start_receptor;
+  auto parent_b = target().start_receptor;
+  for (auto pos : iface) {
+    parent_a.set(pos, protein::AminoAcid::kTrp);
+    parent_b.set(pos, protein::AminoAcid::kGly);
+  }
+  CrossoverGenerator::Config cfg;
+  cfg.crossover_fraction = 1.0;
+  const CrossoverGenerator gen(inner(), cfg);
+  gen.observe(parent_a, 0.9);
+  gen.observe(parent_b, 0.85);
+
+  common::Rng rng(3);
+  const auto proposals =
+      gen.generate(target().start_complex(), target().landscape, rng);
+  bool found_mixed = false;
+  for (const auto& p : proposals) {
+    std::size_t trp = 0, gly = 0, other = 0;
+    for (auto pos : iface) {
+      if (p.sequence[pos] == protein::AminoAcid::kTrp) ++trp;
+      else if (p.sequence[pos] == protein::AminoAcid::kGly) ++gly;
+      else ++other;
+    }
+    if (trp > 0 && gly > 0 && other == 0) found_mixed = true;
+  }
+  EXPECT_TRUE(found_mixed) << "no recombinant drew pocket residues from both "
+                              "parents";
+}
+
+TEST(CrossoverGenerator, RunsInsideFullCampaign) {
+  auto cfg = im_rp_campaign(42);
+  auto gen = std::make_shared<CrossoverGenerator>(
+      std::make_shared<MpnnGenerator>(cfg.sampler));
+  cfg.generator = gen;
+  cfg.protocol.spawn_subpipelines = false;
+  std::vector<protein::DesignTarget> targets;
+  targets.push_back(
+      protein::make_target("XO-E2E", 84, protein::alpha_synuclein().tail(10)));
+  const auto r = Campaign(cfg).run(targets);
+  EXPECT_GT(r.total_trajectories(), 0u);
+  EXPECT_GT(gen->population(84), 0u);  // feedback loop fed the population
+  EXPECT_EQ(r.failed_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace impress::core

@@ -1,0 +1,112 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.hpp"
+#include "core/campaign.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+namespace {
+
+CampaignResult small_result() {
+  std::vector<protein::DesignTarget> targets;
+  targets.push_back(
+      protein::make_target("EXP-A", 82, protein::alpha_synuclein().tail(10)));
+  auto cfg = im_rp_campaign(42);
+  cfg.protocol.spawn_subpipelines = false;
+  return Campaign(cfg).run(targets);
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  auto lines = common::split(text, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+TEST(Export, TrajectoriesCsvShape) {
+  const auto r = small_result();
+  const auto csv = trajectories_csv(r);
+  const auto lines = lines_of(csv);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "pipeline_id,target,is_subpipeline,cycle,plddt,ptm,ipae,"
+            "composite,true_fitness,retries,sequence");
+  EXPECT_EQ(lines.size() - 1, r.total_trajectories());
+  // Every data row has exactly 11 fields.
+  for (std::size_t i = 1; i < lines.size(); ++i)
+    EXPECT_EQ(common::split(lines[i], ',').size(), 11u) << lines[i];
+}
+
+TEST(Export, TrajectoriesCsvValuesParseBack) {
+  const auto r = small_result();
+  const auto lines = lines_of(trajectories_csv(r));
+  const auto fields = common::split(lines[1], ',');
+  EXPECT_EQ(fields[1], "EXP-A");
+  const double plddt = std::stod(fields[4]);
+  EXPECT_GT(plddt, 0.0);
+  EXPECT_LT(plddt, 100.0);
+  const double ptm = std::stod(fields[5]);
+  EXPECT_GT(ptm, 0.0);
+  EXPECT_LT(ptm, 1.0);
+  // The sequence column round-trips as a valid sequence.
+  EXPECT_NO_THROW((void)protein::Sequence::from_string(fields[10]));
+}
+
+TEST(Export, UtilizationCsvShape) {
+  const auto r = small_result();
+  const auto lines = lines_of(utilization_csv(r));
+  EXPECT_EQ(lines[0], "bin,t_start_h,t_end_h,cpu,gpu");
+  EXPECT_EQ(lines.size() - 1, r.cpu_series.size());
+  const auto fields = common::split(lines[1], ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "0");
+  EXPECT_DOUBLE_EQ(std::stod(fields[1]), 0.0);
+}
+
+TEST(Export, IterationsCsvHasAllMetricCycleCombos) {
+  const auto r = small_result();
+  const auto lines = lines_of(iterations_csv(r, 4));
+  // header + 3 metrics x 4 cycles.
+  EXPECT_EQ(lines.size(), 1u + 12u);
+  EXPECT_NE(lines[1].find("pLDDT,1,"), std::string::npos);
+  EXPECT_NE(lines[12].find("inter-chain pAE,4,"), std::string::npos);
+}
+
+TEST(Export, WriteTextFileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "impress_export_t";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "x.txt").string();
+  write_text_file(path, "hello\n");
+  std::ifstream is(path);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Export, WriteTextFileBadPathThrows) {
+  EXPECT_THROW(write_text_file("/nonexistent-dir-xyz/file.txt", "x"),
+               std::runtime_error);
+}
+
+TEST(Export, ExportCampaignCsvWritesThreeFiles) {
+  const auto r = small_result();
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "impress_export_full").string();
+  const auto paths = export_campaign_csv(r, dir, 4);
+  ASSERT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(std::filesystem::exists(p)) << p;
+    EXPECT_GT(std::filesystem::file_size(p), 10u);
+    // Lower-cased campaign name in the stem.
+    EXPECT_NE(p.find("im_rp"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace impress::core

@@ -1,0 +1,122 @@
+// Pipeline state-machine fuzzing: drive a Pipeline with randomized
+// prediction streams and assert that for ANY input it terminates within
+// bounded work, never wedges, and keeps its bookkeeping invariants.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+namespace {
+
+using Kind = Pipeline::Action::Kind;
+
+struct FuzzParams {
+  std::uint64_t seed;
+  bool adaptive;
+  bool refinement;
+  int max_retries;
+};
+
+class PipelineFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(PipelineFuzz, TerminatesWithInvariantsForAnyPredictionStream) {
+  const auto [seed, adaptive, refinement, max_retries] = GetParam();
+  const auto target = protein::make_target(
+      "FUZZ" + std::to_string(seed), 85, protein::alpha_synuclein().tail(10));
+  auto generator = std::make_shared<MpnnGenerator>(mpnn::SamplerConfig{});
+
+  ProtocolConfig cfg;
+  cfg.cycles = 4;
+  cfg.adaptive = adaptive;
+  cfg.random_selection = !adaptive;
+  cfg.max_retries = max_retries;
+  cfg.backbone_refinement = refinement;
+  cfg.spawn_subpipelines = false;
+
+  Pipeline pipeline("fz", target, target.start_complex(), cfg, generator,
+                    fold::AlphaFold{}, common::Rng(seed));
+  common::Rng rng(seed * 7919 + 1);
+  common::Rng science(seed * 104729 + 3);
+
+  auto random_prediction = [&] {
+    fold::Prediction p;
+    fold::ModelPrediction m;
+    m.metrics = fold::FoldMetrics{.plddt = rng.uniform(30.0, 95.0),
+                                  .ptm = rng.uniform(0.2, 0.95),
+                                  .ipae = rng.uniform(2.0, 28.0)};
+    m.structure = target.start_complex().structure;
+    p.models.push_back(std::move(m));
+    return p;
+  };
+
+  auto action = pipeline.start();
+  int steps = 0;
+  // Bound: cycles * (1 generator + (retries+1) * (refine + fold)) plus
+  // slack. Anything beyond that means the state machine loops.
+  const int bound = cfg.cycles * (1 + (cfg.max_retries + 2) * 2) + 16;
+  while (action.kind != Kind::kCompleted && action.kind != Kind::kTerminated) {
+    ASSERT_LT(++steps, bound) << "state machine did not terminate";
+    switch (action.kind) {
+      case Kind::kRunGenerator:
+        action = pipeline.on_generator_result(generator->generate(
+            pipeline.current(), target.landscape, science));
+        break;
+      case Kind::kRunRefine:
+        ASSERT_TRUE(refinement);
+        ASSERT_TRUE(action.fold_input.has_value());
+        action = pipeline.on_refine_result(std::move(*action.fold_input));
+        break;
+      case Kind::kRunFold:
+        ASSERT_TRUE(action.fold_input.has_value());
+        // The fold input always carries the right chains.
+        ASSERT_EQ(action.fold_input->receptor().size(), 85u);
+        ASSERT_EQ(action.fold_input->peptide().sequence.to_string(),
+                  "EGYQDYEPEA");
+        action = pipeline.on_fold_result(random_prediction());
+        break;
+      default:
+        FAIL() << "unexpected action";
+    }
+  }
+
+  EXPECT_TRUE(pipeline.finished());
+  const auto result = pipeline.result();
+  // History invariants hold for every random stream.
+  EXPECT_LE(result.history.size(), static_cast<std::size_t>(cfg.cycles));
+  int prev_cycle = 0;
+  for (const auto& rec : result.history) {
+    EXPECT_EQ(rec.cycle, prev_cycle + 1);  // no gaps, no repeats
+    prev_cycle = rec.cycle;
+    EXPECT_TRUE(rec.accepted);
+    EXPECT_LE(rec.retries, cfg.max_retries);
+    EXPECT_FALSE(rec.sequence.empty());
+  }
+  if (!adaptive) {
+    // Non-adaptive runs never retry and never terminate early.
+    EXPECT_EQ(result.total_retries, 0);
+    EXPECT_FALSE(result.terminated_early);
+    EXPECT_EQ(result.history.size(), static_cast<std::size_t>(cfg.cycles));
+  }
+  if (result.terminated_early) {
+    EXPECT_LT(result.history.size(), static_cast<std::size_t>(cfg.cycles));
+  }
+}
+
+std::vector<FuzzParams> fuzz_matrix() {
+  std::vector<FuzzParams> out;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    out.push_back({seed, true, false, 10});
+    out.push_back({seed, true, true, 3});
+    out.push_back({seed, false, false, 0});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, PipelineFuzz,
+                         ::testing::ValuesIn(fuzz_matrix()));
+
+}  // namespace
+}  // namespace impress::core

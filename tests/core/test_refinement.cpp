@@ -1,0 +1,125 @@
+// The optional backbone-refinement stage: pipeline state machine plumbing
+// and end-to-end behaviour through the coordinator.
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/pipeline.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+namespace {
+
+using Kind = Pipeline::Action::Kind;
+
+struct Fixture {
+  protein::DesignTarget target = protein::make_target(
+      "REF-T", 86, protein::alpha_synuclein().tail(10));
+  std::shared_ptr<MpnnGenerator> generator =
+      std::make_shared<MpnnGenerator>(mpnn::SamplerConfig{});
+
+  Pipeline make(bool refinement) {
+    ProtocolConfig cfg;
+    cfg.cycles = 2;
+    cfg.backbone_refinement = refinement;
+    cfg.spawn_subpipelines = false;
+    return Pipeline("r0", target, target.start_complex(), cfg, generator,
+                    fold::AlphaFold{}, common::Rng(7));
+  }
+
+  std::vector<mpnn::ScoredSequence> sequences() {
+    common::Rng rng(3);
+    return mpnn::Mpnn(mpnn::SamplerConfig{})
+        .design(target.start_complex(), target.landscape, rng);
+  }
+
+  fold::Prediction prediction() {
+    fold::Prediction p;
+    fold::ModelPrediction m;
+    m.metrics = fold::FoldMetrics{.plddt = 70.0, .ptm = 0.7, .ipae = 10.0};
+    m.structure = target.start_complex().structure;
+    p.models.push_back(std::move(m));
+    return p;
+  }
+};
+
+TEST(Refinement, PipelineInsertsRefineAction) {
+  Fixture f;
+  auto p = f.make(true);
+  (void)p.start();
+  const auto a = p.on_generator_result(f.sequences());
+  EXPECT_EQ(a.kind, Kind::kRunRefine);
+  ASSERT_TRUE(a.fold_input.has_value());
+  EXPECT_FALSE(a.refined);
+}
+
+TEST(Refinement, RefineResultProceedsToFoldWithFlag) {
+  Fixture f;
+  auto p = f.make(true);
+  (void)p.start();
+  auto a = p.on_generator_result(f.sequences());
+  a = p.on_refine_result(std::move(*a.fold_input));
+  EXPECT_EQ(a.kind, Kind::kRunFold);
+  EXPECT_TRUE(a.refined);
+}
+
+TEST(Refinement, DisabledPipelineSkipsStraightToFold) {
+  Fixture f;
+  auto p = f.make(false);
+  (void)p.start();
+  const auto a = p.on_generator_result(f.sequences());
+  EXPECT_EQ(a.kind, Kind::kRunFold);
+  EXPECT_FALSE(a.refined);
+}
+
+TEST(Refinement, UnexpectedRefineResultThrows) {
+  Fixture f;
+  auto p = f.make(false);
+  (void)p.start();
+  EXPECT_THROW((void)p.on_refine_result(f.target.start_complex()),
+               std::logic_error);
+}
+
+TEST(Refinement, RetriesAlsoPassThroughRefinement) {
+  Fixture f;
+  ProtocolConfig cfg;
+  cfg.cycles = 2;
+  cfg.backbone_refinement = true;
+  cfg.max_retries = 5;
+  Pipeline p("r1", f.target, f.target.start_complex(), cfg, f.generator,
+             fold::AlphaFold{}, common::Rng(7), 0, false,
+             fold::FoldMetrics{.plddt = 95.0, .ptm = 0.95, .ipae = 3.0});
+  (void)p.start();
+  auto a = p.on_generator_result(f.sequences());
+  ASSERT_EQ(a.kind, Kind::kRunRefine);
+  a = p.on_refine_result(std::move(*a.fold_input));
+  ASSERT_EQ(a.kind, Kind::kRunFold);
+  // Decline against the strong baseline: retry goes through refine again.
+  a = p.on_fold_result(f.prediction());
+  EXPECT_EQ(a.kind, Kind::kRunRefine);
+}
+
+TEST(Refinement, EndToEndCampaignRunsRefineTasks) {
+  auto cfg = im_rp_campaign(42);
+  cfg.protocol.backbone_refinement = true;
+  cfg.protocol.spawn_subpipelines = false;
+  std::vector<protein::DesignTarget> targets;
+  targets.push_back(
+      protein::make_target("REF-E2E", 84, protein::alpha_synuclein().tail(10)));
+  const auto r = Campaign(cfg).run(targets);
+  EXPECT_GT(r.total_trajectories(), 0u);
+  EXPECT_EQ(r.refine_tasks, r.fold_tasks);  // one relax per prediction
+  EXPECT_EQ(r.failed_tasks, 0u);
+}
+
+TEST(Refinement, OffByDefaultEverywhere) {
+  EXPECT_FALSE(calibration::im_rp_protocol().backbone_refinement);
+  EXPECT_FALSE(calibration::cont_v_protocol().backbone_refinement);
+  const auto r = Campaign(im_rp_campaign(42)).run(
+      std::vector<protein::DesignTarget>{protein::make_target(
+          "REF-OFF", 84, protein::alpha_synuclein().tail(10))});
+  EXPECT_EQ(r.refine_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace impress::core

@@ -1,0 +1,160 @@
+#include "hpc/resource_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace impress::hpc {
+namespace {
+
+NodeSpec small_node(std::uint32_t cores = 4, std::uint32_t gpus = 2,
+                    double mem = 16.0) {
+  return NodeSpec{.name = "n", .cores = cores, .gpus = gpus, .mem_gb = mem};
+}
+
+TEST(ResourcePool, TotalsMatchNodes) {
+  ResourcePool pool({small_node(4, 2), small_node(8, 0)});
+  EXPECT_EQ(pool.total_cores(), 12u);
+  EXPECT_EQ(pool.total_gpus(), 2u);
+  EXPECT_EQ(pool.node_count(), 2u);
+}
+
+TEST(ResourcePool, AmarelNodeShape) {
+  ResourcePool pool(amarel_node());
+  EXPECT_EQ(pool.total_cores(), 28u);
+  EXPECT_EQ(pool.total_gpus(), 4u);
+}
+
+TEST(ResourcePool, AllocateReturnsRequestedCounts) {
+  ResourcePool pool(small_node());
+  const auto a = pool.allocate({.cores = 2, .gpus = 1, .mem_gb = 4.0});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->cores.size(), 2u);
+  EXPECT_EQ(a->gpus.size(), 1u);
+  EXPECT_EQ(a->mem_gb, 4.0);
+}
+
+TEST(ResourcePool, AllocationsAreDisjoint) {
+  ResourcePool pool(small_node());
+  const auto a = pool.allocate({.cores = 2, .gpus = 1});
+  const auto b = pool.allocate({.cores = 2, .gpus = 1});
+  ASSERT_TRUE(a && b);
+  std::set<std::uint32_t> cores(a->cores.begin(), a->cores.end());
+  for (auto c : b->cores) EXPECT_FALSE(cores.contains(c));
+  EXPECT_NE(a->gpus[0], b->gpus[0]);
+}
+
+TEST(ResourcePool, ExhaustionReturnsNullopt) {
+  ResourcePool pool(small_node(4, 0));
+  EXPECT_TRUE(pool.allocate({.cores = 4}));
+  EXPECT_FALSE(pool.allocate({.cores = 1}));
+}
+
+TEST(ResourcePool, ReleaseMakesResourcesReusable) {
+  ResourcePool pool(small_node(2, 1));
+  auto a = pool.allocate({.cores = 2, .gpus = 1});
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(pool.allocate({.cores = 1}));
+  pool.release(*a);
+  EXPECT_TRUE(pool.allocate({.cores = 2, .gpus = 1}));
+}
+
+TEST(ResourcePool, DoubleReleaseThrows) {
+  ResourcePool pool(small_node());
+  auto a = pool.allocate({.cores = 1});
+  ASSERT_TRUE(a);
+  pool.release(*a);
+  EXPECT_THROW(pool.release(*a), std::logic_error);
+}
+
+TEST(ResourcePool, MemoryIsAccounted) {
+  ResourcePool pool(small_node(4, 0, 10.0));
+  const auto a = pool.allocate({.cores = 1, .mem_gb = 8.0});
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(pool.allocate({.cores = 1, .mem_gb = 4.0}));
+  pool.release(*a);
+  EXPECT_TRUE(pool.allocate({.cores = 1, .mem_gb = 4.0}));
+}
+
+TEST(ResourcePool, NeverSpansNodes) {
+  ResourcePool pool({small_node(2, 0), small_node(2, 0)});
+  // 3 cores cannot come from one 2-core node.
+  EXPECT_FALSE(pool.allocate({.cores = 3}));
+  EXPECT_FALSE(pool.fits_ever({.cores = 3}));
+}
+
+TEST(ResourcePool, SecondNodeUsedWhenFirstFull) {
+  ResourcePool pool({small_node(2, 0), small_node(2, 0)});
+  const auto a = pool.allocate({.cores = 2});
+  const auto b = pool.allocate({.cores = 2});
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->node, 0u);
+  EXPECT_EQ(b->node, 1u);
+  // Global ids on node 1 are offset.
+  EXPECT_EQ(b->cores[0], 2u);
+}
+
+TEST(ResourcePool, FitsEverChecksCapacityNotAvailability) {
+  ResourcePool pool(small_node(4, 1));
+  auto a = pool.allocate({.cores = 4, .gpus = 1});
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(pool.fits_ever({.cores = 4, .gpus = 1}));  // busy but possible
+  EXPECT_FALSE(pool.fits_ever({.cores = 5}));
+  EXPECT_FALSE(pool.fits_ever({.gpus = 2}));
+  EXPECT_FALSE(pool.fits_ever({.cores = 1, .mem_gb = 99.0}));
+}
+
+TEST(ResourcePool, FreeCountsTrackAllocations) {
+  ResourcePool pool(small_node(4, 2));
+  EXPECT_EQ(pool.free_cores(), 4u);
+  EXPECT_EQ(pool.free_gpus(), 2u);
+  auto a = pool.allocate({.cores = 3, .gpus = 1});
+  EXPECT_EQ(pool.free_cores(), 1u);
+  EXPECT_EQ(pool.free_gpus(), 1u);
+  pool.release(*a);
+  EXPECT_EQ(pool.free_cores(), 4u);
+}
+
+TEST(ResourcePool, GpuOnlyRequest) {
+  ResourcePool pool(small_node(4, 2));
+  const auto a = pool.allocate({.cores = 0, .gpus = 2});
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a->cores.empty());
+  EXPECT_EQ(a->gpus.size(), 2u);
+}
+
+// Property: allocate/release cycles conserve resources for any request mix.
+struct PoolParam {
+  std::uint32_t cores;
+  std::uint32_t gpus;
+};
+
+class PoolConservation : public ::testing::TestWithParam<PoolParam> {};
+
+TEST_P(PoolConservation, FullCycleRestoresCapacity) {
+  ResourcePool pool(amarel_node());
+  const auto p = GetParam();
+  std::vector<Allocation> held;
+  while (auto a = pool.allocate({.cores = p.cores, .gpus = p.gpus}))
+    held.push_back(*a);
+  EXPECT_FALSE(held.empty());
+  // All distinct global ids.
+  std::set<std::uint32_t> cores, gpus;
+  for (const auto& a : held) {
+    for (auto c : a.cores) EXPECT_TRUE(cores.insert(c).second);
+    for (auto g : a.gpus) EXPECT_TRUE(gpus.insert(g).second);
+  }
+  for (const auto& a : held) pool.release(a);
+  EXPECT_EQ(pool.free_cores(), 28u);
+  EXPECT_EQ(pool.free_gpus(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RequestShapes, PoolConservation,
+                         ::testing::Values(PoolParam{1, 0}, PoolParam{7, 0},
+                                           PoolParam{2, 1}, PoolParam{7, 1},
+                                           PoolParam{28, 4}, PoolParam{0, 1},
+                                           PoolParam{5, 2}));
+
+}  // namespace
+}  // namespace impress::hpc

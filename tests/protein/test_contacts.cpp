@@ -1,0 +1,97 @@
+#include "protein/contacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protein/datasets.hpp"
+
+namespace impress::protein {
+namespace {
+
+Complex small_complex() {
+  return Complex::make("cx", Sequence::from_string("MKVLARDEMKVLARDE"),
+                       Sequence::from_string("EPEA"));
+}
+
+TEST(Contacts, InterchainPairsWithinCutoff) {
+  const auto cx = small_complex();
+  const auto pairs = interchain_contacts(cx, 8.0);
+  EXPECT_FALSE(pairs.empty());  // chains are 8 A apart by construction
+  for (const auto& [r, p] : pairs) {
+    EXPECT_LT(r, cx.receptor().size());
+    EXPECT_LT(p, cx.peptide().size());
+    EXPECT_LE(distance(cx.receptor().ca[r], cx.peptide().ca[p]), 8.0);
+  }
+}
+
+TEST(Contacts, CutoffMonotone) {
+  const auto cx = small_complex();
+  const auto tight = interchain_contacts(cx, 5.0).size();
+  const auto medium = interchain_contacts(cx, 8.0).size();
+  const auto loose = interchain_contacts(cx, 15.0).size();
+  EXPECT_LE(tight, medium);
+  EXPECT_LE(medium, loose);
+}
+
+TEST(Contacts, ZeroCutoffGivesNoContacts) {
+  EXPECT_TRUE(interchain_contacts(small_complex(), 0.0).empty());
+}
+
+TEST(Contacts, AnalyzeInterfaceCountsAreConsistent) {
+  const auto cx = small_complex();
+  const auto stats = analyze_interface(cx, 9.0);
+  EXPECT_EQ(stats.contacts, interchain_contacts(cx, 9.0).size());
+  EXPECT_GT(stats.contact_density, 0.0);
+  EXPECT_LE(stats.salt_bridges, stats.contacts);
+  EXPECT_LE(stats.hydrophobic_pairs, stats.contacts);
+  EXPECT_LE(stats.polar_pairs, stats.contacts);
+  EXPECT_GT(stats.mean_contact_distance, 0.0);
+  EXPECT_LE(stats.mean_contact_distance, 9.0);
+}
+
+TEST(Contacts, SaltBridgesDetectOppositeCharges) {
+  // All-Arg receptor vs all-Glu peptide: every contact is a salt bridge.
+  const auto cx = Complex::make("salt", Sequence::from_string("RRRRRRRRRR"),
+                                Sequence::from_string("EEEE"));
+  const auto stats = analyze_interface(cx, 9.0);
+  ASSERT_GT(stats.contacts, 0u);
+  EXPECT_EQ(stats.salt_bridges, stats.contacts);
+  EXPECT_EQ(stats.hydrophobic_pairs, 0u);
+}
+
+TEST(Contacts, HydrophobicPairsDetected) {
+  const auto cx = Complex::make("oil", Sequence::from_string("IIIIIIIIII"),
+                                Sequence::from_string("LLLL"));
+  const auto stats = analyze_interface(cx, 9.0);
+  ASSERT_GT(stats.contacts, 0u);
+  EXPECT_EQ(stats.hydrophobic_pairs, stats.contacts);
+  EXPECT_EQ(stats.salt_bridges, 0u);
+}
+
+TEST(Contacts, PackingScoreBounds) {
+  const auto cx = small_complex();
+  for (double cutoff : {0.0, 5.0, 8.0, 20.0}) {
+    const auto s = analyze_interface(cx, cutoff);
+    EXPECT_GE(s.packing_score(), 0.0);
+    EXPECT_LE(s.packing_score(), 1.0);
+  }
+  EXPECT_EQ(InterfaceStats{}.packing_score(), 0.0);
+}
+
+TEST(Contacts, ContactResiduesSortedUnique) {
+  const auto cx = small_complex();
+  const auto residues = contact_residues(cx, 10.0);
+  EXPECT_FALSE(residues.empty());
+  for (std::size_t i = 1; i < residues.size(); ++i)
+    EXPECT_LT(residues[i - 1], residues[i]);
+}
+
+TEST(Contacts, WorksOnDatasetComplexes) {
+  for (const auto& target : four_pdz_domains()) {
+    const auto stats = analyze_interface(target.start_complex());
+    EXPECT_GT(stats.contacts, 0u) << target.name;
+    EXPECT_GT(stats.packing_score(), 0.0) << target.name;
+  }
+}
+
+}  // namespace
+}  // namespace impress::protein

@@ -1,0 +1,94 @@
+#include "protein/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace impress::protein {
+namespace {
+
+TEST(AlphaSynuclein, CanonicalSequence) {
+  const auto seq = alpha_synuclein();
+  EXPECT_EQ(seq.size(), 140u);  // UniProt P37840
+  EXPECT_EQ(to_char(seq[0]), 'M');
+  EXPECT_EQ(seq.tail(10).to_string(), "EGYQDYEPEA");
+  EXPECT_EQ(seq.tail(4).to_string(), "EPEA");
+}
+
+TEST(MakeTarget, DeterministicAndTuned) {
+  const auto a = make_target("X", 90, alpha_synuclein().tail(10), 0.3);
+  const auto b = make_target("X", 90, alpha_synuclein().tail(10), 0.3);
+  EXPECT_EQ(a.start_receptor, b.start_receptor);
+  EXPECT_NEAR(a.landscape.fitness(a.start_receptor), 0.3, 0.05);
+}
+
+TEST(MakeTarget, StartComplexShape) {
+  const auto t = make_target("X", 90, alpha_synuclein().tail(10));
+  const auto cx = t.start_complex();
+  EXPECT_EQ(cx.structure.name(), "X");
+  EXPECT_EQ(cx.receptor().size(), 90u);
+  EXPECT_EQ(cx.peptide().sequence.to_string(), "EGYQDYEPEA");
+}
+
+TEST(FourPdzDomains, PaperTargets) {
+  const auto targets = four_pdz_domains();
+  ASSERT_EQ(targets.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& t : targets) names.insert(t.name);
+  EXPECT_TRUE(names.contains("NHERF3"));
+  EXPECT_TRUE(names.contains("HTRA1"));
+  EXPECT_TRUE(names.contains("SCRIB"));
+  EXPECT_TRUE(names.contains("SHANK1"));
+  for (const auto& t : targets) {
+    // Fig-2 experiment: complexes with the last 10 residues of alpha-syn.
+    EXPECT_EQ(t.peptide.to_string(), "EGYQDYEPEA");
+    EXPECT_EQ(t.start_receptor.size(), t.landscape.receptor_length());
+    EXPECT_GT(t.start_receptor.size(), 80u);
+    EXPECT_LT(t.start_receptor.size(), 120u);
+  }
+}
+
+TEST(FourPdzDomains, StartingQualityIsModerate) {
+  for (const auto& t : four_pdz_domains()) {
+    const double f = t.landscape.fitness(t.start_receptor);
+    EXPECT_GT(f, 0.15);
+    EXPECT_LT(f, 0.40);
+    // Headroom for four design cycles.
+    EXPECT_GT(t.landscape.fitness(t.landscape.greedy_optimal_sequence()),
+              f + 0.3);
+  }
+}
+
+TEST(PdzBenchmark, DefaultSeventyDistinctTargets) {
+  const auto targets = pdz_benchmark();
+  ASSERT_EQ(targets.size(), 70u);
+  std::set<std::string> names;
+  std::set<std::string> starts;
+  for (const auto& t : targets) {
+    names.insert(t.name);
+    starts.insert(t.start_receptor.to_string());
+    // Fig-3 experiment: last four residues of alpha-synuclein.
+    EXPECT_EQ(t.peptide.to_string(), "EPEA");
+    EXPECT_GE(t.start_receptor.size(), 80u);
+    EXPECT_LT(t.start_receptor.size(), 116u);
+  }
+  EXPECT_EQ(names.size(), 70u);
+  EXPECT_EQ(starts.size(), 70u);  // genuinely heterogeneous
+}
+
+TEST(PdzBenchmark, SizeParameterRespected) {
+  EXPECT_EQ(pdz_benchmark(5).size(), 5u);
+  EXPECT_TRUE(pdz_benchmark(0).empty());
+}
+
+TEST(PdzBenchmark, ReproducibleAcrossCalls) {
+  const auto a = pdz_benchmark(3);
+  const auto b = pdz_benchmark(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].start_receptor, b[i].start_receptor);
+  }
+}
+
+}  // namespace
+}  // namespace impress::protein

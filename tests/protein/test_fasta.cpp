@@ -1,0 +1,80 @@
+#include "protein/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace impress::protein {
+namespace {
+
+TEST(Fasta, WriteSingleRecord) {
+  const std::vector<FastaRecord> recs{
+      {"seq1", "a description", Sequence::from_string("MKVLA")}};
+  const auto text = to_fasta(recs);
+  EXPECT_EQ(text, ">seq1 a description\nMKVLA\n");
+}
+
+TEST(Fasta, WriteOmitsEmptyDescription) {
+  const std::vector<FastaRecord> recs{{"s", "", Sequence::from_string("MK")}};
+  EXPECT_EQ(to_fasta(recs), ">s\nMK\n");
+}
+
+TEST(Fasta, WrapsAt60Columns) {
+  std::string long_seq(150, 'A');
+  const std::vector<FastaRecord> recs{
+      {"s", "", Sequence::from_string(long_seq)}};
+  const auto text = to_fasta(recs);
+  // 150 residues -> lines of 60, 60, 30.
+  EXPECT_NE(text.find('\n' + std::string(60, 'A') + '\n'), std::string::npos);
+  EXPECT_NE(text.find('\n' + std::string(30, 'A') + '\n'), std::string::npos);
+}
+
+TEST(Fasta, RoundTripMultiRecord) {
+  const std::vector<FastaRecord> recs{
+      {"a", "first", Sequence::from_string("MKVLA")},
+      {"b", "", Sequence::from_string("EPEA")},
+      {"c", "log_likelihood=-1.25", Sequence::from_string(std::string(130, 'G'))}};
+  const auto parsed = from_fasta(to_fasta(recs));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].id, "a");
+  EXPECT_EQ(parsed[0].description, "first");
+  EXPECT_EQ(parsed[0].sequence.to_string(), "MKVLA");
+  EXPECT_EQ(parsed[1].description, "");
+  EXPECT_EQ(parsed[2].sequence.size(), 130u);
+  EXPECT_EQ(parsed[2].description, "log_likelihood=-1.25");
+}
+
+TEST(Fasta, ParsesMultilineSequences) {
+  const auto recs = from_fasta(">x\nMKV\nLA\n\nEPEA\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence.to_string(), "MKVLAEPEA");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  EXPECT_THROW((void)from_fasta("MKVLA\n>x\n"), std::invalid_argument);
+}
+
+TEST(Fasta, InvalidResidueThrows) {
+  EXPECT_THROW((void)from_fasta(">x\nMKZ\n"), std::invalid_argument);
+}
+
+TEST(Fasta, EmptyInputGivesNoRecords) {
+  EXPECT_TRUE(from_fasta("").empty());
+  EXPECT_TRUE(from_fasta("\n\n").empty());
+}
+
+TEST(Fasta, HeaderOnlyRecordHasEmptySequence) {
+  const auto recs = from_fasta(">lonely\n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].sequence.empty());
+}
+
+TEST(Fasta, WhitespaceAroundLinesTolerated) {
+  const auto recs = from_fasta("  >x desc  \n  MKV  \n");
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].id, "x");
+  EXPECT_EQ(recs[0].sequence.to_string(), "MKV");
+}
+
+}  // namespace
+}  // namespace impress::protein

@@ -1,0 +1,157 @@
+#include "protein/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::protein {
+namespace {
+
+FitnessLandscape make(std::string name = "T1", std::size_t len = 90) {
+  return FitnessLandscape(std::move(name), len, alpha_synuclein().tail(10),
+                          common::stable_hash("T1"));
+}
+
+TEST(Landscape, ConstructionValidates) {
+  EXPECT_THROW(FitnessLandscape("x", 0, Sequence::from_string("EPEA"), 1),
+               std::invalid_argument);
+  EXPECT_THROW(FitnessLandscape("x", 10, Sequence(), 1), std::invalid_argument);
+}
+
+TEST(Landscape, DeterministicInSeed) {
+  const auto a = make();
+  const auto b = make();
+  EXPECT_EQ(a.native_sequence(), b.native_sequence());
+  EXPECT_EQ(a.interface_positions(), b.interface_positions());
+  EXPECT_DOUBLE_EQ(a.fitness(a.native_sequence()),
+                   b.fitness(b.native_sequence()));
+}
+
+TEST(Landscape, DifferentSeedsDiffer) {
+  const FitnessLandscape a("x", 90, Sequence::from_string("EPEA"), 1);
+  const FitnessLandscape b("x", 90, Sequence::from_string("EPEA"), 2);
+  EXPECT_NE(a.native_sequence(), b.native_sequence());
+}
+
+TEST(Landscape, InterfaceIsSortedDistinctAndSized) {
+  const auto l = make();
+  const auto& iface = l.interface_positions();
+  EXPECT_GE(iface.size(), 6u);
+  EXPECT_LE(iface.size(), l.receptor_length());
+  EXPECT_TRUE(std::is_sorted(iface.begin(), iface.end()));
+  EXPECT_EQ(std::adjacent_find(iface.begin(), iface.end()), iface.end());
+  for (auto p : iface) EXPECT_LT(p, l.receptor_length());
+}
+
+TEST(Landscape, FitnessInUnitInterval) {
+  const auto l = make();
+  common::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<AminoAcid> rs(l.receptor_length());
+    for (auto& aa : rs) aa = static_cast<AminoAcid>(rng.below(kNumAminoAcids));
+    const double f = l.fitness(Sequence(std::move(rs)));
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Landscape, LengthMismatchThrows) {
+  const auto l = make();
+  EXPECT_THROW((void)l.fitness(Sequence::from_string("MKV")),
+               std::invalid_argument);
+}
+
+TEST(Landscape, GreedyOptimalBeatsNative) {
+  const auto l = make();
+  EXPECT_GT(l.fitness(l.greedy_optimal_sequence()),
+            l.fitness(l.native_sequence()) + 0.2);
+}
+
+TEST(Landscape, GreedyOptimalNearPreferenceCeiling) {
+  const auto l = make();
+  const auto opt = l.greedy_optimal_sequence();
+  for (auto pos : l.interface_positions())
+    EXPECT_NEAR(l.preference(pos, opt[pos]), 1.0, 1e-9);
+}
+
+TEST(Landscape, PreferenceBounds) {
+  const auto l = make();
+  for (std::size_t pos = 0; pos < l.receptor_length(); ++pos)
+    for (auto aa : all_amino_acids()) {
+      const double p = l.preference(pos, aa);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Landscape, ScaffoldPreferenceIsOneForNative) {
+  const auto l = make();
+  const auto& native = l.native_sequence();
+  const auto& iface = l.interface_positions();
+  for (std::size_t pos = 0; pos < l.receptor_length(); ++pos) {
+    if (std::binary_search(iface.begin(), iface.end(), pos)) continue;
+    EXPECT_DOUBLE_EQ(l.preference(pos, native[pos]), 1.0);
+  }
+}
+
+TEST(Landscape, PocketMutationTowardPreferenceHelps) {
+  const auto l = make();
+  const auto native = l.native_sequence();
+  const auto opt = l.greedy_optimal_sequence();
+  const auto pos = l.interface_positions()[0];
+  const auto improved = native.with_mutation(pos, opt[pos]);
+  EXPECT_GE(l.fitness(improved), l.fitness(native));
+}
+
+TEST(Landscape, ScaffoldMutationAwayFromNativeHurts) {
+  const auto l = make();
+  const auto native = l.native_sequence();
+  // Find an off-interface position and a chemically distant residue.
+  const auto& iface = l.interface_positions();
+  std::size_t pos = 0;
+  while (std::binary_search(iface.begin(), iface.end(), pos)) ++pos;
+  const AminoAcid current = native[pos];
+  const AminoAcid distant =
+      current == AminoAcid::kTrp ? AminoAcid::kGly : AminoAcid::kTrp;
+  const auto mutated = native.with_mutation(pos, distant);
+  EXPECT_LT(l.fitness(mutated), l.fitness(native));
+}
+
+TEST(Landscape, SeedSequenceHitsTargetFitness) {
+  const auto l = make();
+  common::Rng rng(9);
+  for (double target : {0.25, 0.4, 0.6}) {
+    const auto seq = l.seed_sequence(target, rng);
+    EXPECT_NEAR(l.fitness(seq), target, 0.05);
+  }
+}
+
+// Property sweep over target names: structural invariants of generated
+// landscapes hold for arbitrary targets.
+class LandscapeSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LandscapeSweep, InvariantsHold) {
+  const std::string name = GetParam();
+  FitnessLandscape l(name, 85 + name.size(), alpha_synuclein().tail(4),
+                     common::stable_hash(name));
+  EXPECT_EQ(l.target_name(), name);
+  EXPECT_GE(l.interface_positions().size(), 6u);
+  const double native_f = l.fitness(l.native_sequence());
+  const double greedy_f = l.fitness(l.greedy_optimal_sequence());
+  EXPECT_GT(native_f, 0.0);
+  EXPECT_LT(native_f, 0.6);  // natives are deliberately mediocre
+  EXPECT_GT(greedy_f, 0.7);  // strong optima exist
+  EXPECT_GT(greedy_f, native_f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, LandscapeSweep,
+                         ::testing::Values("NHERF3", "HTRA1", "SCRIB",
+                                           "SHANK1", "PDZ001", "PDZ042",
+                                           "SYNTHETIC-X"));
+
+}  // namespace
+}  // namespace impress::protein

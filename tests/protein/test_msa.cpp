@@ -1,0 +1,129 @@
+#include "protein/msa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fold/fold.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::protein {
+namespace {
+
+Sequence query() {
+  return make_target("MSA-T", 80, alpha_synuclein().tail(10)).start_receptor;
+}
+
+TEST(Msa, SingleSequenceMode) {
+  const Msa msa(query());
+  EXPECT_EQ(msa.depth(), 0u);
+  EXPECT_EQ(msa.length(), 80u);
+  EXPECT_EQ(msa.rows().size(), 1u);
+  EXPECT_DOUBLE_EQ(msa.effective_depth(), 0.0);
+  // Lone query: every column fully conserved, quality at the floor.
+  EXPECT_DOUBLE_EQ(msa.mean_conservation(), 1.0);
+  EXPECT_NEAR(msa.predictor_quality(), 0.55, 1e-12);
+}
+
+TEST(Msa, ConstructionValidates) {
+  common::Rng rng(1);
+  EXPECT_THROW(Msa(Sequence{}, 4, {}, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(Msa(query(), 4, {}, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(Msa(query(), 4, {999}, 0.2, rng), std::invalid_argument);
+}
+
+TEST(Msa, QueryIsFirstRowAndLengthsMatch) {
+  common::Rng rng(2);
+  const auto q = query();
+  const Msa msa(q, 16, {}, 0.3, rng);
+  EXPECT_EQ(msa.query(), q);
+  EXPECT_EQ(msa.depth(), 16u);
+  for (const auto& row : msa.rows()) EXPECT_EQ(row.size(), q.size());
+}
+
+TEST(Msa, ConservedPositionsStayConserved) {
+  common::Rng rng(3);
+  const auto q = query();
+  const std::vector<std::size_t> conserved{0, 10, 20, 30};
+  const Msa msa(q, 64, conserved, 0.5, rng);
+  const auto cons = msa.column_conservation();
+  double conserved_mean = 0.0, free_mean = 0.0;
+  for (auto pos : conserved) conserved_mean += cons[pos];
+  conserved_mean /= static_cast<double>(conserved.size());
+  std::size_t free_count = 0;
+  for (std::size_t pos = 0; pos < q.size(); ++pos) {
+    if (std::find(conserved.begin(), conserved.end(), pos) != conserved.end())
+      continue;
+    free_mean += cons[pos];
+    ++free_count;
+  }
+  free_mean /= static_cast<double>(free_count);
+  EXPECT_GT(conserved_mean, free_mean + 0.2);
+}
+
+TEST(Msa, EffectiveDepthCollapsesRedundantRows) {
+  common::Rng rng(4);
+  // Nearly identical homologs (tiny divergence): Neff stays far below
+  // the raw depth because >90%-identical rows collapse.
+  const Msa shallow(query(), 32, {}, 0.01, rng);
+  EXPECT_LT(shallow.effective_depth(), 8.0);
+  // Divergent homologs count individually.
+  const Msa deep(query(), 32, {}, 0.4, rng);
+  EXPECT_GT(deep.effective_depth(), 24.0);
+}
+
+TEST(Msa, PredictorQualitySaturatesWithDepth) {
+  common::Rng rng(5);
+  const Msa none(query());
+  const Msa small(query(), 4, {}, 0.4, rng);
+  const Msa big(query(), 64, {}, 0.4, rng);
+  EXPECT_LT(none.predictor_quality(), small.predictor_quality());
+  EXPECT_LT(small.predictor_quality(), big.predictor_quality());
+  EXPECT_LE(big.predictor_quality(), 1.0);
+  EXPECT_GT(big.predictor_quality(), 0.9);
+}
+
+TEST(Msa, DeepMsaSharpensTheClassifier) {
+  // The paper's SIV claim, end to end: the weak/strong pTM gap grows
+  // with MSA depth.
+  const auto target = make_target("MSA-E2E", 80, alpha_synuclein().tail(10));
+  const auto& l = target.landscape;
+  common::Rng msa_rng(6);
+  const Msa lone(l.native_sequence());
+  const Msa deep(l.native_sequence(), 64, l.interface_positions(), 0.4,
+                 msa_rng);
+
+  const fold::AlphaFold model;
+  auto gap = [&](const Msa& msa) {
+    common::Rng rng(7);
+    double weak = 0.0, strong = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      weak += model
+                  .predict_with_msa(
+                      target.start_complex().with_receptor(l.native_sequence()),
+                      msa, l, rng)
+                  .best()
+                  .metrics.ptm;
+      strong += model
+                    .predict_with_msa(target.start_complex().with_receptor(
+                                          l.greedy_optimal_sequence()),
+                                      msa, l, rng)
+                    .best()
+                    .metrics.ptm;
+    }
+    return (strong - weak) / 30.0;
+  };
+  EXPECT_GT(gap(deep), gap(lone) + 0.05);
+}
+
+TEST(Msa, DeterministicInRng) {
+  common::Rng r1(8), r2(8);
+  const Msa a(query(), 8, {1, 2}, 0.3, r1);
+  const Msa b(query(), 8, {1, 2}, 0.3, r2);
+  EXPECT_EQ(a.rows().size(), b.rows().size());
+  for (std::size_t i = 0; i < a.rows().size(); ++i)
+    EXPECT_EQ(a.rows()[i], b.rows()[i]);
+}
+
+}  // namespace
+}  // namespace impress::protein

@@ -1,0 +1,109 @@
+#include "protein/pdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "protein/geometry.hpp"
+
+namespace impress::protein {
+namespace {
+
+Structure two_chain() {
+  return Structure("cx",
+                   {Chain::idealized('A', Sequence::from_string("MKVLAGDE")),
+                    Chain::idealized('B', Sequence::from_string("EPEA"),
+                                     Vec3{8, 0, 0})});
+}
+
+TEST(Pdb, WriteContainsAtomTerEnd) {
+  const auto text = to_pdb(two_chain());
+  EXPECT_NE(text.find("ATOM"), std::string::npos);
+  EXPECT_NE(text.find("TER"), std::string::npos);
+  EXPECT_NE(text.find("END"), std::string::npos);
+  EXPECT_NE(text.find(" CA "), std::string::npos);
+  EXPECT_NE(text.find("MET"), std::string::npos);
+}
+
+TEST(Pdb, RoundTripPreservesSequencesAndChains) {
+  const auto original = two_chain();
+  const auto parsed = from_pdb(to_pdb(original), "cx");
+  ASSERT_EQ(parsed.chains().size(), 2u);
+  EXPECT_EQ(parsed.chain('A').sequence.to_string(), "MKVLAGDE");
+  EXPECT_EQ(parsed.chain('B').sequence.to_string(), "EPEA");
+}
+
+TEST(Pdb, RoundTripPreservesCoordinates) {
+  const auto original = two_chain();
+  const auto parsed = from_pdb(to_pdb(original));
+  const auto a = original.all_ca();
+  const auto b = parsed.all_ca();
+  ASSERT_EQ(a.size(), b.size());
+  // PDB format has 3 decimal places.
+  EXPECT_LT(rmsd_raw(a, b), 1e-3);
+}
+
+TEST(Pdb, RoundTripPreservesPlddtInBFactor) {
+  auto s = two_chain();
+  std::vector<double> plddt(s.size());
+  for (std::size_t i = 0; i < plddt.size(); ++i)
+    plddt[i] = 50.0 + static_cast<double>(i);
+  s.set_plddt(plddt);
+  const auto parsed = from_pdb(to_pdb(s));
+  ASSERT_EQ(parsed.plddt().size(), plddt.size());
+  for (std::size_t i = 0; i < plddt.size(); ++i)
+    EXPECT_NEAR(parsed.plddt()[i], plddt[i], 0.01);
+}
+
+TEST(Pdb, ParserSkipsNonCaAtoms) {
+  const std::string text =
+      "ATOM      1  N   ALA A   1       0.000   0.000   0.000  1.00  0.00           N\n"
+      "ATOM      2  CA  ALA A   1       1.000   2.000   3.000  1.00  0.00           C\n"
+      "ATOM      3  CB  ALA A   1       2.000   2.000   3.000  1.00  0.00           C\n"
+      "END\n";
+  const auto s = from_pdb(text);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s.chains()[0].ca[0].x, 1.0, 1e-9);
+}
+
+TEST(Pdb, ParserIgnoresNonAtomRecords) {
+  const std::string text =
+      "HEADER    TEST\nREMARK 1 whatever\n"
+      "ATOM      1  CA  GLY A   1       0.000   0.000   0.000  1.00  0.00           C\n"
+      "HETATM    2  CA  HOH A   2       0.000   0.000   0.000  1.00  0.00           O\n"
+      "END\n";
+  const auto s = from_pdb(text);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.chains()[0].sequence.to_string(), "G");
+}
+
+TEST(Pdb, TruncatedAtomThrows) {
+  EXPECT_THROW((void)from_pdb("ATOM      1  CA  GLY A"),
+               std::invalid_argument);
+}
+
+TEST(Pdb, UnknownResidueThrows) {
+  const std::string text =
+      "ATOM      1  CA  XXX A   1       0.000   0.000   0.000  1.00  0.00\n";
+  EXPECT_THROW((void)from_pdb(text), std::invalid_argument);
+}
+
+TEST(Pdb, EmptyInputGivesEmptyStructure) {
+  const auto s = from_pdb("");
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.chains().empty());
+}
+
+TEST(Pdb, ChainOrderPreserved) {
+  // Chain B appears before A in the file; order of appearance wins.
+  const std::string text =
+      "ATOM      1  CA  GLY B   1       0.000   0.000   0.000  1.00  0.00\n"
+      "ATOM      2  CA  ALA A   1       1.000   0.000   0.000  1.00  0.00\n";
+  const auto s = from_pdb(text);
+  ASSERT_EQ(s.chains().size(), 2u);
+  EXPECT_EQ(s.chains()[0].id, 'B');
+  EXPECT_EQ(s.chains()[1].id, 'A');
+}
+
+}  // namespace
+}  // namespace impress::protein

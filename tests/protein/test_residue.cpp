@@ -1,0 +1,95 @@
+#include "protein/residue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace impress::protein {
+namespace {
+
+TEST(Residue, TwentyDistinctAminoAcids) {
+  const auto& all = all_amino_acids();
+  EXPECT_EQ(all.size(), kNumAminoAcids);
+  std::set<char> codes;
+  for (auto aa : all) codes.insert(to_char(aa));
+  EXPECT_EQ(codes.size(), 20u);
+}
+
+TEST(Residue, OneLetterRoundTrip) {
+  for (auto aa : all_amino_acids()) {
+    const auto back = from_char(to_char(aa));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, aa);
+  }
+}
+
+TEST(Residue, ThreeLetterRoundTrip) {
+  for (auto aa : all_amino_acids()) {
+    const auto back = from_code3(to_code3(aa));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, aa);
+  }
+}
+
+TEST(Residue, ParsingIsCaseInsensitive) {
+  EXPECT_EQ(from_char('a'), AminoAcid::kAla);
+  EXPECT_EQ(from_char('A'), AminoAcid::kAla);
+  EXPECT_EQ(from_code3("ala"), AminoAcid::kAla);
+  EXPECT_EQ(from_code3("Trp"), AminoAcid::kTrp);
+}
+
+TEST(Residue, UnknownCodesRejected) {
+  EXPECT_FALSE(from_char('B').has_value());
+  EXPECT_FALSE(from_char('X').has_value());
+  EXPECT_FALSE(from_char('1').has_value());
+  EXPECT_FALSE(from_code3("XYZ").has_value());
+  EXPECT_FALSE(from_code3("AL").has_value());
+  EXPECT_FALSE(from_code3("ALAN").has_value());
+}
+
+TEST(Residue, KnownCodeMappings) {
+  EXPECT_EQ(to_char(AminoAcid::kGly), 'G');
+  EXPECT_EQ(to_char(AminoAcid::kTrp), 'W');
+  EXPECT_EQ(to_code3(AminoAcid::kLys), "LYS");
+  EXPECT_EQ(to_code3(AminoAcid::kGlu), "GLU");
+}
+
+TEST(Residue, HydropathyKnownValues) {
+  // Kyte-Doolittle: Ile most hydrophobic (4.5), Arg least (-4.5).
+  EXPECT_DOUBLE_EQ(hydropathy(AminoAcid::kIle), 4.5);
+  EXPECT_DOUBLE_EQ(hydropathy(AminoAcid::kArg), -4.5);
+  for (auto aa : all_amino_acids()) {
+    EXPECT_GE(hydropathy(aa), -4.5);
+    EXPECT_LE(hydropathy(aa), 4.5);
+  }
+}
+
+TEST(Residue, ChargeAssignments) {
+  EXPECT_EQ(charge(AminoAcid::kArg), 1);
+  EXPECT_EQ(charge(AminoAcid::kLys), 1);
+  EXPECT_EQ(charge(AminoAcid::kAsp), -1);
+  EXPECT_EQ(charge(AminoAcid::kGlu), -1);
+  EXPECT_EQ(charge(AminoAcid::kAla), 0);
+  EXPECT_EQ(charge(AminoAcid::kHis), 0);  // neutral at pH 7 by convention
+}
+
+TEST(Residue, VolumeOrdering) {
+  // Gly smallest, Trp largest.
+  for (auto aa : all_amino_acids()) {
+    EXPECT_GE(volume(aa), volume(AminoAcid::kGly));
+    EXPECT_LE(volume(aa), volume(AminoAcid::kTrp));
+  }
+}
+
+TEST(Residue, ChargedResiduesArePolar) {
+  for (auto aa : all_amino_acids()) {
+    if (charge(aa) != 0) {
+      EXPECT_TRUE(is_polar(aa));
+    }
+  }
+  EXPECT_FALSE(is_polar(AminoAcid::kLeu));
+  EXPECT_TRUE(is_polar(AminoAcid::kSer));
+}
+
+}  // namespace
+}  // namespace impress::protein

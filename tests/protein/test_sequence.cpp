@@ -1,0 +1,85 @@
+#include "protein/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace impress::protein {
+namespace {
+
+TEST(Sequence, FromStringRoundTrip) {
+  const auto s = Sequence::from_string("ACDEFGHIKLMNPQRSTVWY");
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(s.to_string(), "ACDEFGHIKLMNPQRSTVWY");
+}
+
+TEST(Sequence, FromStringRejectsInvalid) {
+  EXPECT_THROW(Sequence::from_string("ACX"), std::invalid_argument);
+  EXPECT_THROW(Sequence::from_string("AC D"), std::invalid_argument);
+  EXPECT_THROW(Sequence::from_string("123"), std::invalid_argument);
+}
+
+TEST(Sequence, EmptyBehaviour) {
+  const Sequence s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.to_string(), "");
+}
+
+TEST(Sequence, IndexingAndSet) {
+  auto s = Sequence::from_string("AAA");
+  EXPECT_EQ(s[0], AminoAcid::kAla);
+  s.set(1, AminoAcid::kTrp);
+  EXPECT_EQ(s.to_string(), "AWA");
+  EXPECT_THROW(s.set(5, AminoAcid::kTrp), std::out_of_range);
+  EXPECT_THROW((void)s.at(5), std::out_of_range);
+}
+
+TEST(Sequence, TailExtractsSuffix) {
+  const auto s = Sequence::from_string("MDVFMKGLSK");
+  EXPECT_EQ(s.tail(4).to_string(), "GLSK");
+  EXPECT_EQ(s.tail(0).to_string(), "");
+  EXPECT_EQ(s.tail(10).to_string(), "MDVFMKGLSK");
+  EXPECT_THROW((void)s.tail(11), std::out_of_range);
+}
+
+TEST(Sequence, WithMutationIsCopy) {
+  const auto s = Sequence::from_string("AAAA");
+  const auto m = s.with_mutation(2, AminoAcid::kGly);
+  EXPECT_EQ(s.to_string(), "AAAA");
+  EXPECT_EQ(m.to_string(), "AAGA");
+}
+
+TEST(Sequence, HammingDistance) {
+  const auto a = Sequence::from_string("AAAA");
+  const auto b = Sequence::from_string("AAGG");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(Sequence, HammingDistanceLengthMismatchThrows) {
+  const auto a = Sequence::from_string("AAA");
+  const auto b = Sequence::from_string("AAAA");
+  EXPECT_THROW((void)a.hamming_distance(b), std::invalid_argument);
+}
+
+TEST(Sequence, Identity) {
+  const auto a = Sequence::from_string("AAAA");
+  const auto b = Sequence::from_string("AAGG");
+  EXPECT_DOUBLE_EQ(a.identity(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.identity(a), 1.0);
+  EXPECT_DOUBLE_EQ(Sequence().identity(Sequence()), 1.0);
+}
+
+TEST(Sequence, EqualityAndIteration) {
+  const auto a = Sequence::from_string("MKV");
+  const auto b = Sequence::from_string("MKV");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Sequence::from_string("MKI"));
+  std::string collected;
+  for (auto aa : a) collected.push_back(to_char(aa));
+  EXPECT_EQ(collected, "MKV");
+}
+
+}  // namespace
+}  // namespace impress::protein

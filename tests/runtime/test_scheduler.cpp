@@ -1,0 +1,144 @@
+#include "runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace impress::rp {
+namespace {
+
+struct Fixture {
+  hpc::ResourcePool pool{hpc::amarel_node()};
+  std::vector<std::pair<TaskPtr, hpc::Allocation>> placed;
+
+  Scheduler make(SchedulerPolicy policy) {
+    return Scheduler(policy, pool, [this](TaskPtr t, hpc::Allocation a) {
+      placed.emplace_back(std::move(t), std::move(a));
+    });
+  }
+
+  static TaskPtr task(const std::string& name, std::uint32_t cores,
+                      std::uint32_t gpus = 0, int priority = 0) {
+    auto td = make_simple_task(name, cores, gpus, 1.0);
+    td.priority = priority;
+    return std::make_shared<Task>("task." + name, std::move(td));
+  }
+};
+
+TEST(SchedulerPolicyNames, Strings) {
+  EXPECT_EQ(to_string(SchedulerPolicy::kFifo), "FIFO");
+  EXPECT_EQ(to_string(SchedulerPolicy::kBackfill), "BACKFILL");
+}
+
+TEST(Scheduler, PlacesWhatFits) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kFifo);
+  s.enqueue(Fixture::task("a", 10));
+  s.enqueue(Fixture::task("b", 10));
+  EXPECT_EQ(s.try_schedule(), 2u);
+  EXPECT_EQ(f.placed.size(), 2u);
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+TEST(Scheduler, FifoHeadBlocksQueue) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kFifo);
+  // Occupy 22 cores so the 10-core head cannot start.
+  auto big = f.pool.allocate({.cores = 22});
+  ASSERT_TRUE(big);
+  s.enqueue(Fixture::task("head", 10));
+  s.enqueue(Fixture::task("small", 2));  // would fit, but FIFO blocks it
+  EXPECT_EQ(s.try_schedule(), 0u);
+  EXPECT_EQ(s.queue_length(), 2u);
+  f.pool.release(*big);
+  EXPECT_EQ(s.try_schedule(), 2u);
+}
+
+TEST(Scheduler, BackfillSkipsBlockedHead) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  auto big = f.pool.allocate({.cores = 22});
+  ASSERT_TRUE(big);
+  s.enqueue(Fixture::task("head", 10));
+  s.enqueue(Fixture::task("small", 2));
+  EXPECT_EQ(s.try_schedule(), 1u);
+  ASSERT_EQ(f.placed.size(), 1u);
+  EXPECT_EQ(f.placed[0].first->description().name, "small");
+  EXPECT_EQ(s.queue_length(), 1u);
+  f.pool.release(*big);
+}
+
+TEST(Scheduler, BackfillHonorsPriority) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  s.enqueue(Fixture::task("low", 2, 0, 0));
+  s.enqueue(Fixture::task("high", 2, 0, 5));
+  s.try_schedule();
+  ASSERT_EQ(f.placed.size(), 2u);
+  EXPECT_EQ(f.placed[0].first->description().name, "high");
+}
+
+TEST(Scheduler, BackfillStableWithinPriority) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  s.enqueue(Fixture::task("first", 2));
+  s.enqueue(Fixture::task("second", 2));
+  s.try_schedule();
+  ASSERT_EQ(f.placed.size(), 2u);
+  EXPECT_EQ(f.placed[0].first->description().name, "first");
+}
+
+TEST(Scheduler, RemoveDequeuesTask) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kFifo);
+  auto t = Fixture::task("a", 2);
+  s.enqueue(t);
+  EXPECT_TRUE(s.remove(t));
+  EXPECT_FALSE(s.remove(t));
+  EXPECT_EQ(s.queue_length(), 0u);
+  EXPECT_EQ(s.try_schedule(), 0u);
+}
+
+TEST(Scheduler, GpuContentionLimitsPlacement) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  for (int i = 0; i < 6; ++i)
+    s.enqueue(Fixture::task("g" + std::to_string(i), 1, 1));
+  EXPECT_EQ(s.try_schedule(), 4u);  // only 4 GPUs
+  EXPECT_EQ(s.queue_length(), 2u);
+}
+
+TEST(Scheduler, AllocationsMatchRequests) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  s.enqueue(Fixture::task("a", 5, 2));
+  s.try_schedule();
+  ASSERT_EQ(f.placed.size(), 1u);
+  EXPECT_EQ(f.placed[0].second.cores.size(), 5u);
+  EXPECT_EQ(f.placed[0].second.gpus.size(), 2u);
+}
+
+class SchedulerPolicySweep : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(SchedulerPolicySweep, EventuallyDrainsQueue) {
+  Fixture f;
+  auto s = f.make(GetParam());
+  for (int i = 0; i < 20; ++i)
+    s.enqueue(Fixture::task("t" + std::to_string(i), 7, i % 2));
+  // Repeatedly schedule and free everything placed, as completions would.
+  int rounds = 0;
+  while (s.queue_length() > 0 && rounds < 100) {
+    s.try_schedule();
+    for (auto& [t, a] : f.placed) f.pool.release(a);
+    f.placed.clear();
+    ++rounds;
+  }
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerPolicySweep,
+                         ::testing::Values(SchedulerPolicy::kFifo,
+                                           SchedulerPolicy::kBackfill));
+
+}  // namespace
+}  // namespace impress::rp

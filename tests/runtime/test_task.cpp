@@ -1,0 +1,120 @@
+#include "runtime/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace impress::rp {
+namespace {
+
+TEST(TaskState, Names) {
+  EXPECT_EQ(to_string(TaskState::kNew), "NEW");
+  EXPECT_EQ(to_string(TaskState::kSubmitted), "SUBMITTED");
+  EXPECT_EQ(to_string(TaskState::kScheduling), "SCHEDULING");
+  EXPECT_EQ(to_string(TaskState::kExecuting), "EXECUTING");
+  EXPECT_EQ(to_string(TaskState::kDone), "DONE");
+  EXPECT_EQ(to_string(TaskState::kFailed), "FAILED");
+  EXPECT_EQ(to_string(TaskState::kCancelled), "CANCELLED");
+}
+
+TEST(TaskState, TerminalClassification) {
+  EXPECT_FALSE(is_terminal(TaskState::kNew));
+  EXPECT_FALSE(is_terminal(TaskState::kSubmitted));
+  EXPECT_FALSE(is_terminal(TaskState::kScheduling));
+  EXPECT_FALSE(is_terminal(TaskState::kExecuting));
+  EXPECT_TRUE(is_terminal(TaskState::kDone));
+  EXPECT_TRUE(is_terminal(TaskState::kFailed));
+  EXPECT_TRUE(is_terminal(TaskState::kCancelled));
+}
+
+TEST(TaskDescription, NormalizeAddsDefaultPhase) {
+  TaskDescription td;
+  td.name = "t";
+  td.resources = {.cores = 3, .gpus = 1, .mem_gb = 0.0};
+  td.validate_and_normalize();
+  ASSERT_EQ(td.phases.size(), 1u);
+  EXPECT_EQ(td.phases[0].cores, 3u);
+  EXPECT_EQ(td.phases[0].gpus, 1u);
+}
+
+TEST(TaskDescription, RejectsNoResources) {
+  TaskDescription td;
+  td.name = "t";
+  td.resources = {.cores = 0, .gpus = 0, .mem_gb = 0.0};
+  EXPECT_THROW(td.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(TaskDescription, RejectsPhaseExceedingAllocation) {
+  TaskDescription td;
+  td.name = "t";
+  td.resources = {.cores = 2, .gpus = 0, .mem_gb = 0.0};
+  td.phases.push_back(TaskPhase{.name = "p", .duration_s = 1.0, .cores = 4});
+  EXPECT_THROW(td.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(TaskDescription, RejectsNegativeDuration) {
+  TaskDescription td;
+  td.name = "t";
+  td.resources = {.cores = 1, .gpus = 0, .mem_gb = 0.0};
+  td.phases.push_back(TaskPhase{.name = "p", .duration_s = -1.0, .cores = 1});
+  EXPECT_THROW(td.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(TaskDescription, RejectsBadIntensity) {
+  TaskDescription td;
+  td.name = "t";
+  td.resources = {.cores = 1, .gpus = 0, .mem_gb = 0.0};
+  td.phases.push_back(
+      TaskPhase{.name = "p", .duration_s = 1.0, .cores = 1, .cpu_intensity = 1.5});
+  EXPECT_THROW(td.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(TaskDescription, TotalDurationSumsPhases) {
+  TaskDescription td = make_simple_task("t", 1, 0, 5.0);
+  td.phases.push_back(TaskPhase{.name = "p2", .duration_s = 3.0, .cores = 1});
+  EXPECT_DOUBLE_EQ(td.total_duration_s(), 8.0);
+}
+
+TEST(MakeSimpleTask, FillsFields) {
+  const auto td = make_simple_task("x", 2, 1, 60.0);
+  EXPECT_EQ(td.name, "x");
+  EXPECT_EQ(td.resources.cores, 2u);
+  EXPECT_EQ(td.resources.gpus, 1u);
+  ASSERT_EQ(td.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(td.phases[0].duration_s, 60.0);
+}
+
+TEST(Task, ConstructionValidates) {
+  TaskDescription bad;
+  bad.name = "bad";
+  bad.resources = {.cores = 0, .gpus = 0, .mem_gb = 0.0};
+  EXPECT_THROW(Task("task.0", bad), std::invalid_argument);
+}
+
+TEST(Task, InitialState) {
+  Task t("task.0", make_simple_task("t", 1, 0, 1.0));
+  EXPECT_EQ(t.uid(), "task.0");
+  EXPECT_EQ(t.state(), TaskState::kNew);
+  EXPECT_TRUE(t.allocation().empty());
+  EXPECT_FALSE(t.result().has_value());
+}
+
+TEST(Task, StateTimestampsRecordFirstEntry) {
+  Task t("task.0", make_simple_task("t", 1, 0, 1.0));
+  EXPECT_TRUE(std::isnan(t.state_time(TaskState::kDone)));
+  t.set_state(TaskState::kDone, 12.5);
+  EXPECT_DOUBLE_EQ(t.state_time(TaskState::kDone), 12.5);
+  t.set_state(TaskState::kDone, 99.0);  // re-entry keeps the first time
+  EXPECT_DOUBLE_EQ(t.state_time(TaskState::kDone), 12.5);
+}
+
+TEST(Task, ResultTypedAccess) {
+  Task t("task.0", make_simple_task("t", 1, 0, 1.0));
+  t.set_result(std::any(42));
+  EXPECT_EQ(t.result_as<int>(), 42);
+  EXPECT_THROW((void)t.result_as<std::string>(), std::bad_any_cast);
+}
+
+}  // namespace
+}  // namespace impress::rp

@@ -1,0 +1,188 @@
+#include "runtime/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/session.hpp"
+
+namespace impress::rp {
+namespace {
+
+using NodeState = TaskGraph::Execution::NodeState;
+
+PilotDescription node4() {
+  PilotDescription pd;
+  pd.nodes = {hpc::NodeSpec{.name = "n", .cores = 4, .gpus = 0, .mem_gb = 8.0}};
+  return pd;
+}
+
+TEST(TaskGraph, AddAndEdgeValidation) {
+  TaskGraph g;
+  const auto a = g.add(make_simple_task("a", 1, 0, 1.0));
+  const auto b = g.add(make_simple_task("b", 1, 0, 1.0));
+  EXPECT_EQ(g.size(), 2u);
+  g.add_edge(a, b);
+  g.add_edge(a, b);  // duplicate is idempotent
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 99), std::out_of_range);
+  g.validate();
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const auto a = g.add(make_simple_task("a", 1, 0, 1.0));
+  const auto b = g.add(make_simple_task("b", 1, 0, 1.0));
+  const auto c = g.add(make_simple_task("c", 1, 0, 1.0));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, ChainRunsInOrder) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node4());
+  std::vector<TaskDescription> stages;
+  for (int i = 0; i < 5; ++i)
+    stages.push_back(make_simple_task("s" + std::to_string(i), 4, 0, 10.0));
+  const auto graph = make_chain(std::move(stages));
+  const auto exec = graph.run(session.task_manager());
+  session.run();
+  ASSERT_TRUE(exec->finished());
+  EXPECT_FALSE(exec->failed());
+  EXPECT_EQ(exec->done_count(), 5u);
+  // Strict ordering: each stage's exec starts after the previous stops.
+  for (TaskGraph::NodeId i = 1; i < 5; ++i) {
+    const double prev_done = exec->task(i - 1)->state_time(TaskState::kDone);
+    const double next_exec = exec->task(i)->state_time(TaskState::kExecuting);
+    EXPECT_GE(next_exec, prev_done);
+  }
+  // A 5-stage chain of 10 s tasks takes 50 s even on a wide node.
+  EXPECT_DOUBLE_EQ(session.now(), 50.0);
+}
+
+TEST(TaskGraph, DiamondJoinsBeforeSink) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node4());
+  TaskGraph g;
+  const auto src = g.add(make_simple_task("src", 1, 0, 5.0));
+  const auto left = g.add(make_simple_task("left", 1, 0, 30.0));
+  const auto right = g.add(make_simple_task("right", 1, 0, 10.0));
+  const auto sink = g.add(make_simple_task("sink", 1, 0, 5.0));
+  g.add_edge(src, left);
+  g.add_edge(src, right);
+  g.add_edge(left, sink);
+  g.add_edge(right, sink);
+  const auto exec = g.run(session.task_manager());
+  session.run();
+  EXPECT_EQ(exec->done_count(), 4u);
+  // Branches ran concurrently: 5 + max(30,10) + 5 = 40.
+  EXPECT_DOUBLE_EQ(session.now(), 40.0);
+  EXPECT_GE(exec->task(sink)->state_time(TaskState::kExecuting),
+            exec->task(left)->state_time(TaskState::kDone));
+}
+
+TEST(TaskGraph, IndependentNodesRunConcurrently) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node4());
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i)
+    g.add(make_simple_task("p" + std::to_string(i), 1, 0, 20.0));
+  const auto exec = g.run(session.task_manager());
+  session.run();
+  EXPECT_EQ(exec->done_count(), 4u);
+  EXPECT_DOUBLE_EQ(session.now(), 20.0);  // all four fit the node at once
+}
+
+TEST(TaskGraph, FailureSkipsTransitiveDependents) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node4());
+  TaskGraph g;
+  const auto ok = g.add(make_simple_task("ok", 1, 0, 5.0));
+  const auto bad = g.add(make_simple_task(
+      "bad", 1, 0, 5.0,
+      [](Task&) -> std::any { throw std::runtime_error("boom"); }));
+  const auto child = g.add(make_simple_task("child", 1, 0, 5.0));
+  const auto grandchild = g.add(make_simple_task("grandchild", 1, 0, 5.0));
+  const auto sibling = g.add(make_simple_task("sibling", 1, 0, 5.0));
+  g.add_edge(bad, child);
+  g.add_edge(child, grandchild);
+  g.add_edge(ok, sibling);
+  const auto exec = g.run(session.task_manager());
+  session.run();
+  ASSERT_TRUE(exec->finished());
+  EXPECT_TRUE(exec->failed());
+  EXPECT_EQ(exec->state(bad), NodeState::kFailed);
+  EXPECT_EQ(exec->state(child), NodeState::kSkipped);
+  EXPECT_EQ(exec->state(grandchild), NodeState::kSkipped);
+  EXPECT_EQ(exec->state(ok), NodeState::kDone);
+  EXPECT_EQ(exec->state(sibling), NodeState::kDone);
+  EXPECT_EQ(exec->skipped_count(), 2u);
+  // Skipped nodes were never submitted.
+  EXPECT_EQ(exec->task(child), nullptr);
+}
+
+TEST(TaskGraph, ResultsFlowThroughWorkFunctions) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node4());
+  TaskGraph g;
+  const auto producer = g.add(make_simple_task(
+      "produce", 1, 0, 1.0, [](Task&) -> std::any { return 21; }));
+  const auto consumer = g.add(make_simple_task("consume", 1, 0, 1.0));
+  g.add_edge(producer, consumer);
+  const auto exec = g.run(session.task_manager());
+  session.run();
+  EXPECT_EQ(exec->task(producer)->result_as<int>(), 21);
+}
+
+TEST(TaskGraph, GraphReusableAcrossRuns) {
+  TaskGraph g = make_chain({make_simple_task("a", 1, 0, 5.0),
+                            make_simple_task("b", 1, 0, 5.0)});
+  for (int round = 0; round < 2; ++round) {
+    Session session{SessionConfig{}};
+    session.submit_pilot(node4());
+    const auto exec = g.run(session.task_manager());
+    session.run();
+    EXPECT_EQ(exec->done_count(), 2u);
+  }
+}
+
+TEST(TaskGraph, ThreadedModeWorks) {
+  SessionConfig cfg;
+  cfg.mode = ExecutionMode::kThreaded;
+  cfg.time_scale = 1e-3;
+  Session session{cfg};
+  session.submit_pilot(node4());
+  TaskGraph g;
+  const auto a = g.add(make_simple_task("a", 1, 0, 10.0));
+  const auto b = g.add(make_simple_task("b", 1, 0, 10.0));
+  const auto c = g.add(make_simple_task("c", 2, 0, 10.0));
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const auto exec = g.run(session.task_manager());
+  session.run();
+  ASSERT_TRUE(exec->finished());
+  EXPECT_EQ(exec->done_count(), 3u);
+}
+
+class ChainLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainLengthSweep, MakespanIsSumOfStages) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node4());
+  std::vector<TaskDescription> stages;
+  for (int i = 0; i < GetParam(); ++i)
+    stages.push_back(make_simple_task("s" + std::to_string(i), 1, 0, 7.0));
+  const auto graph = make_chain(std::move(stages));
+  const auto exec = graph.run(session.task_manager());
+  session.run();
+  EXPECT_TRUE(exec->finished());
+  EXPECT_DOUBLE_EQ(session.now(), 7.0 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainLengthSweep,
+                         ::testing::Values(1, 2, 8, 20));
+
+}  // namespace
+}  // namespace impress::rp

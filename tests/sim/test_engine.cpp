@@ -1,0 +1,209 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace impress::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, FiresEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EqualTimestampsFireInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleAfterAddsDelay) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_after(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_at(3.0, [&] { fired_at = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 10.0);
+}
+
+TEST(Engine, NegativeDelayClampsToZero) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(7.0, [&] {
+    e.schedule_after(-2.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 7.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const auto id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.fired_events(), 0u);
+}
+
+TEST(Engine, CancelTwiceFails) {
+  Engine e;
+  const auto id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelAfterFireFails) {
+  Engine e;
+  const auto id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelledEventDoesNotAdvanceClock) {
+  Engine e;
+  const auto id = e.schedule_at(100.0, [] {});
+  e.schedule_at(1.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RunReturnsEventCount) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  EXPECT_EQ(e.run(), 5u);
+  EXPECT_EQ(e.fired_events(), 5u);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<double> times;
+  for (int i = 1; i <= 10; ++i)
+    e.schedule_at(i, [&times, &e] { times.push_back(e.now()); });
+  const auto fired = e.run_until(5.0);
+  EXPECT_EQ(fired, 5u);
+  EXPECT_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pending_events(), 5u);
+  // Continue to completion.
+  e.run();
+  EXPECT_EQ(times.size(), 10u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  e.run_until(42.0);
+  EXPECT_EQ(e.now(), 42.0);
+}
+
+TEST(Engine, RunUntilInclusiveOfBoundaryEvents) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(5.0, [&] { fired = true; });
+  e.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending_events(), 1u);
+  // A fresh run resumes.
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsCanScheduleChains) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99.0);
+}
+
+TEST(Engine, PendingEventsAccounting) {
+  Engine e;
+  const auto a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+// Property: any interleaving of schedules fires in nondecreasing time.
+class EngineOrderSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineOrderSweep, MonotoneClock) {
+  Engine e;
+  unsigned state = GetParam() * 2654435761u + 12345u;
+  std::vector<double> fire_times;
+  for (int i = 0; i < 200; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double t = static_cast<double>(state % 1000) / 10.0;
+    e.schedule_at(t, [&fire_times, &e] { fire_times.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(fire_times.size(), 200u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i)
+    EXPECT_GE(fire_times[i], fire_times[i - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Interleavings, EngineOrderSweep,
+                         ::testing::Range(1u, 7u));
+
+}  // namespace
+}  // namespace impress::sim

@@ -1,0 +1,101 @@
+// The task factories: resource footprints and phase structure of the
+// ProteinMPNN / AlphaFold task descriptions, and their end-to-end
+// execution through the simulated runtime.
+
+#include <gtest/gtest.h>
+
+#include "fold/fold_task.hpp"
+#include "mpnn/mpnn_task.hpp"
+#include "runtime/session.hpp"
+
+namespace impress {
+namespace {
+
+TEST(MpnnTask, SinglePhaseGpuResident) {
+  const mpnn::MpnnDurationModel model;
+  const auto td = mpnn::make_mpnn_task("m", 1, model, {});
+  ASSERT_EQ(td.phases.size(), 1u);
+  EXPECT_EQ(td.resources.gpus, model.gpus);
+  EXPECT_EQ(td.resources.cores, model.cores);
+  EXPECT_DOUBLE_EQ(td.phases[0].duration_s, model.seconds_per_structure);
+  EXPECT_EQ(td.metadata.at("app"), "proteinmpnn");
+}
+
+TEST(MpnnTask, DurationScalesWithStructures) {
+  const mpnn::MpnnDurationModel model;
+  const auto td = mpnn::make_mpnn_task("m", 4, model, {});
+  EXPECT_DOUBLE_EQ(td.phases[0].duration_s, 4.0 * model.seconds_per_structure);
+}
+
+TEST(FoldTask, TwoPhaseCpuThenGpu) {
+  const fold::FoldDurationModel model;
+  const auto td = fold::make_fold_task("f", model, {});
+  ASSERT_EQ(td.phases.size(), 2u);
+  EXPECT_EQ(td.phases[0].name, "msa_features");
+  EXPECT_EQ(td.phases[0].gpus, 0u);         // GPUs idle during features
+  EXPECT_GT(td.phases[0].cores, td.phases[1].cores);
+  EXPECT_EQ(td.phases[1].name, "inference");
+  EXPECT_EQ(td.phases[1].gpus, 1u);
+  EXPECT_EQ(td.metadata.at("features"), "computed");
+  // Allocation covers the widest phase.
+  EXPECT_EQ(td.resources.cores, model.feature_cores);
+  EXPECT_EQ(td.resources.gpus, 1u);
+}
+
+TEST(FoldTask, FeatureReuseSkipsCpuPhase) {
+  fold::FoldDurationModel model;
+  model.reuse_features = true;
+  const auto td = fold::make_fold_task("f", model, {});
+  ASSERT_EQ(td.phases.size(), 1u);
+  EXPECT_EQ(td.phases[0].name, "inference");
+  EXPECT_EQ(td.resources.cores, model.inference_cores);
+  EXPECT_EQ(td.metadata.at("features"), "cached");
+}
+
+TEST(FoldTask, RunsThroughRuntimeWithCorrectTiming) {
+  rp::SessionConfig cfg;
+  rp::Session session(cfg);
+  rp::PilotDescription pd;  // default amarel node, zero overheads
+  auto pilot = session.submit_pilot(pd);
+
+  fold::FoldDurationModel model;
+  model.features_s = 1000.0;
+  model.features_jitter = 0.0;
+  model.inference_s = 500.0;
+  model.inference_jitter = 0.0;
+  auto task = session.task_manager().submit(fold::make_fold_task(
+      "f", model, [](rp::Task&) -> std::any { return 1; }));
+  session.run();
+  EXPECT_EQ(task->state(), rp::TaskState::kDone);
+  EXPECT_DOUBLE_EQ(session.now(), 1500.0);
+
+  // GPU only busy during the inference phase.
+  const auto features_window = pilot->recorder().summarize(0.0, 1000.0);
+  EXPECT_DOUBLE_EQ(features_window.gpu_active, 0.0);
+  const auto inference_window = pilot->recorder().summarize(1000.0, 1500.0);
+  EXPECT_GT(inference_window.gpu_active, 0.0);
+}
+
+TEST(FoldTask, FeatureStagesContendForCores) {
+  // Amarel: 28 cores; three 7-core feature stages fit, a fourth waits for
+  // the GPU-phase shrink... with whole-task allocations, 4 x 7 = 28 fit.
+  rp::SessionConfig cfg;
+  rp::Session session(cfg);
+  rp::PilotDescription pd;
+  session.submit_pilot(pd);
+  fold::FoldDurationModel model;
+  model.features_s = 1000.0;
+  model.features_jitter = 0.0;
+  model.inference_s = 0.0;
+  model.inference_jitter = 0.0;
+  model.feature_cores = 12;
+  for (int i = 0; i < 4; ++i)
+    session.task_manager().submit(
+        fold::make_fold_task("f" + std::to_string(i), model, {}));
+  session.run();
+  // 12-core tasks: two fit (24 <= 28), so 4 tasks take two rounds.
+  EXPECT_DOUBLE_EQ(session.now(), 2000.0);
+}
+
+}  // namespace
+}  // namespace impress
