@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_surrogates.dir/bench_micro_surrogates.cpp.o"
+  "CMakeFiles/bench_micro_surrogates.dir/bench_micro_surrogates.cpp.o.d"
+  "bench_micro_surrogates"
+  "bench_micro_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

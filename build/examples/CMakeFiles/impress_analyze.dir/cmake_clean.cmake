@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_analyze.dir/impress_analyze.cpp.o"
+  "CMakeFiles/impress_analyze.dir/impress_analyze.cpp.o.d"
+  "impress_analyze"
+  "impress_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

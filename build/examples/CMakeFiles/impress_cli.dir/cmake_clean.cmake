@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_cli.dir/impress_cli.cpp.o"
+  "CMakeFiles/impress_cli.dir/impress_cli.cpp.o.d"
+  "impress_cli"
+  "impress_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

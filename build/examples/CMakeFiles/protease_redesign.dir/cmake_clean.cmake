@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protease_redesign.dir/protease_redesign.cpp.o"
+  "CMakeFiles/protease_redesign.dir/protease_redesign.cpp.o.d"
+  "protease_redesign"
+  "protease_redesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protease_redesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for protease_redesign.
+# This may be replaced when dependencies are built.

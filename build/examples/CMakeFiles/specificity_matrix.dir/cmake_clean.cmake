@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specificity_matrix.dir/specificity_matrix.cpp.o"
+  "CMakeFiles/specificity_matrix.dir/specificity_matrix.cpp.o.d"
+  "specificity_matrix"
+  "specificity_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specificity_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/utilization_monitor.cpp" "examples/CMakeFiles/utilization_monitor.dir/utilization_monitor.cpp.o" "gcc" "examples/CMakeFiles/utilization_monitor.dir/utilization_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impress_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpnn/CMakeFiles/impress_mpnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/impress_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/impress_protein.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/impress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_monitor.dir/utilization_monitor.cpp.o"
+  "CMakeFiles/utilization_monitor.dir/utilization_monitor.cpp.o.d"
+  "utilization_monitor"
+  "utilization_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

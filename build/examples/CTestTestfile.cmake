@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_custom_generator]=] "/root/repo/build/examples/custom_generator")
+set_tests_properties([=[example_custom_generator]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_protease_redesign]=] "/root/repo/build/examples/protease_redesign")
+set_tests_properties([=[example_protease_redesign]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_utilization_monitor]=] "/root/repo/build/examples/utilization_monitor")
+set_tests_properties([=[example_utilization_monitor]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_specificity]=] "/root/repo/build/examples/specificity_matrix")
+set_tests_properties([=[example_specificity]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_smoke]=] "/root/repo/build/examples/impress_cli" "--targets" "1" "--cycles" "2" "--dump" "/root/repo/build/examples/smoke.json")
+set_tests_properties([=[example_cli_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_analyze_smoke]=] "/root/repo/build/examples/impress_analyze" "/root/repo/build/examples/smoke.json" "--cycles" "2")
+set_tests_properties([=[example_analyze_smoke]=] PROPERTIES  DEPENDS "example_cli_smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

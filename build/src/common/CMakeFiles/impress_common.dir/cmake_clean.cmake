@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_common.dir/ascii_chart.cpp.o"
+  "CMakeFiles/impress_common.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/impress_common.dir/histogram.cpp.o"
+  "CMakeFiles/impress_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/impress_common.dir/json.cpp.o"
+  "CMakeFiles/impress_common.dir/json.cpp.o.d"
+  "CMakeFiles/impress_common.dir/logging.cpp.o"
+  "CMakeFiles/impress_common.dir/logging.cpp.o.d"
+  "CMakeFiles/impress_common.dir/rng.cpp.o"
+  "CMakeFiles/impress_common.dir/rng.cpp.o.d"
+  "CMakeFiles/impress_common.dir/stats.cpp.o"
+  "CMakeFiles/impress_common.dir/stats.cpp.o.d"
+  "CMakeFiles/impress_common.dir/string_util.cpp.o"
+  "CMakeFiles/impress_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/impress_common.dir/table.cpp.o"
+  "CMakeFiles/impress_common.dir/table.cpp.o.d"
+  "CMakeFiles/impress_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/impress_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/impress_common.dir/time_util.cpp.o"
+  "CMakeFiles/impress_common.dir/time_util.cpp.o.d"
+  "CMakeFiles/impress_common.dir/uid.cpp.o"
+  "CMakeFiles/impress_common.dir/uid.cpp.o.d"
+  "libimpress_common.a"
+  "libimpress_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

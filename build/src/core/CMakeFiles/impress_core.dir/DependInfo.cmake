@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/impress_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/impress_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/crossover_generator.cpp" "src/core/CMakeFiles/impress_core.dir/crossover_generator.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/crossover_generator.cpp.o.d"
+  "/root/repo/src/core/dpo_generator.cpp" "src/core/CMakeFiles/impress_core.dir/dpo_generator.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/dpo_generator.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/impress_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/impress_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/impress_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/impress_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/session_dump.cpp" "src/core/CMakeFiles/impress_core.dir/session_dump.cpp.o" "gcc" "src/core/CMakeFiles/impress_core.dir/session_dump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/impress_protein.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpnn/CMakeFiles/impress_mpnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/impress_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/impress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_core.dir/campaign.cpp.o"
+  "CMakeFiles/impress_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/impress_core.dir/coordinator.cpp.o"
+  "CMakeFiles/impress_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/impress_core.dir/crossover_generator.cpp.o"
+  "CMakeFiles/impress_core.dir/crossover_generator.cpp.o.d"
+  "CMakeFiles/impress_core.dir/dpo_generator.cpp.o"
+  "CMakeFiles/impress_core.dir/dpo_generator.cpp.o.d"
+  "CMakeFiles/impress_core.dir/export.cpp.o"
+  "CMakeFiles/impress_core.dir/export.cpp.o.d"
+  "CMakeFiles/impress_core.dir/generator.cpp.o"
+  "CMakeFiles/impress_core.dir/generator.cpp.o.d"
+  "CMakeFiles/impress_core.dir/pipeline.cpp.o"
+  "CMakeFiles/impress_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/impress_core.dir/report.cpp.o"
+  "CMakeFiles/impress_core.dir/report.cpp.o.d"
+  "CMakeFiles/impress_core.dir/session_dump.cpp.o"
+  "CMakeFiles/impress_core.dir/session_dump.cpp.o.d"
+  "libimpress_core.a"
+  "libimpress_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_fold.dir/fold.cpp.o"
+  "CMakeFiles/impress_fold.dir/fold.cpp.o.d"
+  "CMakeFiles/impress_fold.dir/fold_task.cpp.o"
+  "CMakeFiles/impress_fold.dir/fold_task.cpp.o.d"
+  "libimpress_fold.a"
+  "libimpress_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/analytics.cpp" "src/hpc/CMakeFiles/impress_hpc.dir/analytics.cpp.o" "gcc" "src/hpc/CMakeFiles/impress_hpc.dir/analytics.cpp.o.d"
+  "/root/repo/src/hpc/gantt.cpp" "src/hpc/CMakeFiles/impress_hpc.dir/gantt.cpp.o" "gcc" "src/hpc/CMakeFiles/impress_hpc.dir/gantt.cpp.o.d"
+  "/root/repo/src/hpc/profiler.cpp" "src/hpc/CMakeFiles/impress_hpc.dir/profiler.cpp.o" "gcc" "src/hpc/CMakeFiles/impress_hpc.dir/profiler.cpp.o.d"
+  "/root/repo/src/hpc/resource_pool.cpp" "src/hpc/CMakeFiles/impress_hpc.dir/resource_pool.cpp.o" "gcc" "src/hpc/CMakeFiles/impress_hpc.dir/resource_pool.cpp.o.d"
+  "/root/repo/src/hpc/utilization.cpp" "src/hpc/CMakeFiles/impress_hpc.dir/utilization.cpp.o" "gcc" "src/hpc/CMakeFiles/impress_hpc.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_hpc.dir/analytics.cpp.o"
+  "CMakeFiles/impress_hpc.dir/analytics.cpp.o.d"
+  "CMakeFiles/impress_hpc.dir/gantt.cpp.o"
+  "CMakeFiles/impress_hpc.dir/gantt.cpp.o.d"
+  "CMakeFiles/impress_hpc.dir/profiler.cpp.o"
+  "CMakeFiles/impress_hpc.dir/profiler.cpp.o.d"
+  "CMakeFiles/impress_hpc.dir/resource_pool.cpp.o"
+  "CMakeFiles/impress_hpc.dir/resource_pool.cpp.o.d"
+  "CMakeFiles/impress_hpc.dir/utilization.cpp.o"
+  "CMakeFiles/impress_hpc.dir/utilization.cpp.o.d"
+  "libimpress_hpc.a"
+  "libimpress_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_mpnn.dir/mpnn.cpp.o"
+  "CMakeFiles/impress_mpnn.dir/mpnn.cpp.o.d"
+  "CMakeFiles/impress_mpnn.dir/mpnn_task.cpp.o"
+  "CMakeFiles/impress_mpnn.dir/mpnn_task.cpp.o.d"
+  "libimpress_mpnn.a"
+  "libimpress_mpnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_mpnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for impress_mpnn.
+# This may be replaced when dependencies are built.

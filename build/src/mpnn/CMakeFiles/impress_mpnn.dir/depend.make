@@ -1,0 +1,2 @@
+# Empty dependencies file for impress_mpnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protein/contacts.cpp" "src/protein/CMakeFiles/impress_protein.dir/contacts.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/contacts.cpp.o.d"
+  "/root/repo/src/protein/datasets.cpp" "src/protein/CMakeFiles/impress_protein.dir/datasets.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/datasets.cpp.o.d"
+  "/root/repo/src/protein/fasta.cpp" "src/protein/CMakeFiles/impress_protein.dir/fasta.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/fasta.cpp.o.d"
+  "/root/repo/src/protein/geometry.cpp" "src/protein/CMakeFiles/impress_protein.dir/geometry.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/geometry.cpp.o.d"
+  "/root/repo/src/protein/landscape.cpp" "src/protein/CMakeFiles/impress_protein.dir/landscape.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/landscape.cpp.o.d"
+  "/root/repo/src/protein/msa.cpp" "src/protein/CMakeFiles/impress_protein.dir/msa.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/msa.cpp.o.d"
+  "/root/repo/src/protein/pdb.cpp" "src/protein/CMakeFiles/impress_protein.dir/pdb.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/pdb.cpp.o.d"
+  "/root/repo/src/protein/residue.cpp" "src/protein/CMakeFiles/impress_protein.dir/residue.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/residue.cpp.o.d"
+  "/root/repo/src/protein/sequence.cpp" "src/protein/CMakeFiles/impress_protein.dir/sequence.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/sequence.cpp.o.d"
+  "/root/repo/src/protein/structure.cpp" "src/protein/CMakeFiles/impress_protein.dir/structure.cpp.o" "gcc" "src/protein/CMakeFiles/impress_protein.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

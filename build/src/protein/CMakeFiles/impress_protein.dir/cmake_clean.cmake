@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_protein.dir/contacts.cpp.o"
+  "CMakeFiles/impress_protein.dir/contacts.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/datasets.cpp.o"
+  "CMakeFiles/impress_protein.dir/datasets.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/fasta.cpp.o"
+  "CMakeFiles/impress_protein.dir/fasta.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/geometry.cpp.o"
+  "CMakeFiles/impress_protein.dir/geometry.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/landscape.cpp.o"
+  "CMakeFiles/impress_protein.dir/landscape.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/msa.cpp.o"
+  "CMakeFiles/impress_protein.dir/msa.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/pdb.cpp.o"
+  "CMakeFiles/impress_protein.dir/pdb.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/residue.cpp.o"
+  "CMakeFiles/impress_protein.dir/residue.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/sequence.cpp.o"
+  "CMakeFiles/impress_protein.dir/sequence.cpp.o.d"
+  "CMakeFiles/impress_protein.dir/structure.cpp.o"
+  "CMakeFiles/impress_protein.dir/structure.cpp.o.d"
+  "libimpress_protein.a"
+  "libimpress_protein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_protein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/pilot.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/pilot.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/pilot.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/session.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/session.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/session.cpp.o.d"
+  "/root/repo/src/runtime/sim_executor.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/sim_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/runtime/task.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/task.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/task.cpp.o.d"
+  "/root/repo/src/runtime/task_graph.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/task_graph.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/task_graph.cpp.o.d"
+  "/root/repo/src/runtime/task_manager.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/task_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/task_manager.cpp.o.d"
+  "/root/repo/src/runtime/thread_executor.cpp" "src/runtime/CMakeFiles/impress_runtime.dir/thread_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/impress_runtime.dir/thread_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_runtime.dir/pilot.cpp.o"
+  "CMakeFiles/impress_runtime.dir/pilot.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/impress_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/session.cpp.o"
+  "CMakeFiles/impress_runtime.dir/session.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/sim_executor.cpp.o"
+  "CMakeFiles/impress_runtime.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/task.cpp.o"
+  "CMakeFiles/impress_runtime.dir/task.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/task_graph.cpp.o"
+  "CMakeFiles/impress_runtime.dir/task_graph.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/task_manager.cpp.o"
+  "CMakeFiles/impress_runtime.dir/task_manager.cpp.o.d"
+  "CMakeFiles/impress_runtime.dir/thread_executor.cpp.o"
+  "CMakeFiles/impress_runtime.dir/thread_executor.cpp.o.d"
+  "libimpress_runtime.a"
+  "libimpress_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impress_sim.dir/engine.cpp.o"
+  "CMakeFiles/impress_sim.dir/engine.cpp.o.d"
+  "libimpress_sim.a"
+  "libimpress_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impress_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_ascii_chart.cpp" "tests/CMakeFiles/tests_common.dir/common/test_ascii_chart.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_ascii_chart.cpp.o.d"
+  "/root/repo/tests/common/test_channel.cpp" "tests/CMakeFiles/tests_common.dir/common/test_channel.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_channel.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/tests_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_json.cpp" "tests/CMakeFiles/tests_common.dir/common/test_json.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_json.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/CMakeFiles/tests_common.dir/common/test_logging.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/tests_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/tests_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/CMakeFiles/tests_common.dir/common/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/tests_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/common/test_uid.cpp" "tests/CMakeFiles/tests_common.dir/common/test_uid.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_uid.cpp.o.d"
+  "/root/repo/tests/common/test_umbrella.cpp" "tests/CMakeFiles/tests_common.dir/common/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/tests_common.dir/common/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impress_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpnn/CMakeFiles/impress_mpnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/impress_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/impress_protein.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/impress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/test_ascii_chart.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_ascii_chart.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_channel.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_channel.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_json.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_json.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_logging.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_logging.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_string_util.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_string_util.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_thread_pool.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_uid.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_uid.cpp.o.d"
+  "CMakeFiles/tests_common.dir/common/test_umbrella.cpp.o"
+  "CMakeFiles/tests_common.dir/common/test_umbrella.cpp.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_campaign.cpp" "tests/CMakeFiles/tests_core.dir/core/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_campaign.cpp.o.d"
+  "/root/repo/tests/core/test_coordinator.cpp" "tests/CMakeFiles/tests_core.dir/core/test_coordinator.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_coordinator.cpp.o.d"
+  "/root/repo/tests/core/test_crossover_generator.cpp" "tests/CMakeFiles/tests_core.dir/core/test_crossover_generator.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_crossover_generator.cpp.o.d"
+  "/root/repo/tests/core/test_dpo_generator.cpp" "tests/CMakeFiles/tests_core.dir/core/test_dpo_generator.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_dpo_generator.cpp.o.d"
+  "/root/repo/tests/core/test_export.cpp" "tests/CMakeFiles/tests_core.dir/core/test_export.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_export.cpp.o.d"
+  "/root/repo/tests/core/test_generator.cpp" "tests/CMakeFiles/tests_core.dir/core/test_generator.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_generator.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline_fuzz.cpp" "tests/CMakeFiles/tests_core.dir/core/test_pipeline_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_pipeline_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_refinement.cpp" "tests/CMakeFiles/tests_core.dir/core/test_refinement.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_refinement.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/tests_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_session_dump.cpp" "tests/CMakeFiles/tests_core.dir/core/test_session_dump.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_session_dump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impress_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpnn/CMakeFiles/impress_mpnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/impress_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/impress_protein.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/impress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_campaign.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_campaign.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_coordinator.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_coordinator.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_crossover_generator.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_crossover_generator.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_dpo_generator.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_dpo_generator.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_export.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_export.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_generator.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_generator.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_pipeline_fuzz.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_pipeline_fuzz.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_refinement.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_refinement.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_session_dump.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_session_dump.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

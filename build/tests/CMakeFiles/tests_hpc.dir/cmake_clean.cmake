@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_hpc.dir/hpc/test_analytics.cpp.o"
+  "CMakeFiles/tests_hpc.dir/hpc/test_analytics.cpp.o.d"
+  "CMakeFiles/tests_hpc.dir/hpc/test_gantt.cpp.o"
+  "CMakeFiles/tests_hpc.dir/hpc/test_gantt.cpp.o.d"
+  "CMakeFiles/tests_hpc.dir/hpc/test_profiler.cpp.o"
+  "CMakeFiles/tests_hpc.dir/hpc/test_profiler.cpp.o.d"
+  "CMakeFiles/tests_hpc.dir/hpc/test_resource_pool.cpp.o"
+  "CMakeFiles/tests_hpc.dir/hpc/test_resource_pool.cpp.o.d"
+  "CMakeFiles/tests_hpc.dir/hpc/test_utilization.cpp.o"
+  "CMakeFiles/tests_hpc.dir/hpc/test_utilization.cpp.o.d"
+  "tests_hpc"
+  "tests_hpc.pdb"
+  "tests_hpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_determinism.cpp" "tests/CMakeFiles/tests_integration.dir/integration/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration/test_determinism.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/tests_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cpp" "tests/CMakeFiles/tests_integration.dir/integration/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_heterogeneous_platform.cpp" "tests/CMakeFiles/tests_integration.dir/integration/test_heterogeneous_platform.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration/test_heterogeneous_platform.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_shapes.cpp" "tests/CMakeFiles/tests_integration.dir/integration/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/integration/test_scheduler_fuzz.cpp" "tests/CMakeFiles/tests_integration.dir/integration/test_scheduler_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration/test_scheduler_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impress_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpnn/CMakeFiles/impress_mpnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/impress_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/impress_protein.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/impress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

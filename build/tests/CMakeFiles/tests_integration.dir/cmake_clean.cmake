@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_heterogeneous_platform.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_heterogeneous_platform.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_paper_shapes.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_paper_shapes.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/test_scheduler_fuzz.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/test_scheduler_fuzz.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protein/test_contacts.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_contacts.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_contacts.cpp.o.d"
+  "/root/repo/tests/protein/test_datasets.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_datasets.cpp.o.d"
+  "/root/repo/tests/protein/test_fasta.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_fasta.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_fasta.cpp.o.d"
+  "/root/repo/tests/protein/test_geometry.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_geometry.cpp.o.d"
+  "/root/repo/tests/protein/test_landscape.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_landscape.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_landscape.cpp.o.d"
+  "/root/repo/tests/protein/test_msa.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_msa.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_msa.cpp.o.d"
+  "/root/repo/tests/protein/test_pdb.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_pdb.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_pdb.cpp.o.d"
+  "/root/repo/tests/protein/test_residue.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_residue.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_residue.cpp.o.d"
+  "/root/repo/tests/protein/test_sequence.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_sequence.cpp.o.d"
+  "/root/repo/tests/protein/test_structure.cpp" "tests/CMakeFiles/tests_protein.dir/protein/test_structure.cpp.o" "gcc" "tests/CMakeFiles/tests_protein.dir/protein/test_structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impress_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpnn/CMakeFiles/impress_mpnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/impress_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/protein/CMakeFiles/impress_protein.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/impress_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/impress_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/impress_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/impress_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

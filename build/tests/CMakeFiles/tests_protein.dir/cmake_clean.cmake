@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_protein.dir/protein/test_contacts.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_contacts.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_datasets.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_datasets.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_fasta.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_fasta.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_geometry.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_geometry.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_landscape.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_landscape.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_msa.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_msa.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_pdb.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_pdb.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_residue.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_residue.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_sequence.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_sequence.cpp.o.d"
+  "CMakeFiles/tests_protein.dir/protein/test_structure.cpp.o"
+  "CMakeFiles/tests_protein.dir/protein/test_structure.cpp.o.d"
+  "tests_protein"
+  "tests_protein.pdb"
+  "tests_protein[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_protein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

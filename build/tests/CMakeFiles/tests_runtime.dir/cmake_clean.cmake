@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_runtime.dir/runtime/test_scheduler.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime/test_scheduler.cpp.o.d"
+  "CMakeFiles/tests_runtime.dir/runtime/test_session_sim.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime/test_session_sim.cpp.o.d"
+  "CMakeFiles/tests_runtime.dir/runtime/test_session_threaded.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime/test_session_threaded.cpp.o.d"
+  "CMakeFiles/tests_runtime.dir/runtime/test_task.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime/test_task.cpp.o.d"
+  "CMakeFiles/tests_runtime.dir/runtime/test_task_graph.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime/test_task_graph.cpp.o.d"
+  "CMakeFiles/tests_runtime.dir/runtime/test_task_manager.cpp.o"
+  "CMakeFiles/tests_runtime.dir/runtime/test_task_manager.cpp.o.d"
+  "tests_runtime"
+  "tests_runtime.pdb"
+  "tests_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

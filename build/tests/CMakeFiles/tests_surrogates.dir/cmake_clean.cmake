@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_surrogates.dir/surrogates/test_fold.cpp.o"
+  "CMakeFiles/tests_surrogates.dir/surrogates/test_fold.cpp.o.d"
+  "CMakeFiles/tests_surrogates.dir/surrogates/test_mpnn.cpp.o"
+  "CMakeFiles/tests_surrogates.dir/surrogates/test_mpnn.cpp.o.d"
+  "CMakeFiles/tests_surrogates.dir/surrogates/test_task_factories.cpp.o"
+  "CMakeFiles/tests_surrogates.dir/surrogates/test_task_factories.cpp.o.d"
+  "tests_surrogates"
+  "tests_surrogates.pdb"
+  "tests_surrogates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_hpc[1]_include.cmake")
+include("/root/repo/build/tests/tests_runtime[1]_include.cmake")
+include("/root/repo/build/tests/tests_protein[1]_include.cmake")
+include("/root/repo/build/tests/tests_surrogates[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
