@@ -20,6 +20,12 @@
 
 namespace impress::common {
 
+/// Outcome of a non-blocking receive. Distinguishes "nothing available
+/// right now" (kEmpty — the channel is still open, a value may yet
+/// arrive) from "closed and drained" (kClosed — no value will ever
+/// arrive), matching blocking `receive`'s drain-then-fail contract.
+enum class RecvStatus { kValue, kEmpty, kClosed };
+
 template <typename T>
 class Channel {
  public:
@@ -30,7 +36,8 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Blocking send. Returns false (and drops the value) if the channel is
-  /// closed before space becomes available.
+  /// closed before space becomes available — including a close() that
+  /// lands while the sender is blocked waiting on a full bounded channel.
   bool send(T value) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [&] { return closed_ || has_space_locked(); });
@@ -42,7 +49,7 @@ class Channel {
   }
 
   /// Non-blocking send. Returns false if full or closed.
-  bool try_send(T value) {
+  [[nodiscard]] bool try_send(T value) {
     {
       std::lock_guard lock(mutex_);
       if (closed_ || !has_space_locked()) return false;
@@ -54,7 +61,7 @@ class Channel {
 
   /// Blocking receive. Returns nullopt once the channel is closed *and*
   /// drained.
-  std::optional<T> receive() {
+  [[nodiscard]] std::optional<T> receive() {
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;
@@ -65,8 +72,25 @@ class Channel {
     return v;
   }
 
-  /// Non-blocking receive.
-  std::optional<T> try_receive() {
+  /// Non-blocking receive, tri-state: kValue moves a value into `out`;
+  /// kEmpty means the channel is open but has nothing buffered; kClosed
+  /// means closed *and* drained (consistent with `receive` returning
+  /// nullopt). Pending values in a closed channel still come out as
+  /// kValue — close never loses data.
+  [[nodiscard]] RecvStatus try_receive(T& out) {
+    std::unique_lock lock(mutex_);
+    if (queue_.empty()) return closed_ ? RecvStatus::kClosed : RecvStatus::kEmpty;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return RecvStatus::kValue;
+  }
+
+  /// Non-blocking receive, optional form. nullopt conflates "empty right
+  /// now" with "closed and drained"; loops that must terminate on close
+  /// should use the tri-state overload (or blocking `receive`) instead.
+  [[nodiscard]] std::optional<T> try_receive() {
     std::unique_lock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     T v = std::move(queue_.front());
@@ -77,8 +101,11 @@ class Channel {
   }
 
   /// Receive with a deadline. Returns nullopt on timeout or closed+drained.
+  /// A zero (or negative) timeout degenerates to a lock-and-check; a value
+  /// already buffered in a closed channel is still returned.
   template <typename Rep, typename Period>
-  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+  [[nodiscard]] std::optional<T> receive_for(
+      std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
     if (!not_empty_.wait_for(lock, timeout,
                              [&] { return closed_ || !queue_.empty(); }))
@@ -107,11 +134,17 @@ class Channel {
     return closed_;
   }
 
+  /// Snapshot of the queue depth. Advisory only: by the time the caller
+  /// acts on it another thread may have sent or received.
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
     return queue_.size();
   }
 
+  /// Advisory emptiness snapshot (see size()). Safe to use only where the
+  /// caller is the sole consumer or external synchronization guarantees
+  /// quiescence — e.g. the coordinator's campaign_done() check, which runs
+  /// on the only thread that drains these channels.
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
@@ -119,6 +152,7 @@ class Channel {
     return capacity_ == 0 || queue_.size() < capacity_;
   }
 
+  // Mutex first: it guards every member below it.
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

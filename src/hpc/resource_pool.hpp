@@ -72,11 +72,11 @@ class ResourcePool {
     std::uint32_t gpu_base = 0;
   };
 
-  std::vector<NodeSpec> nodes_;
-  std::vector<NodeState> states_;
+  std::vector<NodeSpec> nodes_;  ///< immutable after construction
   std::uint32_t total_cores_ = 0;
   std::uint32_t total_gpus_ = 0;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< guards states_
+  std::vector<NodeState> states_;
 };
 
 }  // namespace impress::hpc

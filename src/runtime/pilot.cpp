@@ -44,7 +44,7 @@ void Pilot::activate() {
   IMPRESS_LOG(kInfo, "pilot") << uid_ << " active ("
                               << pool_.total_cores() << " cores, "
                               << pool_.total_gpus() << " gpus)";
-  scheduler_.try_schedule();
+  (void)scheduler_.try_schedule();
 }
 
 void Pilot::enqueue(TaskPtr task) {
@@ -57,7 +57,7 @@ void Pilot::enqueue(TaskPtr task) {
   task->set_state(TaskState::kScheduling, now_());
   profiler_.record(now_(), task->uid(), hpc::events::kSchedule, uid_);
   scheduler_.enqueue(std::move(task));
-  if (state_ == PilotState::kActive) scheduler_.try_schedule();
+  if (state_ == PilotState::kActive) (void)scheduler_.try_schedule();
 }
 
 bool Pilot::dequeue(const TaskPtr& task) {
@@ -123,7 +123,7 @@ void Pilot::on_complete(const TaskPtr& task) {
                          ? hpc::events::kFailed
                          : hpc::events::kCancelled,
                      uid_);
-    if (state_ == PilotState::kActive) scheduler_.try_schedule();
+    if (state_ == PilotState::kActive) (void)scheduler_.try_schedule();
     notify = on_task_terminal_;
   }
   if (notify) notify(task);

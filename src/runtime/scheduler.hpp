@@ -41,7 +41,7 @@ class Scheduler {
 
   /// Place as many waiting tasks as the policy and free resources allow.
   /// Returns the number of tasks started.
-  std::size_t try_schedule();
+  [[nodiscard]] std::size_t try_schedule();
 
   [[nodiscard]] std::size_t queue_length() const noexcept {
     return queue_.size();

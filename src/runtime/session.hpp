@@ -97,8 +97,8 @@ class Session {
   // joins the workers, so the TaskManager, pilots and executors are
   // guaranteed to outlive every in-flight completion callback.
   std::optional<common::ThreadPool> pool_;
+  std::mutex timer_mutex_;  ///< guards timers_; declared before it
   std::vector<std::thread> timers_;
-  std::mutex timer_mutex_;
 };
 
 }  // namespace impress::rp

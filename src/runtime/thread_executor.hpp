@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -32,7 +33,7 @@ class ThreadExecutor : public Executor {
         profiler_(profiler),
         recorder_(recorder),
         overhead_(overhead),
-        rng_(rng),
+        rng_(std::move(rng)),
         time_scale_(time_scale),
         now_(std::move(now_fn)) {}
 

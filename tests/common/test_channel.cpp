@@ -117,6 +117,54 @@ TEST(Channel, BlockingSendUnblocksWhenSpaceFrees) {
   EXPECT_EQ(ch.receive().value(), 2);
 }
 
+TEST(Channel, ReceiveForClosedButNonemptyStillDelivers) {
+  // Closed-but-nonempty must behave drain-then-fail, exactly like
+  // receive(): the deadline path may not lose buffered values.
+  Channel<int> ch;
+  ch.send(7);
+  ch.send(8);
+  ch.close();
+  EXPECT_EQ(ch.receive_for(30ms).value(), 7);
+  EXPECT_EQ(ch.receive_for(0ms).value(), 8);  // even with a zero deadline
+  EXPECT_FALSE(ch.receive_for(1ms).has_value());  // now closed AND drained
+}
+
+TEST(Channel, ReceiveForZeroTimeout) {
+  Channel<int> ch;
+  // Zero deadline on an open, empty channel: immediate nullopt, no block.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.receive_for(0ms).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 100ms);
+  ch.send(1);
+  EXPECT_EQ(ch.receive_for(0ms).value(), 1);
+}
+
+TEST(Channel, CloseRacesBlockedSendOnBoundedChannel) {
+  Channel<int> ch(1);
+  ch.send(1);  // full: the next send blocks
+  std::atomic<bool> send_result{true};
+  std::thread sender([&] { send_result = ch.send(2); });
+  std::this_thread::sleep_for(10ms);  // sender is parked on not_full_
+  ch.close();
+  sender.join();
+  EXPECT_FALSE(send_result.load());  // woken by close, value dropped
+  EXPECT_EQ(ch.receive().value(), 1);  // buffered value survives close
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, TryReceiveTriStateDistinguishesEmptyFromClosed) {
+  Channel<int> ch;
+  int out = 0;
+  EXPECT_EQ(ch.try_receive(out), RecvStatus::kEmpty);  // open, nothing yet
+  ch.send(3);
+  ch.close();
+  EXPECT_EQ(ch.try_receive(out), RecvStatus::kValue);  // drains despite close
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(ch.try_receive(out), RecvStatus::kClosed);  // closed AND drained
+  // The optional form conflates the last two — documented behaviour.
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
 TEST(Channel, MoveOnlyPayload) {
   Channel<std::unique_ptr<int>> ch;
   ch.send(std::make_unique<int>(9));

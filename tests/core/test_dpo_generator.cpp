@@ -105,10 +105,14 @@ TEST(DpoGenerator, ThreadSafeObserve) {
   const auto b = a.with_mutation(1, protein::AminoAcid::kArg);
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t)
-    threads.emplace_back([&] {
+    threads.emplace_back([&, t] {
+      // Pairing is by length, so interleaving may pair a-with-a across
+      // threads; identical rewards would make that pair a gap-0 no-op and
+      // the final count scheduling-dependent. Distinct rewards keep every
+      // consumed pair countable whatever the interleaving.
       for (int i = 0; i < 250; ++i) {
-        gen.observe(a, 0.4);
-        gen.observe(b, 0.6);
+        gen.observe(a, 0.4 + 1e-9 * (t * 500 + 2 * i));
+        gen.observe(b, 0.6 + 1e-9 * (t * 500 + 2 * i + 1));
       }
     });
   for (auto& t : threads) t.join();

@@ -73,7 +73,7 @@ TEST(Scheduler, BackfillHonorsPriority) {
   auto s = f.make(SchedulerPolicy::kBackfill);
   s.enqueue(Fixture::task("low", 2, 0, 0));
   s.enqueue(Fixture::task("high", 2, 0, 5));
-  s.try_schedule();
+  EXPECT_EQ(s.try_schedule(), 2u);
   ASSERT_EQ(f.placed.size(), 2u);
   EXPECT_EQ(f.placed[0].first->description().name, "high");
 }
@@ -83,7 +83,7 @@ TEST(Scheduler, BackfillStableWithinPriority) {
   auto s = f.make(SchedulerPolicy::kBackfill);
   s.enqueue(Fixture::task("first", 2));
   s.enqueue(Fixture::task("second", 2));
-  s.try_schedule();
+  EXPECT_EQ(s.try_schedule(), 2u);
   ASSERT_EQ(f.placed.size(), 2u);
   EXPECT_EQ(f.placed[0].first->description().name, "first");
 }
@@ -112,7 +112,7 @@ TEST(Scheduler, AllocationsMatchRequests) {
   Fixture f;
   auto s = f.make(SchedulerPolicy::kBackfill);
   s.enqueue(Fixture::task("a", 5, 2));
-  s.try_schedule();
+  EXPECT_EQ(s.try_schedule(), 1u);
   ASSERT_EQ(f.placed.size(), 1u);
   EXPECT_EQ(f.placed[0].second.cores.size(), 5u);
   EXPECT_EQ(f.placed[0].second.gpus.size(), 2u);
@@ -128,7 +128,7 @@ TEST_P(SchedulerPolicySweep, EventuallyDrainsQueue) {
   // Repeatedly schedule and free everything placed, as completions would.
   int rounds = 0;
   while (s.queue_length() > 0 && rounds < 100) {
-    s.try_schedule();
+    (void)s.try_schedule();
     for (auto& [t, a] : f.placed) f.pool.release(a);
     f.placed.clear();
     ++rounds;

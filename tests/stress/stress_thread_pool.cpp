@@ -1,0 +1,132 @@
+// TSan-targeted stress tests for ThreadPool.
+//
+// The interesting interleavings: workers re-submitting into the pool
+// while the destructor flips stopping_ (submit must atomically either be
+// accepted — and then run — or throw), exceptions crossing the
+// packaged_task boundary under load, and wait_idle() racing completions.
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace impress::common {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A task that keeps re-submitting itself until the pool shuts down.
+// Workers calling submit() race the destructor's stopping_ flip; the
+// contract is all-or-nothing: accepted => executed, rejected => thrown.
+struct Resubmitter {
+  ThreadPool* pool;
+  std::atomic<int>* executed;
+  std::atomic<int>* accepted;
+  std::atomic<int>* rejected;
+
+  void operator()() const {
+    executed->fetch_add(1, std::memory_order_relaxed);
+    try {
+      (void)pool->submit(Resubmitter{*this});
+      accepted->fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::runtime_error&) {
+      rejected->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+TEST(StressThreadPool, SubmitDuringShutdownEitherRunsOrThrows) {
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i) {
+      (void)pool.submit(Resubmitter{&pool, &executed, &accepted, &rejected});
+      accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(2ms);
+  }  // ~ThreadPool races the workers' re-submits, then drains and joins
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_GT(executed.load(), 8);  // chains actually made progress
+}
+
+TEST(StressThreadPool, ConcurrentSubmittersAndExceptionPropagation) {
+  ThreadPool pool(4);
+  constexpr int kPerThread = 200;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<int>>> futures(4);
+  for (int s = 0; s < 4; ++s)
+    submitters.emplace_back([&, s] {
+      futures[s].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i)
+        futures[s].push_back(pool.submit([&, s, i]() -> int {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (i % 7 == 0) throw std::runtime_error("boom " + std::to_string(s));
+          return s * kPerThread + i;
+        }));
+    });
+  for (auto& t : submitters) t.join();
+
+  int ok = 0, failed = 0;
+  for (int s = 0; s < 4; ++s)
+    for (int i = 0; i < kPerThread; ++i) {
+      try {
+        EXPECT_EQ(futures[s][i].get(), s * kPerThread + i);
+        ++ok;
+      } catch (const std::runtime_error&) {
+        ++failed;
+      }
+    }
+  EXPECT_EQ(ran.load(), 4 * kPerThread);
+  EXPECT_EQ(failed, 4 * ((kPerThread + 6) / 7));
+  EXPECT_EQ(ok + failed, 4 * kPerThread);
+  // A thrown task must not poison the pool.
+  EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(StressThreadPool, WaitIdleBarrierVsConcurrentCompletions) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::atomic<bool> stop{false};
+  // One thread hammers the barrier while others feed work.
+  std::thread waiter([&] {
+    while (!stop.load()) {
+      pool.wait_idle();
+      (void)pool.pending();
+    }
+  });
+  std::vector<std::thread> feeders;
+  for (int f = 0; f < 3; ++f)
+    feeders.emplace_back([&] {
+      for (int i = 0; i < 300; ++i)
+        (void)pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    });
+  for (auto& t : feeders) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 900);
+  EXPECT_EQ(pool.pending(), 0u);
+  stop.store(true);
+  waiter.join();
+}
+
+TEST(StressThreadPool, ParallelForDisjointWrites) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<int> data(kN, 0);
+  // Disjoint index writes must be race-free; an off-by-one in work
+  // partitioning would trip TSan on neighbouring elements.
+  parallel_for(pool, kN, [&](std::size_t i) { data[i] = static_cast<int>(i); });
+  long sum = std::accumulate(data.begin(), data.end(), 0L);
+  EXPECT_EQ(sum, static_cast<long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace impress::common

@@ -1,0 +1,463 @@
+// impress_lint: project-invariant linter for the IMPRESS sources.
+//
+// A deliberately small, dependency-free "AST-lite" scanner that enforces
+// concurrency and header hygiene rules that clang-tidy does not know
+// about but that this codebase relies on:
+//
+//   naked-cv-wait        condition_variable wait()/wait_for()/wait_until()
+//                        must take a predicate; a naked wait is a lost-
+//                        wakeup / spurious-wakeup bug waiting to happen.
+//   mutex-member-order   a mutex member must be declared before the
+//                        container members it guards, so reviewers can
+//                        read lock discipline top-down and destruction
+//                        order never kills a mutex before its data.
+//   missing-pragma-once  every header starts with #pragma once.
+//   using-namespace      headers must not contain using-namespace
+//                        directives (they leak into every includer).
+//   nodiscard-try        try_* member functions report success through
+//                        their return value; callers must not silently
+//                        drop it, so the declaration carries
+//                        [[nodiscard]].
+//
+// Violations are keyed as "<relative-path>:<rule>:<token>" (no line
+// numbers, so unrelated edits do not churn the baseline). Keys listed in
+// the baseline file are tolerated; anything new fails the run, which is
+// how the ctest target keeps CI honest.
+//
+// Usage:
+//   impress_lint --root <dir> [--root <dir>...] --baseline <file>
+//                [--update-baseline]
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string token;    // stable identifier for the baseline key
+  std::string message;
+
+  [[nodiscard]] std::string key() const { return file + ":" + rule + ":" + token; }
+};
+
+// --- source preprocessing ---------------------------------------------------
+
+// Replace comments and string/char literals with spaces, preserving line
+// structure so offsets still map to line numbers.
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // raw string literal R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < src.size() && src[p] != '(') ++p;
+          raw_delim = ")" + src.substr(i + 2, p - (i + 2)) + "\"";
+          state = State::kRawString;
+          for (std::size_t j = i; j <= p && j < src.size(); ++j) out[j] = ' ';
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+// Count top-level arguments of a call whose '(' is at `open`. Returns
+// nullopt if the parenthesis never closes (macro soup); `close_out`
+// receives the index of the matching ')'.
+std::optional<int> count_call_args(const std::string& text, std::size_t open,
+                                   std::size_t* close_out) {
+  int depth = 0;
+  int args = 0;
+  bool saw_token = false;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        if (close_out) *close_out = i;
+        return saw_token ? args + 1 : 0;
+      }
+    } else if (c == ',' && depth == 1) {
+      ++args;
+    } else if (depth == 1 && !std::isspace(static_cast<unsigned char>(c))) {
+      saw_token = true;
+    }
+  }
+  return std::nullopt;
+}
+
+// --- rules ------------------------------------------------------------------
+
+void check_naked_cv_wait(const std::string& rel, const std::string& code,
+                         std::vector<Violation>& out) {
+  static const std::regex re(R"((\.|->)\s*(wait|wait_for|wait_until)\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string fn = (*it)[2].str();
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const auto args = count_call_args(code, open, nullptr);
+    if (!args) continue;
+    // wait(lock, pred) is fine; wait(lock) is naked. wait_for/wait_until
+    // need (lock, time, pred); two args means no predicate. Zero-arg
+    // wait() is std::future / std::thread territory — not a cv.
+    const bool naked = (fn == "wait" && *args == 1) ||
+                       ((fn == "wait_for" || fn == "wait_until") && *args == 2);
+    if (!naked) continue;
+    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
+                   "naked-cv-wait", fn,
+                   "condition-variable " + fn +
+                       " without predicate: spurious wakeups and lost "
+                       "notifications slip through; use the predicate overload"});
+  }
+}
+
+// Extract line `n` (1-based) from `text`.
+std::string get_line(const std::string& text, std::size_t n) {
+  std::istringstream in(text);
+  std::string line;
+  for (std::size_t i = 0; i < n && std::getline(in, line); ++i) {
+  }
+  return line;
+}
+
+// Scope tracking: we only inspect member declarations at the direct depth
+// of a class/struct body (not inside member function bodies).
+void check_class_members(const std::string& rel, const std::string& raw,
+                         const std::string& code,
+                         std::vector<Violation>& out) {
+  enum class Scope { kClass, kOther };
+  std::vector<Scope> scopes;
+  std::string decl;  // accumulating declaration text at class depth
+  std::string first_guarded;  // first container member seen in current class
+  std::vector<std::pair<std::string, std::string>> class_stack;  // name, first_guarded
+
+  static const std::regex mutex_re(
+      R"((^|[\s,])(mutable\s+)?(std::)?(recursive_)?(shared_|timed_)?mutex\s+(\w+))");
+  static const std::regex container_re(
+      R"((^|[\s,])(mutable\s+)?std::(vector|deque|queue|priority_queue|unordered_map|unordered_set|map|set|list)\s*<)");
+  static const std::regex container_name_re(R"(>\s+(\w+)\s*(=[^;]*)?$)");
+  static const std::regex try_decl_re(R"(\b(try_\w+)\s*\($)");
+
+  auto flush_decl = [&](std::size_t pos) {
+    if (scopes.empty() || scopes.back() != Scope::kClass) {
+      decl.clear();
+      return;
+    }
+    // Trim access specifiers off the front.
+    static const std::regex access_re(R"(^\s*(public|private|protected)\s*:\s*)");
+    std::string d = std::regex_replace(decl, access_re, "");
+    decl.clear();
+
+    std::smatch m;
+    if (std::regex_search(d, m, mutex_re)) {
+      const std::string name = m[6].str();
+      // Escape hatch: a declaration-line comment `guards <member>` names
+      // what the mutex protects, which satisfies the rule's real goal
+      // (readable lock discipline) even when unrelated containers precede
+      // the mutex in the class layout.
+      static const std::regex guards_re(R"(//.*\bguards\s+\w+)");
+      const std::size_t ln = line_of(code, pos);
+      if (std::regex_search(get_line(raw, ln), guards_re)) return;
+      if (!class_stack.empty() && !class_stack.back().second.empty()) {
+        out.push_back({rel, ln, "mutex-member-order", name,
+                       "mutex member '" + name + "' declared after data member '" +
+                           class_stack.back().second +
+                           "' it may guard; declare mutexes before the data "
+                           "they protect"});
+      }
+      return;
+    }
+    // A data-member declaration (no parameter list ⇒ not a function).
+    if (d.find('(') == std::string::npos && std::regex_search(d, m, container_re)) {
+      std::smatch nm;
+      std::string name = "<member>";
+      if (std::regex_search(d, nm, container_name_re)) name = nm[1].str();
+      if (!class_stack.empty() && class_stack.back().second.empty())
+        class_stack.back().second = name;
+      return;
+    }
+    // Member function declaration: enforce [[nodiscard]] on try_*.
+    const std::size_t paren = d.find('(');
+    if (paren != std::string::npos) {
+      std::string head = d.substr(0, paren + 1);
+      // Collapse whitespace for matching.
+      std::smatch tm;
+      std::string head_trim = std::regex_replace(head, std::regex(R"(\s+)"), " ");
+      if (std::regex_search(head_trim, tm, try_decl_re)) {
+        const std::string fn = tm[1].str();
+        const bool is_decl =
+            head.find("return") == std::string::npos &&
+            head.find('.') == std::string::npos &&
+            head.find("->") == std::string::npos &&
+            head.find('=') == std::string::npos &&
+            head_trim.find(' ') != std::string::npos;  // has a return type
+        if (is_decl && d.find("[[nodiscard]]") == std::string::npos) {
+          out.push_back({rel, line_of(code, pos), "nodiscard-try", fn,
+                         "try_* API '" + fn +
+                             "' reports success via its return value; mark it "
+                             "[[nodiscard]] so callers cannot drop it"});
+        }
+      }
+    }
+  };
+
+  std::string pending;  // text since last ; { } at any depth (for scope kind)
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      static const std::regex class_re(R"(\b(class|struct)\s+(\w+)[^;=()]*$)");
+      static const std::regex enum_re(R"(\benum\b)");
+      std::smatch m;
+      const bool is_class = std::regex_search(pending, m, class_re) &&
+                            !std::regex_search(pending, enum_re);
+      scopes.push_back(is_class ? Scope::kClass : Scope::kOther);
+      if (is_class) class_stack.emplace_back(m[2].str(), "");
+      pending.clear();
+      decl.clear();
+    } else if (c == '}') {
+      if (!scopes.empty()) {
+        if (scopes.back() == Scope::kClass && !class_stack.empty())
+          class_stack.pop_back();
+        scopes.pop_back();
+      }
+      pending.clear();
+      decl.clear();
+    } else if (c == ';') {
+      flush_decl(i);
+      pending.clear();
+    } else {
+      pending += c;
+      if (!scopes.empty() && scopes.back() == Scope::kClass) decl += c;
+    }
+  }
+}
+
+void check_header_rules(const std::string& rel, const std::string& raw,
+                        const std::string& code, std::vector<Violation>& out) {
+  if (raw.find("#pragma once") == std::string::npos)
+    out.push_back({rel, 1, "missing-pragma-once", "header",
+                   "header lacks #pragma once include guard"});
+  static const std::regex using_ns(R"(\busing\s+namespace\s+([\w:]+))");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), using_ns);
+       it != std::sregex_iterator(); ++it) {
+    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
+                   "using-namespace", (*it)[1].str(),
+                   "'using namespace " + (*it)[1].str() +
+                       "' in a header leaks into every includer"});
+  }
+}
+
+// --- driver -----------------------------------------------------------------
+
+std::set<std::string> load_baseline(const fs::path& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+      line.pop_back();
+    if (!line.empty()) keys.insert(line);
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  fs::path baseline_path;
+  bool update_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      roots.emplace_back(argv[++i]);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else {
+      std::cerr << "usage: impress_lint --root <dir> [--root <dir>...] "
+                   "--baseline <file> [--update-baseline]\n";
+      return 2;
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "impress_lint: no --root given\n";
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+  for (const auto& root : roots) {
+    if (!fs::exists(root)) {
+      std::cerr << "impress_lint: root does not exist: " << root << "\n";
+      return 2;
+    }
+    // Canonicalize so `--root src` and `--root /abs/path/src` produce the
+    // same "src/..." baseline keys.
+    const fs::path canon = fs::weakly_canonical(root);
+    const fs::path base = canon.has_parent_path() ? canon.parent_path() : canon;
+    for (const auto& entry : fs::recursive_directory_iterator(canon)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+      ++files_scanned;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string raw = ss.str();
+      const std::string code = strip_comments_and_strings(raw);
+      const std::string rel =
+          fs::relative(entry.path(), base).generic_string();
+      check_naked_cv_wait(rel, code, violations);
+      check_class_members(rel, raw, code, violations);
+      if (ext == ".hpp" || ext == ".h")
+        check_header_rules(rel, raw, code, violations);
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+
+  if (update_baseline) {
+    if (baseline_path.empty()) {
+      std::cerr << "impress_lint: --update-baseline needs --baseline\n";
+      return 2;
+    }
+    std::set<std::string> keys;
+    for (const auto& v : violations) keys.insert(v.key());
+    std::ofstream outf(baseline_path, std::ios::trunc);
+    outf << "# impress_lint baseline — tolerated pre-existing violations.\n"
+         << "# Regenerate with: impress_lint --root src --baseline "
+            "tools/impress_lint/baseline.txt --update-baseline\n"
+         << "# Key format: <file>:<rule>:<token>\n";
+    for (const auto& k : keys) outf << k << "\n";
+    std::cout << "impress_lint: wrote " << keys.size() << " baseline key(s)\n";
+    return 0;
+  }
+
+  const std::set<std::string> baseline =
+      baseline_path.empty() ? std::set<std::string>{} : load_baseline(baseline_path);
+
+  std::set<std::string> seen_keys;
+  std::size_t fresh = 0, tolerated = 0;
+  for (const auto& v : violations) {
+    seen_keys.insert(v.key());
+    if (baseline.count(v.key())) {
+      ++tolerated;
+      continue;
+    }
+    ++fresh;
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
+              << "\n    key: " << v.key() << "\n";
+  }
+  for (const auto& k : baseline)
+    if (!seen_keys.count(k))
+      std::cout << "note: stale baseline entry (violation fixed — remove it): "
+                << k << "\n";
+
+  std::cout << "impress_lint: " << files_scanned << " file(s), " << fresh
+            << " new violation(s), " << tolerated << " baselined\n";
+  return fresh == 0 ? 0 : 1;
+}
