@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/time_util.hpp"
+#include "hpc/analytics.hpp"
 #include "hpc/gantt.hpp"
 #include "runtime/session.hpp"
 
@@ -110,6 +111,13 @@ CampaignResult Campaign::run(
   r.fold_tasks = coordinator.fold_tasks();
   r.fold_retries = coordinator.fold_retries();
   r.failed_tasks = coordinator.failed_tasks();
+
+  const auto retry = hpc::summarize_retries(session.profiler());
+  r.task_retries = session.task_manager().retried();
+  r.task_timeouts = session.task_manager().timed_out();
+  r.task_requeues = session.task_manager().requeued();
+  r.pilot_failures = retry.pilot_failures;
+  r.attempts = hpc::attempt_counts(session.profiler());
   return r;
 }
 

@@ -28,7 +28,8 @@ struct CampaignConfig {
       .mpnn_durations = calibration::mpnn_durations(),
       .fold_durations = calibration::fold_durations(),
       .refine_durations = RefineDurationModel{},
-      .refined_noise_factor = 0.65};
+      .refined_noise_factor = 0.65,
+      .task_retry = {}};
   rp::PilotDescription pilot = calibration::amarel_pilot();
   rp::SessionConfig session{};  // simulated mode, seed 42
   mpnn::SamplerConfig sampler = calibration::sampler_config();
@@ -67,6 +68,15 @@ struct CampaignResult {
   std::size_t fold_retries = 0;
   std::size_t failed_tasks = 0;
   std::size_t targets = 0;
+
+  // Fault-tolerance bookkeeping (docs/fault_tolerance.md): runtime-level
+  // recovery, as opposed to the protocol-level fold_retries above.
+  std::size_t task_retries = 0;   ///< failed attempts resubmitted
+  std::size_t task_timeouts = 0;  ///< attempt-deadline evictions
+  std::size_t task_requeues = 0;  ///< tasks re-routed off a failed pilot
+  std::size_t pilot_failures = 0; ///< pilots lost to injected outages
+  /// Attempts per task uid (> 1 identifies retried tasks).
+  std::map<std::string, int> attempts;
 
   /// Trajectories in the paper's counting: accepted design iterations.
   [[nodiscard]] std::size_t total_trajectories() const;

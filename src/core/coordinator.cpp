@@ -209,6 +209,7 @@ void Coordinator::submit_fold_task(Pipeline* pipeline, protein::Complex input,
 
 void Coordinator::submit_or_queue(Pipeline* pipeline,
                                   rp::TaskDescription description) {
+  description.retry = config_.task_retry;
   if (config_.sequential && !inflight_.empty()) {
     queued_.emplace_back(pipeline, std::move(description));
     return;

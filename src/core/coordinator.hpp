@@ -48,6 +48,11 @@ struct CoordinatorConfig {
   RefineDurationModel refine_durations;
   /// Metric-noise multiplier applied to predictions of refined backbones.
   double refined_noise_factor = 0.65;
+  /// Retry policy stamped onto every task the coordinator submits. The
+  /// default keeps historical behaviour (single attempt); campaigns that
+  /// inject faults raise max_attempts so transient failures are absorbed
+  /// by the runtime instead of terminating the pipeline.
+  rp::RetryPolicy task_retry;
 };
 
 class Coordinator {

@@ -180,4 +180,33 @@ std::string render_utilization_figure(const CampaignResult& result,
   return out;
 }
 
+std::string render_fault_summary(const CampaignResult& result) {
+  std::string out = "## fault tolerance (" + result.name + ")\n";
+  out += "retries=" + std::to_string(result.task_retries) +
+         "  timeouts=" + std::to_string(result.task_timeouts) +
+         "  requeues=" + std::to_string(result.task_requeues) +
+         "  pilot_failures=" + std::to_string(result.pilot_failures) +
+         "  terminal_failures=" + std::to_string(result.failed_tasks) + "\n";
+
+  // Attempt distribution: how many tasks needed 1, 2, 3... attempts.
+  std::map<int, std::size_t> by_attempts;
+  for (const auto& [uid, attempts] : result.attempts) ++by_attempts[attempts];
+  out += "attempts:";
+  for (const auto& [attempts, n] : by_attempts)
+    out += "  x" + std::to_string(attempts) + "=" + std::to_string(n);
+  out += "\n";
+
+  std::size_t retried_tasks = 0;
+  for (const auto& [uid, attempts] : result.attempts)
+    if (attempts > 1) ++retried_tasks;
+  if (!result.attempts.empty()) {
+    out += "tasks retried: " + std::to_string(retried_tasks) + "/" +
+           std::to_string(result.attempts.size()) + " (" +
+           pct(static_cast<double>(retried_tasks) /
+               static_cast<double>(result.attempts.size())) +
+           ")\n";
+  }
+  return out;
+}
+
 }  // namespace impress::core

@@ -48,4 +48,9 @@ enum class Metric { kPlddt, kPtm, kIpae };
 [[nodiscard]] std::string render_utilization_figure(
     const CampaignResult& result, const std::string& title);
 
+/// Fault-tolerance summary: retry / timeout / requeue / pilot-outage
+/// totals plus the per-task attempt distribution, so a report shows how
+/// much of a faulty campaign's work was first-attempt vs recovery.
+[[nodiscard]] std::string render_fault_summary(const CampaignResult& result);
+
 }  // namespace impress::core

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "hpc/profiler.hpp"
@@ -46,5 +48,23 @@ struct TimingSummary {
 
 /// Peak of the concurrency profile (exact, not binned).
 [[nodiscard]] std::size_t peak_concurrency(const Profiler& profiler);
+
+/// Fault-tolerance roll-up over the event stream: how much of the
+/// campaign's work was first-attempt vs recovery.
+struct RetrySummary {
+  std::size_t retries = 0;        ///< failed attempts resubmitted (kRetry)
+  std::size_t timeouts = 0;       ///< attempt-deadline evictions (kTimeout)
+  std::size_t requeues = 0;       ///< tasks re-routed off a pilot (kRequeue)
+  std::size_t pilot_failures = 0; ///< pilot outages (kPilotFailed)
+  std::size_t tasks_retried = 0;  ///< distinct tasks with more than 1 attempt
+  int max_attempts = 0;           ///< largest attempt count observed
+};
+
+[[nodiscard]] RetrySummary summarize_retries(const Profiler& profiler);
+
+/// Attempts per task uid: the number of kSubmit events recorded for it
+/// (>= 1 for anything submitted; > 1 means the retry policy fired).
+[[nodiscard]] std::map<std::string, int> attempt_counts(
+    const Profiler& profiler);
 
 }  // namespace impress::hpc

@@ -18,6 +18,8 @@ struct Row {
   double setup = -1.0;
   double start = -1.0;
   double stop = -1.0;
+  int attempts = 0;             ///< kSubmit count; > 1 means retried
+  std::vector<double> retries;  ///< times the retry policy fired
 };
 
 }  // namespace
@@ -32,7 +34,9 @@ std::string render_gantt(const Profiler& profiler, double t_end,
     if (e.event == events::kSchedule && r.schedule < 0.0) r.schedule = e.time;
     else if (e.event == events::kExecSetupStart && r.setup < 0.0) r.setup = e.time;
     else if (e.event == events::kExecStart && r.start < 0.0) r.start = e.time;
-    else if (e.event == events::kExecStop && r.stop < 0.0) r.stop = e.time;
+    else if (e.event == events::kExecStop) r.stop = e.time;  // last attempt
+    else if (e.event == events::kSubmit) ++r.attempts;
+    else if (e.event == events::kRetry) r.retries.push_back(e.time);
     latest = std::max(latest, e.time);
   }
   if (t_end <= 0.0) t_end = latest;
@@ -44,8 +48,13 @@ std::string render_gantt(const Profiler& profiler, double t_end,
   std::sort(started.begin(), started.end(),
             [](const Row& a, const Row& b) { return a.start < b.start; });
 
+  auto label_of = [](const Row& r) {
+    // Retried tasks carry their attempt count so first attempts and
+    // recovery runs are distinguishable at a glance.
+    return r.attempts > 1 ? r.uid + " x" + std::to_string(r.attempts) : r.uid;
+  };
   std::size_t label_w = 4;
-  for (const auto& r : started) label_w = std::max(label_w, r.uid.size());
+  for (const auto& r : started) label_w = std::max(label_w, label_of(r).size());
 
   const double scale = static_cast<double>(options.width) / t_end;
   auto col = [&](double t) {
@@ -53,7 +62,8 @@ std::string render_gantt(const Profiler& profiler, double t_end,
         std::floor(t * scale), 0.0, static_cast<double>(options.width - 1)));
   };
 
-  std::string out = "## task gantt ('.'=queued '-'=setup '#'=running)\n";
+  std::string out =
+      "## task gantt ('.'=queued '-'=setup '#'=running '!'=retry)\n";
   const std::size_t shown = std::min(started.size(), options.max_rows);
   for (std::size_t i = 0; i < shown; ++i) {
     const auto& r = started[i];
@@ -66,7 +76,8 @@ std::string render_gantt(const Profiler& profiler, double t_end,
     for (std::size_t c = col(wait_from); c <= col(setup_from); ++c) bar[c] = '.';
     for (std::size_t c = col(setup_from); c <= col(r.start); ++c) bar[c] = '-';
     for (std::size_t c = col(r.start); c <= col(stop); ++c) bar[c] = '#';
-    out += common::pad_right(r.uid, label_w) + " |" + bar + "|\n";
+    for (const double t : r.retries) bar[col(t)] = '!';
+    out += common::pad_right(label_of(r), label_w) + " |" + bar + "|\n";
   }
   if (started.size() > shown) {
     out += common::pad_right("...", label_w) + " (+" +

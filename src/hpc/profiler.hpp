@@ -35,6 +35,11 @@ inline constexpr std::string_view kExecStop = "exec_stop";
 inline constexpr std::string_view kDone = "done";
 inline constexpr std::string_view kFailed = "failed";
 inline constexpr std::string_view kCancelled = "cancelled";
+// Fault-tolerance events (see docs/fault_tolerance.md).
+inline constexpr std::string_view kRetry = "retry";        ///< retry scheduled
+inline constexpr std::string_view kTimeout = "timeout";    ///< deadline hit
+inline constexpr std::string_view kRequeue = "requeue";    ///< re-routed off a dead pilot
+inline constexpr std::string_view kPilotFailed = "pilot_failed";
 }  // namespace events
 
 class Profiler {

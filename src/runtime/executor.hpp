@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "hpc/resource_pool.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/task.hpp"
 
 namespace impress::rp {
@@ -45,6 +46,24 @@ class Executor {
   /// true if the task was prevented from completing normally (the
   /// completion callback still fires, with state kCancelled).
   virtual bool cancel(const TaskPtr& task) = 0;
+
+  /// Wire a fault injector; each launched attempt draws its fate from it.
+  /// Pass nullptr (the default) for a fault-free executor. The injector
+  /// must outlive the executor.
+  void set_fault_injector(const FaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
+ protected:
+  /// Fate of one attempt: neutral when no injector is wired.
+  [[nodiscard]] FaultInjector::AttemptFault draw_fault(
+      const TaskPtr& task) const noexcept {
+    if (faults_ == nullptr) return {};
+    return faults_->draw_attempt(task->uid(), task->attempt());
+  }
+
+ private:
+  const FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace impress::rp

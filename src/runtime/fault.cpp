@@ -1,0 +1,26 @@
+#include "runtime/fault.hpp"
+
+namespace impress::rp {
+
+FaultInjector::AttemptFault FaultInjector::draw_attempt(
+    std::string_view task_uid, int attempt) const noexcept {
+  AttemptFault fate;
+  if (!enabled()) return fate;
+  // Key the child generator on (uid, attempt) so a retried attempt gets an
+  // independent draw — otherwise a 100%-deterministic "unlucky" task would
+  // fail every retry and max_attempts could never help.
+  common::Rng draw = rng_.fork(common::splitmix64(
+      common::stable_hash(task_uid) + 0x9e3779b97f4a7c15ULL *
+                                          static_cast<std::uint64_t>(attempt)));
+  if (draw.chance(config_.task_failure_rate)) {
+    fate.fail = true;
+    // Crash somewhere in the middle of the run, never exactly at the end:
+    // a crashed attempt must be distinguishable from a completed one.
+    fate.fail_fraction = draw.uniform(0.05, 0.95);
+  }
+  if (draw.chance(config_.slow_task_rate) && config_.slow_factor > 1.0)
+    fate.slow_factor = config_.slow_factor;
+  return fate;
+}
+
+}  // namespace impress::rp

@@ -11,6 +11,7 @@ std::string_view to_string(PilotState s) noexcept {
     case PilotState::kLaunching: return "LAUNCHING";
     case PilotState::kActive: return "ACTIVE";
     case PilotState::kDone: return "DONE";
+    case PilotState::kFailed: return "FAILED";
   }
   return "?";
 }
@@ -30,10 +31,12 @@ Pilot::Pilot(std::string uid, PilotDescription description,
   profiler_.record(now_(), uid_, hpc::events::kBootstrapStart);
 }
 
-void Pilot::attach(Executor& executor, CompletionFn on_task_terminal) {
+void Pilot::attach(Executor& executor, CompletionFn on_task_terminal,
+                   RequeueFn on_task_requeue) {
   std::lock_guard lock(mutex_);
   executor_ = &executor;
   on_task_terminal_ = std::move(on_task_terminal);
+  on_task_requeue_ = std::move(on_task_requeue);
 }
 
 void Pilot::activate() {
@@ -48,9 +51,16 @@ void Pilot::activate() {
 }
 
 void Pilot::enqueue(TaskPtr task) {
+  const std::string uid = task->uid();
+  if (!try_enqueue(std::move(task)))
+    throw std::logic_error("Pilot::enqueue of " + uid + " on " +
+                           std::string(to_string(state())) + " pilot " + uid_);
+}
+
+bool Pilot::try_enqueue(TaskPtr task) {
   std::lock_guard lock(mutex_);
-  if (state_ == PilotState::kDone)
-    throw std::logic_error("Pilot::enqueue on finished pilot " + uid_);
+  if (state_ == PilotState::kDone || state_ == PilotState::kFailed)
+    return false;
   if (!pool_.fits_ever(task->description().resources))
     throw std::invalid_argument("task " + task->uid() +
                                 " can never fit on pilot " + uid_);
@@ -58,6 +68,7 @@ void Pilot::enqueue(TaskPtr task) {
   profiler_.record(now_(), task->uid(), hpc::events::kSchedule, uid_);
   scheduler_.enqueue(std::move(task));
   if (state_ == PilotState::kActive) (void)scheduler_.try_schedule();
+  return true;
 }
 
 bool Pilot::dequeue(const TaskPtr& task) {
@@ -96,7 +107,48 @@ std::size_t Pilot::queue_length() const {
 
 void Pilot::finish() {
   std::lock_guard lock(mutex_);
-  state_ = PilotState::kDone;
+  if (state_ != PilotState::kFailed) state_ = PilotState::kDone;
+}
+
+void Pilot::fail() {
+  std::deque<TaskPtr> drained;
+  std::vector<TaskPtr> evicted;
+  RequeueFn requeue;
+  CompletionFn notify;
+  Executor* executor = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (state_ == PilotState::kDone || state_ == PilotState::kFailed) return;
+    state_ = PilotState::kFailed;
+    profiler_.record(now_(), uid_, hpc::events::kPilotFailed);
+    drained = scheduler_.drain();
+    evicted.reserve(executing_.size());
+    for (const auto& [uid, t] : executing_) evicted.push_back(t);
+    requeue = on_task_requeue_;
+    notify = on_task_terminal_;
+    executor = executor_;
+  }
+  IMPRESS_LOG(kWarn, "pilot") << uid_ << " FAILED: draining "
+                              << drained.size() << " queued, evicting "
+                              << evicted.size() << " executing task(s)";
+  // All callbacks run outside mutex_: requeue re-enters the TaskManager
+  // (which routes to other pilots) and eviction re-enters on_complete via
+  // the executor's cancel path.
+  for (const auto& task : drained) {
+    if (requeue) {
+      profiler_.record(now_(), task->uid(), hpc::events::kRequeue, uid_);
+      requeue(task);
+    } else {
+      task->set_error("pilot " + uid_ + " failed");
+      task->set_state(TaskState::kFailed, now_());
+      profiler_.record(now_(), task->uid(), hpc::events::kFailed, uid_);
+      if (notify) notify(task);
+    }
+  }
+  for (const auto& task : evicted) {
+    task->set_evict_reason(EvictReason::kPilotFailure);
+    if (executor != nullptr) (void)executor->cancel(task);
+  }
 }
 
 void Pilot::place(TaskPtr task, hpc::Allocation alloc) {
@@ -106,6 +158,7 @@ void Pilot::place(TaskPtr task, hpc::Allocation alloc) {
   task->set_allocation(std::move(alloc));
   task->set_state(TaskState::kExecuting, now_());
   ++running_;
+  executing_[task->uid()] = task;
   executor_->launch(std::move(task),
                     [this](const TaskPtr& t) { on_complete(t); });
 }
@@ -117,6 +170,7 @@ void Pilot::on_complete(const TaskPtr& task) {
     pool_.release(task->allocation());
     task->clear_allocation();
     --running_;
+    executing_.erase(task->uid());
     profiler_.record(now_(), task->uid(),
                      task->state() == TaskState::kDone ? hpc::events::kDone
                      : task->state() == TaskState::kFailed

@@ -2,7 +2,11 @@
 // runs tasks inside it without further batch-system interaction — the
 // central abstraction of RADICAL-Pilot, reimplemented here.
 //
-// Lifecycle: LAUNCHING --(bootstrap overhead)--> ACTIVE --> DONE.
+// Lifecycle: LAUNCHING --(bootstrap overhead)--> ACTIVE --> DONE, with a
+// FAILED branch from any live state: a pilot that dies (node outage,
+// injected fault) drains its queued tasks back to the TaskManager for
+// re-routing and evicts its executing tasks so their attempts can be
+// retried elsewhere, instead of stranding work.
 // While ACTIVE, the pilot's agent scheduler places queued tasks onto the
 // pilot's ResourcePool and hands them to the executor; completions release
 // resources and immediately re-schedule, which is what produces the
@@ -15,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hpc/node.hpp"
@@ -27,9 +32,12 @@
 
 namespace impress::rp {
 
-enum class PilotState { kLaunching, kActive, kDone };
+enum class PilotState { kLaunching, kActive, kDone, kFailed };
 
 [[nodiscard]] std::string_view to_string(PilotState s) noexcept;
+
+/// Invoked for each task a failing pilot hands back for re-routing.
+using RequeueFn = std::function<void(const TaskPtr&)>;
 
 struct PilotDescription {
   std::vector<hpc::NodeSpec> nodes{hpc::amarel_node()};
@@ -61,15 +69,23 @@ class Pilot {
   }
 
   /// Wire the executor (owned by the session, depends on this pilot's
-  /// recorder) and the terminal-task callback. Must be called before any
+  /// recorder), the terminal-task callback, and optionally the requeue
+  /// callback used when this pilot fails. Must be called before any
   /// enqueue().
-  void attach(Executor& executor, CompletionFn on_task_terminal);
+  void attach(Executor& executor, CompletionFn on_task_terminal,
+              RequeueFn on_task_requeue = {});
 
   /// Mark bootstrap finished; queued tasks start flowing.
   void activate();
 
-  /// Accept a task into the agent scheduler queue.
+  /// Accept a task into the agent scheduler queue. Throws std::logic_error
+  /// if the pilot is no longer accepting work.
   void enqueue(TaskPtr task);
+
+  /// Like enqueue(), but returns false instead of throwing when the pilot
+  /// is DONE or FAILED — the TaskManager uses this to re-route around a
+  /// pilot that died between routing and enqueueing.
+  [[nodiscard]] bool try_enqueue(TaskPtr task);
 
   /// Remove a still-queued task; returns false if it already left the
   /// queue (executing or terminal).
@@ -91,6 +107,12 @@ class Pilot {
   /// Mark the pilot done (no new placements; running tasks finish).
   void finish();
 
+  /// Simulate a pilot/node outage: the pilot enters FAILED, queued tasks
+  /// are handed to the requeue callback (or failed terminally if none is
+  /// wired), and executing tasks are evicted so the TaskManager can retry
+  /// them on another pilot.
+  void fail();
+
  private:
   void place(TaskPtr task, hpc::Allocation alloc);
   void on_complete(const TaskPtr& task);
@@ -104,12 +126,16 @@ class Pilot {
   Scheduler scheduler_;
   Executor* executor_ = nullptr;
   CompletionFn on_task_terminal_;
+  RequeueFn on_task_requeue_;
   // Atomic: read lock-free by TaskManager::route while activate()/finish()
   // write it under mutex_ from timer/worker threads.
   std::atomic<PilotState> state_{PilotState::kLaunching};
   // Atomic for the same reason as state_: routing reads it lock-free.
   std::atomic<std::size_t> running_{0};
-  mutable std::recursive_mutex mutex_;
+  mutable std::recursive_mutex mutex_;  ///< guards executing_ and scheduler_
+  // Tasks currently holding an allocation, by uid: fail() must evict them
+  // without the executor exposing its in-flight bookkeeping.
+  std::unordered_map<std::string, TaskPtr> executing_;
 };
 
 using PilotPtr = std::shared_ptr<Pilot>;

@@ -13,13 +13,34 @@ std::string_view to_string(SchedulerPolicy p) noexcept {
   return "?";
 }
 
-void Scheduler::enqueue(TaskPtr task) { queue_.push_back(std::move(task)); }
+void Scheduler::enqueue(TaskPtr task) {
+  if (policy_ == SchedulerPolicy::kFifo) {
+    queue_.push_back(std::move(task));
+    return;
+  }
+  // Backfill: insert behind every task of >= priority. Keeping the queue
+  // ordered at enqueue time is O(log n) search + O(n) insert for the one
+  // new task, instead of an O(n log n) stable_sort on every scheduling
+  // tick — and it guarantees FIFO fairness within a priority class is a
+  // structural invariant rather than a property re-derived per tick.
+  const int priority = task->description().priority;
+  const auto it = std::upper_bound(
+      queue_.begin(), queue_.end(), priority,
+      [](int p, const TaskPtr& t) { return p > t->description().priority; });
+  queue_.insert(it, std::move(task));
+}
 
 bool Scheduler::remove(const TaskPtr& task) {
   const auto it = std::find(queue_.begin(), queue_.end(), task);
   if (it == queue_.end()) return false;
   queue_.erase(it);
   return true;
+}
+
+std::deque<TaskPtr> Scheduler::drain() {
+  std::deque<TaskPtr> out;
+  out.swap(queue_);
+  return out;
 }
 
 std::size_t Scheduler::try_schedule() {
@@ -36,12 +57,8 @@ std::size_t Scheduler::try_schedule() {
     return started;
   }
 
-  // Backfill: stable sort by priority (submission order preserved within a
-  // priority class), then place everything that fits right now.
-  std::stable_sort(queue_.begin(), queue_.end(),
-                   [](const TaskPtr& a, const TaskPtr& b) {
-                     return a->description().priority > b->description().priority;
-                   });
+  // Backfill: the queue is already priority-ordered (see enqueue); place
+  // everything that fits right now, in order.
   for (auto it = queue_.begin(); it != queue_.end();) {
     auto alloc = pool_.allocate((*it)->description().resources);
     if (!alloc) {

@@ -33,11 +33,19 @@ class Scheduler {
   Scheduler(SchedulerPolicy policy, hpc::ResourcePool& pool, PlaceFn place)
       : policy_(policy), pool_(pool), place_(std::move(place)) {}
 
-  /// Add a task to the waiting queue (does not schedule yet).
+  /// Add a task to the waiting queue (does not schedule yet). Under
+  /// kBackfill the queue is kept in priority order here — higher priority
+  /// first, submission order preserved within a class — so try_schedule
+  /// never has to sort.
   void enqueue(TaskPtr task);
 
   /// Remove a queued task; returns false if it is not waiting here.
   bool remove(const TaskPtr& task);
+
+  /// Remove and return every waiting task (in queue order). Used when a
+  /// pilot fails: its backlog is handed back to the TaskManager for
+  /// re-routing instead of stranding.
+  [[nodiscard]] std::deque<TaskPtr> drain();
 
   /// Place as many waiting tasks as the policy and free resources allow.
   /// Returns the number of tasks started.

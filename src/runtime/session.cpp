@@ -1,5 +1,6 @@
 #include "runtime/session.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -14,8 +15,14 @@ Session::Session(SessionConfig config)
       wall_start_(std::chrono::steady_clock::now()) {
   if (config_.mode == ExecutionMode::kThreaded)
     pool_.emplace(config_.worker_threads);
-  tmgr_ = std::make_unique<TaskManager>(uids_, profiler_,
-                                        [this] { return now(); });
+  if (config_.faults.any())
+    faults_.emplace(config_.faults, rng_.fork("faults"));
+  tmgr_ = std::make_unique<TaskManager>(
+      uids_, profiler_, [this] { return now(); }, rng_.fork("tmgr"));
+  tmgr_->set_defer(
+      [this](double delay_s, std::function<void()> fn) {
+        call_after(delay_s, std::move(fn));
+      });
 }
 
 Session::~Session() {
@@ -51,12 +58,23 @@ PilotPtr Session::submit_pilot(const PilotDescription& description) {
         *pool_, profiler_, pilot->recorder(), description.exec_overhead,
         exec_rng, config_.time_scale, [this] { return now(); });
   }
-  pilot->attach(*exec, tmgr_->terminal_handler());
+  if (faults_) exec->set_fault_injector(&*faults_);
+  pilot->attach(*exec, tmgr_->terminal_handler(), tmgr_->requeue_handler());
   executors_.push_back(std::move(exec));
   pilots_.push_back(pilot);
   tmgr_->add_pilot(pilot);
 
   call_after(description.bootstrap_s, [pilot] { pilot->activate(); });
+
+  // Arm any scheduled outage for this pilot (index in submission order).
+  const std::size_t index = pilots_.size() - 1;
+  for (const auto& outage : config_.faults.pilot_outages) {
+    if (outage.pilot_index != index) continue;
+    const double delay = std::max(0.0, outage.at_s - now());
+    IMPRESS_LOG(kInfo, "session")
+        << "pilot " << pilot->uid() << " will fail at t=" << outage.at_s;
+    call_after(delay, [pilot] { pilot->fail(); });
+  }
   return pilot;
 }
 

@@ -21,6 +21,7 @@
 #include "common/thread_pool.hpp"
 #include "common/uid.hpp"
 #include "hpc/profiler.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/pilot.hpp"
 #include "runtime/task_manager.hpp"
 #include "sim/engine.hpp"
@@ -42,6 +43,9 @@ struct SessionConfig {
   /// concurrently running tasks or placements will serialize behind
   /// sleeping workers.
   std::size_t worker_threads = 16;
+  /// Seeded fault plan: task failures / slowdowns drawn per (task, attempt)
+  /// plus scheduled pilot outages. Empty by default (no faults).
+  FaultConfig faults;
 };
 
 class Session {
@@ -90,6 +94,8 @@ class Session {
   common::UidGenerator uids_;
   common::Rng rng_;
   std::chrono::steady_clock::time_point wall_start_;
+  // Declared before the executors that hold a pointer to it.
+  std::optional<FaultInjector> faults_;
   std::unique_ptr<TaskManager> tmgr_;
   std::vector<PilotPtr> pilots_;
   std::vector<std::unique_ptr<Executor>> executors_;

@@ -21,6 +21,8 @@ void SimExecutor::start_phases(const TaskPtr& task) {
   const double start = engine_.now();
   profiler_.record(start, task->uid(), hpc::events::kExecStart);
 
+  const FaultInjector::AttemptFault fault = draw_fault(task);
+
   // Draw all phase durations now so the usage intervals and the completion
   // time agree exactly.
   double t = start;
@@ -28,6 +30,7 @@ void SimExecutor::start_phases(const TaskPtr& task) {
   for (const auto& p : task->description().phases) {
     double d = p.duration_s;
     if (d > 0.0 && p.jitter_sigma > 0.0) d = rng_.lognormal_mean(d, p.jitter_sigma);
+    d *= fault.slow_factor;
     intervals.push_back(hpc::UsageInterval{.start = t,
                                            .end = t + d,
                                            .cores = p.cores,
@@ -40,6 +43,16 @@ void SimExecutor::start_phases(const TaskPtr& task) {
 
   const auto it = pending_.find(task->uid());
   if (it == pending_.end()) return;  // cancelled between events
+
+  if (fault.fail) {
+    // Injected crash partway through the run: no usage is recorded (the
+    // attempt produced nothing), mirroring the cancel path.
+    const double t_fail = start + (t - start) * fault.fail_fraction;
+    it->second.event =
+        engine_.schedule_at(t_fail, [this, task] { fail_injected(task); });
+    return;
+  }
+
   it->second.event = engine_.schedule_at(
       t, [this, task, intervals = std::move(intervals)]() mutable {
         // Usage is only recorded when the task actually ran to completion;
@@ -47,6 +60,20 @@ void SimExecutor::start_phases(const TaskPtr& task) {
         for (auto& iv : intervals) recorder_.record(std::move(iv));
         finish(task);
       });
+}
+
+void SimExecutor::fail_injected(const TaskPtr& task) {
+  const auto it = pending_.find(task->uid());
+  if (it == pending_.end()) return;
+  CompletionFn on_complete = std::move(it->second.on_complete);
+  pending_.erase(it);
+
+  const double now = engine_.now();
+  task->set_error("injected fault (attempt " + std::to_string(task->attempt()) +
+                  ")");
+  task->set_state(TaskState::kFailed, now);
+  profiler_.record(now, task->uid(), hpc::events::kExecStop, "injected-fault");
+  if (on_complete) on_complete(task);
 }
 
 void SimExecutor::finish(const TaskPtr& task) {

@@ -42,6 +42,7 @@ class SimExecutor : public Executor {
 
   void start_phases(const TaskPtr& task);
   void finish(const TaskPtr& task);
+  void fail_injected(const TaskPtr& task);
 
   sim::Engine& engine_;
   hpc::Profiler& profiler_;

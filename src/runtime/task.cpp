@@ -24,9 +24,23 @@ bool is_terminal(TaskState s) noexcept {
          s == TaskState::kCancelled;
 }
 
+double RetryPolicy::backoff_delay(int next_attempt,
+                                  common::Rng& rng) const noexcept {
+  if (backoff_initial_s <= 0.0) return 0.0;
+  double delay = backoff_initial_s;
+  for (int a = 2; a < next_attempt; ++a) delay *= backoff_multiplier;
+  if (backoff_jitter > 0.0)
+    delay *= rng.uniform(1.0 - backoff_jitter, 1.0 + backoff_jitter);
+  return delay < 0.0 ? 0.0 : delay;
+}
+
 void TaskDescription::validate_and_normalize() {
   if (resources.cores == 0 && resources.gpus == 0)
     throw std::invalid_argument("task '" + name + "': requests no resources");
+  if (retry.max_attempts < 1)
+    throw std::invalid_argument("task '" + name + "': max_attempts < 1");
+  if (retry.backoff_initial_s < 0.0 || retry.attempt_timeout_s < 0.0)
+    throw std::invalid_argument("task '" + name + "': negative retry timing");
   if (phases.empty())
     phases.push_back(TaskPhase{.name = "run",
                                .duration_s = 0.0,
@@ -86,6 +100,14 @@ void Task::set_state(TaskState s, double now) noexcept {
   state_.store(s);
   auto& slot = state_times_[static_cast<int>(s)];
   if (std::isnan(slot)) slot = now;
+}
+
+void Task::begin_retry(double now) noexcept {
+  attempt_.fetch_add(1);
+  evict_reason_.store(EvictReason::kNone);
+  error_.clear();
+  result_.reset();
+  set_state(TaskState::kSubmitted, now);
 }
 
 }  // namespace impress::rp

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "hpc/resource_pool.hpp"
 
 namespace impress::rp {
@@ -38,6 +39,31 @@ enum class TaskState {
 
 [[nodiscard]] std::string_view to_string(TaskState s) noexcept;
 [[nodiscard]] bool is_terminal(TaskState s) noexcept;
+
+/// Why a non-terminal task was forcibly evicted from its executor. The
+/// TaskManager translates the resulting kCancelled completion back into a
+/// kFailed attempt so the retry policy applies.
+enum class EvictReason {
+  kNone,          ///< a genuine user cancel
+  kTimeout,       ///< per-attempt deadline expired
+  kPilotFailure,  ///< the pilot running the task died
+};
+
+/// Per-task retry policy, enforced by the TaskManager. The default is the
+/// pre-fault-tolerance behaviour: one attempt, no timeout.
+struct RetryPolicy {
+  int max_attempts = 1;             ///< total attempts incl. the first
+  double backoff_initial_s = 0.0;   ///< delay before the second attempt
+  double backoff_multiplier = 2.0;  ///< exponential growth per retry
+  double backoff_jitter = 0.0;      ///< +/- fraction of the delay, uniform
+  double attempt_timeout_s = 0.0;   ///< per-attempt deadline; 0 = none
+
+  /// Delay before attempt `next_attempt` (>= 2), drawn with jitter from
+  /// `rng`: initial * multiplier^(next_attempt - 2), scaled by a uniform
+  /// factor in [1 - jitter, 1 + jitter].
+  [[nodiscard]] double backoff_delay(int next_attempt,
+                                     common::Rng& rng) const noexcept;
+};
 
 /// One temporal slice of a task's execution.
 struct TaskPhase {
@@ -64,6 +90,7 @@ struct TaskDescription {
                                         ///< after normalize()
   WorkFn work;                          ///< may be empty (pure timing task)
   int priority = 0;                     ///< higher runs earlier (backfill)
+  RetryPolicy retry;                    ///< enforced by the TaskManager
   std::map<std::string, std::string> metadata;  ///< opaque to the runtime
 
   /// Ensure at least one phase exists and phase usage fits the request.
@@ -94,6 +121,9 @@ class Task {
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
   [[nodiscard]] const std::any& result() const noexcept { return result_; }
 
+  /// 1-based attempt number of the current (or final) execution.
+  [[nodiscard]] int attempt() const noexcept { return attempt_.load(); }
+
   /// Timestamp (seconds) of the first entry into each state; NaN if never.
   [[nodiscard]] double state_time(TaskState s) const noexcept;
 
@@ -115,12 +145,28 @@ class Task {
   void set_allocation(hpc::Allocation a) { allocation_ = std::move(a); }
   void clear_allocation() { allocation_ = {}; }
 
+  /// Mark the task for forcible eviction (deadline/pilot failure) before
+  /// cancelling it on the executor; the completion path reads the reason.
+  void set_evict_reason(EvictReason r) noexcept { evict_reason_.store(r); }
+  /// Consume the eviction reason (resets it to kNone).
+  [[nodiscard]] EvictReason take_evict_reason() noexcept {
+    return evict_reason_.exchange(EvictReason::kNone);
+  }
+
+  /// Reset the task for its next attempt: bumps the attempt counter,
+  /// clears the previous error/result, and re-enters kSubmitted.
+  void begin_retry(double now) noexcept;
+
  private:
   std::string uid_;
   TaskDescription description_;
   // Atomic: executors write the state from worker threads / engine events
   // while TaskManager::cancel and user code poll it lock-free.
   std::atomic<TaskState> state_{TaskState::kNew};
+  // Atomic for the same reason: bumped by the TaskManager's retry path
+  // while executors read it to key fault-injection draws.
+  std::atomic<int> attempt_{1};
+  std::atomic<EvictReason> evict_reason_{EvictReason::kNone};
   std::string error_;
   std::any result_;
   hpc::Allocation allocation_;

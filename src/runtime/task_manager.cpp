@@ -2,26 +2,35 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "common/string_util.hpp"
 
 namespace impress::rp {
 
 TaskManager::TaskManager(common::UidGenerator& uids, hpc::Profiler& profiler,
-                         std::function<double()> now_fn)
-    : uids_(uids), profiler_(profiler), now_(std::move(now_fn)) {}
+                         std::function<double()> now_fn, common::Rng rng)
+    : uids_(uids), profiler_(profiler), now_(std::move(now_fn)), rng_(rng) {}
 
 void TaskManager::add_pilot(PilotPtr pilot) {
   std::lock_guard lock(mutex_);
   pilots_.push_back(std::move(pilot));
 }
 
-PilotPtr TaskManager::route(const TaskDescription& td) {
-  // Least-loaded (queued + running) among pilots that can ever fit.
+void TaskManager::set_defer(DeferFn defer) {
+  // Wire before the first submit: the deadline path reads defer_ unlocked.
+  defer_ = std::move(defer);
+}
+
+PilotPtr TaskManager::route(const TaskDescription& td, const Pilot* exclude) {
+  // Least-loaded (queued + running) among live pilots that can ever fit.
   PilotPtr best;
   std::size_t best_load = std::numeric_limits<std::size_t>::max();
   for (const auto& p : pilots_) {
-    if (p->state() == PilotState::kDone) continue;
+    if (p.get() == exclude) continue;
+    const PilotState s = p->state();
+    if (s == PilotState::kDone || s == PilotState::kFailed) continue;
     if (!p->pool().fits_ever(td.resources)) continue;
     const std::size_t load = p->queue_length() + p->running();
     if (load < best_load) {
@@ -52,7 +61,7 @@ TaskPtr TaskManager::submit(TaskDescription description) {
   IMPRESS_LOG(kDebug, "tmgr") << "submit " << task->uid() << " ('"
                               << task->description().name << "') -> "
                               << pilot->uid();
-  pilot->enqueue(task);
+  dispatch(task, std::move(pilot));
   return task;
 }
 
@@ -63,6 +72,56 @@ std::vector<TaskPtr> TaskManager::submit(std::vector<TaskDescription> descriptio
   return out;
 }
 
+void TaskManager::dispatch(const TaskPtr& task, PilotPtr pilot) {
+  for (;;) {
+    if (pilot->try_enqueue(task)) {
+      arm_deadline(task);
+      return;
+    }
+    // The pilot died between routing and enqueueing: re-route around it.
+    PilotPtr next;
+    {
+      std::lock_guard lock(mutex_);
+      next = route(task->description(), pilot.get());
+      if (next) task_pilot_[task->uid()] = next;
+    }
+    if (!next) {
+      fail_unroutable(task, "pilot " + pilot->uid() + " died; no alternative");
+      return;
+    }
+    profiler_.record(now_(), task->uid(), hpc::events::kRequeue, next->uid());
+    pilot = std::move(next);
+  }
+}
+
+void TaskManager::arm_deadline(const TaskPtr& task) {
+  const double timeout = task->description().retry.attempt_timeout_s;
+  if (timeout <= 0.0 || !defer_) return;
+  const int attempt = task->attempt();
+  defer_(timeout, [this, task, attempt, timeout] {
+    // Fires only if the same attempt is still live; a completed or retried
+    // task keeps its new attempt untouched.
+    if (task->attempt() != attempt || is_terminal(task->state())) return;
+    PilotPtr pilot;
+    {
+      std::lock_guard lock(mutex_);
+      if (backoff_.find(task->uid()) != backoff_.end()) return;
+      const auto it = task_pilot_.find(task->uid());
+      if (it == task_pilot_.end()) return;
+      pilot = it->second;
+      ++timed_out_;
+    }
+    profiler_.record(now_(), task->uid(), hpc::events::kTimeout,
+                     "attempt " + std::to_string(attempt));
+    IMPRESS_LOG(kWarn, "tmgr") << task->uid() << " attempt " << attempt
+                               << " exceeded deadline of " << timeout << "s";
+    task->set_evict_reason(EvictReason::kTimeout);
+    // The eviction surfaces as a kCancelled completion; on_terminal
+    // translates it back into a failed attempt so the retry policy runs.
+    if (!pilot->cancel(task)) task->set_evict_reason(EvictReason::kNone);
+  });
+}
+
 std::size_t TaskManager::add_callback(Callback cb) {
   std::lock_guard lock(mutex_);
   callbacks_.push_back(std::move(cb));
@@ -70,13 +129,28 @@ std::size_t TaskManager::add_callback(Callback cb) {
 }
 
 bool TaskManager::cancel(const TaskPtr& task) {
-  if (is_terminal(task->state())) return false;
   PilotPtr pilot;
+  bool in_backoff = false;
   {
+    // State check and map lookups are atomic with respect to on_terminal:
+    // both run under mutex_, so a task cannot be observed live here while
+    // its terminal bookkeeping is mid-flight (the old TOCTOU).
     std::lock_guard lock(mutex_);
-    const auto it = task_pilot_.find(task->uid());
-    if (it == task_pilot_.end()) return false;
-    pilot = it->second;
+    if (is_terminal(task->state())) return false;
+    if (backoff_.erase(task->uid()) > 0) {
+      in_backoff = true;
+      task->set_state(TaskState::kCancelled, now_());
+      profiler_.record(now_(), task->uid(), hpc::events::kCancelled,
+                       "during retry backoff");
+    } else {
+      const auto it = task_pilot_.find(task->uid());
+      if (it == task_pilot_.end()) return false;
+      pilot = it->second;
+    }
+  }
+  if (in_backoff) {
+    finalize(task);
+    return true;
   }
   return pilot->cancel(task);
 }
@@ -106,20 +180,153 @@ std::size_t TaskManager::cancelled() const {
   return cancelled_;
 }
 
+std::size_t TaskManager::retried() const {
+  std::lock_guard lock(mutex_);
+  return retried_;
+}
+
+std::size_t TaskManager::timed_out() const {
+  std::lock_guard lock(mutex_);
+  return timed_out_;
+}
+
+std::size_t TaskManager::requeued() const {
+  std::lock_guard lock(mutex_);
+  return requeued_;
+}
+
 void TaskManager::wait_all() {
   std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  // Both conditions matter: outstanding_ hits zero *before* the terminal
+  // callbacks of the last task run, and a callback may submit follow-on
+  // work. callbacks_in_flight_ bridges that window.
+  idle_cv_.wait(lock,
+                [&] { return outstanding_ == 0 && callbacks_in_flight_ == 0; });
 }
 
 CompletionFn TaskManager::terminal_handler() {
   return [this](const TaskPtr& task) { on_terminal(task); };
 }
 
+RequeueFn TaskManager::requeue_handler() {
+  return [this](const TaskPtr& task) { requeue(task); };
+}
+
 void TaskManager::on_terminal(const TaskPtr& task) {
+  // A forcible eviction (deadline, pilot failure) completes as kCancelled;
+  // from the retry policy's point of view it is a failed attempt.
+  const EvictReason reason = task->take_evict_reason();
+  if (reason != EvictReason::kNone && task->state() == TaskState::kCancelled) {
+    task->set_error(reason == EvictReason::kTimeout
+                        ? "attempt deadline exceeded"
+                        : "pilot failed during execution");
+    task->set_state(TaskState::kFailed, now_());
+    profiler_.record(now_(), task->uid(), hpc::events::kFailed,
+                     reason == EvictReason::kTimeout ? "deadline"
+                                                     : "pilot-failure");
+  }
+
+  if (task->state() == TaskState::kFailed) {
+    const RetryPolicy& policy = task->description().retry;
+    std::unique_lock lock(mutex_);
+    const bool retryable = task->attempt() < policy.max_attempts &&
+                           route(task->description()) != nullptr;
+    if (retryable) {
+      PilotPtr prev;
+      const auto it = task_pilot_.find(task->uid());
+      if (it != task_pilot_.end()) {
+        prev = it->second;
+        task_pilot_.erase(it);
+      }
+      ++retried_;
+      backoff_[task->uid()] = std::move(prev);
+      // The task is not terminal while it waits out the backoff — it is
+      // still outstanding and cancellable. The error text of the failed
+      // attempt is kept for observability until begin_retry clears it.
+      task->set_state(TaskState::kSubmitted, now_());
+      common::Rng jitter =
+          rng_.fork(common::stable_hash(task->uid()) +
+                    static_cast<std::uint64_t>(task->attempt()));
+      const double delay = policy.backoff_delay(task->attempt() + 1, jitter);
+      profiler_.record(now_(), task->uid(), hpc::events::kRetry,
+                       "attempt " + std::to_string(task->attempt()) +
+                           " failed; next in " + std::to_string(delay) + "s");
+      lock.unlock();
+      IMPRESS_LOG(kInfo, "tmgr")
+          << task->uid() << " attempt " << task->attempt() << "/"
+          << policy.max_attempts << " failed (" << task->error()
+          << "); retrying in " << delay << "s";
+      if (defer_)
+        defer_(delay, [this, task] { resubmit(task); });
+      else
+        resubmit(task);
+      return;  // still outstanding; wait_all keeps blocking
+    }
+  }
+  finalize(task);
+}
+
+void TaskManager::resubmit(const TaskPtr& task) {
+  PilotPtr pilot;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = backoff_.find(task->uid());
+    if (it == backoff_.end()) return;  // cancelled during the backoff
+    const PilotPtr prev = it->second;
+    backoff_.erase(it);
+    // Prefer a different pilot than the one the attempt failed on; fall
+    // back to it only when nothing else fits.
+    pilot = route(task->description(), prev.get());
+    if (!pilot) pilot = route(task->description());
+    if (pilot) {
+      task->begin_retry(now_());
+      task_pilot_[task->uid()] = pilot;
+      profiler_.record(now_(), task->uid(), hpc::events::kSubmit,
+                       "attempt " + std::to_string(task->attempt()));
+    }
+  }
+  if (!pilot) {
+    fail_unroutable(task, "no live pilot for retry");
+    return;
+  }
+  IMPRESS_LOG(kDebug, "tmgr") << "resubmit " << task->uid() << " attempt "
+                              << task->attempt() << " -> " << pilot->uid();
+  dispatch(task, std::move(pilot));
+}
+
+void TaskManager::requeue(const TaskPtr& task) {
+  PilotPtr pilot;
+  {
+    std::lock_guard lock(mutex_);
+    if (is_terminal(task->state())) return;
+    pilot = route(task->description());
+    if (pilot) {
+      ++requeued_;
+      task_pilot_[task->uid()] = pilot;
+    }
+  }
+  if (!pilot) {
+    fail_unroutable(task, "pilot failed; no alternative fits");
+    return;
+  }
+  IMPRESS_LOG(kInfo, "tmgr") << "requeue " << task->uid() << " -> "
+                             << pilot->uid();
+  dispatch(task, std::move(pilot));
+}
+
+void TaskManager::fail_unroutable(const TaskPtr& task, const std::string& why) {
+  task->set_error(why);
+  task->set_state(TaskState::kFailed, now_());
+  profiler_.record(now_(), task->uid(), hpc::events::kFailed, why);
+  finalize(task);
+}
+
+void TaskManager::finalize(const TaskPtr& task) {
   std::vector<Callback> callbacks;
   {
     std::lock_guard lock(mutex_);
     task_pilot_.erase(task->uid());
+    backoff_.erase(task->uid());
     if (outstanding_ > 0) --outstanding_;
     switch (task->state()) {
       case TaskState::kDone: ++done_; break;
@@ -128,11 +335,16 @@ void TaskManager::on_terminal(const TaskPtr& task) {
       default: break;
     }
     callbacks = callbacks_;  // snapshot: callbacks may submit more tasks
+    // Count the callback pass *before* releasing the lock: wait_all must
+    // not observe outstanding_ == 0 while a callback that could submit
+    // follow-on work is still pending — the old early-return race.
+    ++callbacks_in_flight_;
   }
-  // Run callbacks before waking waiters: a callback that submits
-  // follow-on work bumps `outstanding_` back up, so wait_all() does not
-  // return in the middle of an adaptive campaign.
   for (const auto& cb : callbacks) cb(task);
+  {
+    std::lock_guard lock(mutex_);
+    --callbacks_in_flight_;
+  }
   idle_cv_.notify_all();
 }
 

@@ -5,6 +5,13 @@
 // the request), and fires user callbacks when tasks reach a terminal
 // state. The IMPRESS coordinator registers one callback that feeds its
 // completed-task channel.
+//
+// Fault tolerance (docs/fault_tolerance.md): each task carries a
+// RetryPolicy. A failed attempt — work exception, injected fault, expired
+// per-attempt deadline, or pilot failure — is resubmitted after an
+// exponential-backoff delay, preferring a *different* pilot when one can
+// fit the task. Only when the policy is exhausted (or no live pilot
+// remains) does the task become terminally kFailed and reach callbacks.
 
 #pragma once
 
@@ -15,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/uid.hpp"
 #include "hpc/profiler.hpp"
 #include "runtime/pilot.hpp"
@@ -27,12 +35,22 @@ class TaskManager {
   /// Fired once per task when it becomes kDone / kFailed / kCancelled.
   using Callback = std::function<void(const TaskPtr&)>;
 
+  /// Schedules a deferred action `delay_s` simulated seconds from now;
+  /// the session wires this to its clock (engine event or timer thread).
+  /// Retry backoff and per-attempt deadlines are driven through it.
+  using DeferFn = std::function<void(double, std::function<void()>)>;
+
   TaskManager(common::UidGenerator& uids, hpc::Profiler& profiler,
-              std::function<double()> now_fn);
+              std::function<double()> now_fn,
+              common::Rng rng = common::Rng(0));
 
   /// Register a pilot as a routing target. The session wires the pilot's
   /// terminal notifications back to this manager.
   void add_pilot(PilotPtr pilot);
+
+  /// Wire the deferred-execution hook. Without it, retries are submitted
+  /// immediately (no backoff) and attempt deadlines are not enforced.
+  void set_defer(DeferFn defer);
 
   /// Submit one task; returns the live Task handle.
   /// Throws std::runtime_error if no registered pilot can ever fit it.
@@ -42,8 +60,8 @@ class TaskManager {
   /// Register a terminal-state callback; returns its registration id.
   std::size_t add_callback(Callback cb);
 
-  /// Cancel a submitted task (queued or executing). Returns false if the
-  /// task is already terminal.
+  /// Cancel a submitted task (queued, executing, or waiting out a retry
+  /// backoff). Returns false if the task is already terminal or unknown.
   bool cancel(const TaskPtr& task);
 
   /// Tasks submitted but not yet terminal.
@@ -54,33 +72,68 @@ class TaskManager {
   [[nodiscard]] std::size_t done() const;
   [[nodiscard]] std::size_t failed() const;
   [[nodiscard]] std::size_t cancelled() const;
+  /// Failed attempts that were resubmitted under a RetryPolicy.
+  [[nodiscard]] std::size_t retried() const;
+  /// Attempts evicted because their per-attempt deadline expired.
+  [[nodiscard]] std::size_t timed_out() const;
+  /// Tasks handed back by failing pilots and re-routed.
+  [[nodiscard]] std::size_t requeued() const;
 
-  /// Block the calling thread until outstanding() == 0. Only meaningful
-  /// with the threaded executor — with the simulated executor use
-  /// Session::run(), which drives the event loop instead of blocking.
+  /// Block the calling thread until no task is outstanding *and* no
+  /// terminal callback is still running. Only meaningful with the
+  /// threaded executor — with the simulated executor use Session::run(),
+  /// which drives the event loop instead of blocking.
   void wait_all();
 
   /// The handler the session installs on each pilot.
   [[nodiscard]] CompletionFn terminal_handler();
 
+  /// The requeue handler the session installs on each pilot: tasks a
+  /// failing pilot drains from its queue are re-routed to a live pilot.
+  [[nodiscard]] RequeueFn requeue_handler();
+
  private:
   void on_terminal(const TaskPtr& task);
-  PilotPtr route(const TaskDescription& td);
+  /// Counters + callbacks + idle notification for a truly terminal task.
+  void finalize(const TaskPtr& task);
+  /// Hand a task to `pilot`, re-routing if the pilot died in between.
+  void dispatch(const TaskPtr& task, PilotPtr pilot);
+  /// Second and later attempts enter here after their backoff delay.
+  void resubmit(const TaskPtr& task);
+  /// Tasks drained from a failed pilot's queue re-enter here.
+  void requeue(const TaskPtr& task);
+  /// Arm the per-attempt deadline for the task's current attempt.
+  void arm_deadline(const TaskPtr& task);
+  /// Mark the task terminally failed (no pilot) and finalize it.
+  void fail_unroutable(const TaskPtr& task, const std::string& why);
+  PilotPtr route(const TaskDescription& td, const Pilot* exclude = nullptr);
 
   common::UidGenerator& uids_;
   hpc::Profiler& profiler_;
   std::function<double()> now_;
+  common::Rng rng_;  ///< backoff jitter; forked per (task, attempt)
+  DeferFn defer_;
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
   std::vector<PilotPtr> pilots_;
   std::vector<Callback> callbacks_;
   std::unordered_map<std::string, PilotPtr> task_pilot_;
+  /// Tasks waiting out a retry backoff, mapped to the pilot of the failed
+  /// attempt (excluded on resubmission when an alternative exists).
+  std::unordered_map<std::string, PilotPtr> backoff_;
   std::size_t outstanding_ = 0;
+  /// Terminal callbacks currently executing; wait_all() must not return
+  /// while one is in flight, because it may be about to submit follow-on
+  /// work (see on_terminal).
+  std::size_t callbacks_in_flight_ = 0;
   std::size_t submitted_ = 0;
   std::size_t done_ = 0;
   std::size_t failed_ = 0;
   std::size_t cancelled_ = 0;
+  std::size_t retried_ = 0;
+  std::size_t timed_out_ = 0;
+  std::size_t requeued_ = 0;
 };
 
 }  // namespace impress::rp

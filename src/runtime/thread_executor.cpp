@@ -19,13 +19,19 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
   double setup = overhead_.setup_mean_s;
   if (setup > 0.0 && overhead_.setup_jitter_sigma > 0.0)
     setup = rng_.lognormal_mean(setup, overhead_.setup_jitter_sigma);
+  const FaultInjector::AttemptFault fault = draw_fault(task);
   std::vector<double> durations;
   durations.reserve(task->description().phases.size());
+  double total = 0.0;
   for (const auto& p : task->description().phases) {
     double d = p.duration_s;
     if (d > 0.0 && p.jitter_sigma > 0.0) d = rng_.lognormal_mean(d, p.jitter_sigma);
+    d *= fault.slow_factor;
     durations.push_back(d);
+    total += d;
   }
+  // An injected crash aborts the run after this much of the phase time.
+  const double fail_budget = fault.fail ? total * fault.fail_fraction : -1.0;
 
   auto flag = std::make_shared<std::atomic<bool>>(false);
   {
@@ -34,20 +40,33 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
   }
 
   pool_.submit([this, task = std::move(task), on_complete = std::move(on_complete),
-                setup, durations = std::move(durations), flag] {
+                setup, durations = std::move(durations), fault, fail_budget,
+                flag] {
     profiler_.record(now_(), task->uid(), hpc::events::kExecSetupStart);
     sleep_scaled(setup);
     profiler_.record(now_(), task->uid(), hpc::events::kExecStart);
 
     bool cancelled = false;
+    bool crashed = false;
+    double spent = 0.0;
     const auto& phases = task->description().phases;
     for (std::size_t i = 0; i < phases.size(); ++i) {
       if (flag->load()) {
         cancelled = true;
         break;
       }
+      double d = durations[i];
+      if (fault.fail && spent + d >= fail_budget) {
+        // Crash partway through this phase; the attempt's usage is not
+        // recorded (it produced nothing), mirroring the simulated path.
+        sleep_scaled(fail_budget - spent);
+        crashed = true;
+        break;
+      }
+      spent += d;
       const double t0 = now_();
-      sleep_scaled(durations[i]);
+      sleep_scaled(d);
+      if (fault.fail) continue;  // doomed attempt: no usage accounting
       recorder_.record(hpc::UsageInterval{.start = t0,
                                           .end = now_(),
                                           .cores = phases[i].cores,
@@ -56,10 +75,17 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
                                           .gpu_intensity = phases[i].gpu_intensity,
                                           .task_uid = task->uid()});
     }
+    // Re-check after the last phase: a cancel() that returned true just
+    // before we left the loop must not see its task complete normally.
+    if (!cancelled && !crashed && flag->load()) cancelled = true;
 
     const double now = now_();
     if (cancelled) {
       task->set_state(TaskState::kCancelled, now);
+    } else if (crashed) {
+      task->set_error("injected fault (attempt " +
+                      std::to_string(task->attempt()) + ")");
+      task->set_state(TaskState::kFailed, now);
     } else if (task->description().work) {
       try {
         task->set_result(task->description().work(*task));
@@ -74,7 +100,8 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
     } else {
       task->set_state(TaskState::kDone, now);
     }
-    profiler_.record(now_(), task->uid(), hpc::events::kExecStop);
+    profiler_.record(now_(), task->uid(), hpc::events::kExecStop,
+                     crashed ? "injected-fault" : "");
     {
       std::lock_guard lock(mutex_);
       cancel_flags_.erase(task->uid());

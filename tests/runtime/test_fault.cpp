@@ -1,0 +1,95 @@
+#include "runtime/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace impress::rp {
+namespace {
+
+TEST(FaultConfig, AnyDetectsEverySource) {
+  EXPECT_FALSE(FaultConfig{}.any());
+  EXPECT_TRUE((FaultConfig{.task_failure_rate = 0.1}.any()));
+  EXPECT_TRUE((FaultConfig{.slow_task_rate = 0.1}.any()));
+  FaultConfig outage;
+  outage.pilot_outages.push_back(PilotOutage{.pilot_index = 0, .at_s = 10.0});
+  EXPECT_TRUE(outage.any());
+}
+
+TEST(FaultInjector, DrawIsDeterministicPerUidAndAttempt) {
+  const FaultConfig cfg{.task_failure_rate = 0.5, .slow_task_rate = 0.5};
+  const FaultInjector inj(cfg, common::Rng(7));
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const auto a = inj.draw_attempt("task.000001", attempt);
+    const auto b = inj.draw_attempt("task.000001", attempt);
+    EXPECT_EQ(a.fail, b.fail);
+    EXPECT_DOUBLE_EQ(a.fail_fraction, b.fail_fraction);
+    EXPECT_DOUBLE_EQ(a.slow_factor, b.slow_factor);
+  }
+}
+
+TEST(FaultInjector, AttemptsAreIndependentDraws) {
+  // With a 50% failure rate, 64 attempts of one task cannot all share the
+  // same fate unless the attempt number were ignored.
+  const FaultConfig cfg{.task_failure_rate = 0.5};
+  const FaultInjector inj(cfg, common::Rng(11));
+  int failures = 0;
+  for (int attempt = 1; attempt <= 64; ++attempt)
+    failures += inj.draw_attempt("task.000042", attempt).fail ? 1 : 0;
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 64);
+}
+
+TEST(FaultInjector, RatesRoughlyRespected) {
+  const FaultConfig cfg{.task_failure_rate = 0.25};
+  const FaultInjector inj(cfg, common::Rng(3));
+  int failures = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    if (inj.draw_attempt("task." + std::to_string(i), 1).fail) ++failures;
+  const double rate = static_cast<double>(failures) / n;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultInjector, NeutralWhenNothingConfigured) {
+  const FaultInjector inj(FaultConfig{}, common::Rng(1));
+  EXPECT_FALSE(inj.enabled());
+  const auto fault = inj.draw_attempt("task.000001", 1);
+  EXPECT_FALSE(fault.fail);
+  EXPECT_DOUBLE_EQ(fault.slow_factor, 1.0);
+}
+
+TEST(FaultInjector, SlowTasksGetStretchedNotFailed) {
+  const FaultConfig cfg{.slow_task_rate = 1.0, .slow_factor = 4.0};
+  const FaultInjector inj(cfg, common::Rng(5));
+  const auto fault = inj.draw_attempt("task.000009", 1);
+  EXPECT_FALSE(fault.fail);
+  EXPECT_DOUBLE_EQ(fault.slow_factor, 4.0);
+}
+
+TEST(FaultInjector, FailFractionIsAPartialRun) {
+  const FaultConfig cfg{.task_failure_rate = 1.0};
+  const FaultInjector inj(cfg, common::Rng(13));
+  for (int i = 0; i < 32; ++i) {
+    const auto fault = inj.draw_attempt("task." + std::to_string(i), 1);
+    ASSERT_TRUE(fault.fail);
+    EXPECT_GT(fault.fail_fraction, 0.0);
+    EXPECT_LT(fault.fail_fraction, 1.0);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentFates) {
+  const FaultConfig cfg{.task_failure_rate = 0.5};
+  const FaultInjector a(cfg, common::Rng(1));
+  const FaultInjector b(cfg, common::Rng(2));
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto uid = "task." + std::to_string(i);
+    if (a.draw_attempt(uid, 1).fail != b.draw_attempt(uid, 1).fail)
+      ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace impress::rp

@@ -118,6 +118,59 @@ TEST(Scheduler, AllocationsMatchRequests) {
   EXPECT_EQ(f.placed[0].second.gpus.size(), 2u);
 }
 
+// Regression (per-tick sort): under kBackfill the queue is kept in
+// priority order at enqueue, so try_schedule never sorts. Interleaved
+// enqueues must still come out highest-priority first, submission order
+// preserved within a priority class.
+TEST(Scheduler, EnqueueMaintainsPriorityOrder) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  s.enqueue(Fixture::task("p0-a", 2, 0, 0));
+  s.enqueue(Fixture::task("p5-a", 2, 0, 5));
+  s.enqueue(Fixture::task("p3", 2, 0, 3));
+  s.enqueue(Fixture::task("p5-b", 2, 0, 5));
+  s.enqueue(Fixture::task("p0-b", 2, 0, 0));
+  const auto drained = s.drain();
+  ASSERT_EQ(drained.size(), 5u);
+  EXPECT_EQ(drained[0]->description().name, "p5-a");
+  EXPECT_EQ(drained[1]->description().name, "p5-b");
+  EXPECT_EQ(drained[2]->description().name, "p3");
+  EXPECT_EQ(drained[3]->description().name, "p0-a");
+  EXPECT_EQ(drained[4]->description().name, "p0-b");
+}
+
+TEST(Scheduler, PriorityOrderSurvivesPartialScheduling) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kBackfill);
+  // Fill the node so nothing can start, then enqueue out of order.
+  auto big = f.pool.allocate({.cores = 28});
+  ASSERT_TRUE(big);
+  s.enqueue(Fixture::task("low", 2, 0, 1));
+  s.enqueue(Fixture::task("high", 2, 0, 9));
+  EXPECT_EQ(s.try_schedule(), 0u);
+  s.enqueue(Fixture::task("mid", 2, 0, 4));
+  f.pool.release(*big);
+  EXPECT_EQ(s.try_schedule(), 3u);
+  ASSERT_EQ(f.placed.size(), 3u);
+  EXPECT_EQ(f.placed[0].first->description().name, "high");
+  EXPECT_EQ(f.placed[1].first->description().name, "mid");
+  EXPECT_EQ(f.placed[2].first->description().name, "low");
+}
+
+TEST(Scheduler, DrainEmptiesQueueInOrder) {
+  Fixture f;
+  auto s = f.make(SchedulerPolicy::kFifo);
+  s.enqueue(Fixture::task("a", 2));
+  s.enqueue(Fixture::task("b", 2));
+  s.enqueue(Fixture::task("c", 2));
+  const auto drained = s.drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0]->description().name, "a");
+  EXPECT_EQ(drained[2]->description().name, "c");
+  EXPECT_EQ(s.queue_length(), 0u);
+  EXPECT_EQ(s.try_schedule(), 0u);
+}
+
 class SchedulerPolicySweep : public ::testing::TestWithParam<SchedulerPolicy> {};
 
 TEST_P(SchedulerPolicySweep, EventuallyDrainsQueue) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "runtime/session.hpp"
 
 namespace impress::rp {
@@ -84,6 +88,74 @@ TEST(TaskManager, MultipleCallbacksAllFire) {
   session.run();
   EXPECT_EQ(a, 1);
   EXPECT_EQ(b, 1);
+}
+
+// Regression (cancel TOCTOU): the terminal-state check and the pilot
+// lookup happen atomically under the manager lock, so repeated cancels
+// return consistently — true exactly once, false ever after.
+TEST(TaskManager, CancelReturnsTrueOnceThenFalse) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node(4, 0));
+  const auto task =
+      session.task_manager().submit(make_simple_task("t", 1, 0, 100.0));
+  session.call_after(1.0, [&] {
+    EXPECT_TRUE(session.task_manager().cancel(task));
+  });
+  session.call_after(2.0, [&] {
+    EXPECT_FALSE(session.task_manager().cancel(task));
+  });
+  session.run();
+  EXPECT_EQ(task->state(), TaskState::kCancelled);
+  EXPECT_EQ(session.task_manager().cancelled(), 1u);
+  EXPECT_EQ(session.task_manager().outstanding(), 0u);
+}
+
+// Regression (cancel TOCTOU): a task waiting out a retry backoff has no
+// pilot; cancel must still find and finalize it instead of returning a
+// spurious false.
+TEST(TaskManager, CancelDuringRetryBackoffFinalizes) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(node(4, 0));
+  auto td = make_simple_task("flaky", 1, 0, 1.0, [](Task&) -> std::any {
+    throw std::runtime_error("fails first");
+  });
+  td.retry = RetryPolicy{.max_attempts = 2, .backoff_initial_s = 1000.0};
+  const auto task = session.task_manager().submit(std::move(td));
+  // Well inside the backoff window (attempt 1 fails at ~1s).
+  session.call_after(10.0, [&] {
+    EXPECT_TRUE(session.task_manager().cancel(task));
+  });
+  session.run();
+  EXPECT_EQ(task->state(), TaskState::kCancelled);
+  EXPECT_EQ(session.task_manager().cancelled(), 1u);
+  EXPECT_EQ(session.task_manager().outstanding(), 0u);
+  // The armed resubmission became a no-op: no second attempt ran.
+  EXPECT_EQ(task->attempt(), 1);
+}
+
+// Regression (wait_all early return): a terminal callback may submit
+// follow-on work; wait_all must not return between the last task's
+// completion and its callback finishing.
+TEST(TaskManager, WaitAllWaitsForCallbackSubmissions) {
+  SessionConfig cfg;
+  cfg.mode = ExecutionMode::kThreaded;
+  cfg.time_scale = 1e-4;
+  Session session{cfg};
+  session.submit_pilot(node(4, 0));
+  std::atomic<bool> chained{false};
+  session.task_manager().add_callback([&](const TaskPtr& task) {
+    if (task->description().name != "root") return;
+    // Simulate decision-making latency before the follow-on submission.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    chained.store(true);
+    (void)session.task_manager().submit(
+        make_simple_task("chained", 1, 0, 50.0));
+  });
+  (void)session.task_manager().submit(make_simple_task("root", 1, 0, 50.0));
+  session.run();  // wait_all
+  EXPECT_TRUE(chained.load());
+  EXPECT_EQ(session.task_manager().done(), 2u);
+  EXPECT_EQ(session.task_manager().outstanding(), 0u);
 }
 
 TEST(TaskManager, FailedTasksCountedSeparately) {
