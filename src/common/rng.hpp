@@ -43,6 +43,12 @@ class Rng {
   [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
   [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
 
+  /// Stable 64-bit digest of the generator's full state (position in the
+  /// stream, stream selector, and Box–Muller cache). Two generators with
+  /// equal fingerprints produce identical future output, which is what
+  /// lets fold::FoldCache key memoized predictions on the task rng.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
   /// Next raw 32-bit value.
   result_type operator()() noexcept;
 

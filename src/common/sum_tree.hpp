@@ -1,0 +1,106 @@
+// Pairwise (binary-tree) summation with O(log n) incremental updates.
+//
+// Floating-point addition is not associative, so an incrementally
+// maintained running sum (`sum - old + new`) drifts away from a
+// recomputed one by rounding. The fix used here: fix the *association
+// order* to a complete binary tree. Both the from-scratch reduction
+// (tree_reduce) and the incrementally updated tree (SumTree) perform the
+// exact same additions in the exact same order, so updating one leaf and
+// recomputing the root along its path yields a result bit-identical to a
+// full rebuild. This is what lets FitnessLandscape::MutationScorer score
+// point mutations in O(log L) while pinning bit-identical fitness values
+// against the naive full evaluation.
+//
+// Leaves beyond the stored count are zero padding; x + 0.0 == x for the
+// non-negative finite values this project sums, and padded subtrees are
+// all-zero in both code paths, so padding never perturbs the root.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace impress::common {
+
+/// Smallest power of two >= n (n == 0 yields 1).
+[[nodiscard]] constexpr std::size_t ceil_pow2(std::size_t n) noexcept {
+  std::size_t w = 1;
+  while (w < n) w <<= 1;
+  return w;
+}
+
+namespace detail {
+template <typename LeafFn>
+double tree_reduce_node(const LeafFn& leaf, std::size_t n, std::size_t begin,
+                        std::size_t width) {
+  if (begin >= n) return 0.0;  // fully padded subtree
+  if (width == 1) return leaf(begin);
+  const std::size_t half = width / 2;
+  return tree_reduce_node(leaf, n, begin, half) +
+         tree_reduce_node(leaf, n, begin + half, half);
+}
+}  // namespace detail
+
+/// Sum leaf(0) .. leaf(n-1) in canonical binary-tree order. Bit-identical
+/// to SumTree::total() over the same leaf values.
+template <typename LeafFn>
+[[nodiscard]] double tree_reduce(LeafFn&& leaf, std::size_t n) {
+  if (n == 0) return 0.0;
+  return detail::tree_reduce_node(leaf, n, 0, ceil_pow2(n));
+}
+
+/// A complete binary tree of partial sums over a fixed number of leaves.
+/// total() is bit-identical to tree_reduce over the current leaf values;
+/// update() and total_with() recompute only the O(log n) path to the root.
+class SumTree {
+ public:
+  SumTree() = default;
+  explicit SumTree(std::span<const double> leaves) { assign(leaves); }
+
+  void assign(std::span<const double> leaves) {
+    n_ = leaves.size();
+    width_ = n_ == 0 ? 0 : ceil_pow2(n_);
+    tree_.assign(2 * width_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) tree_[width_ + i] = leaves[i];
+    for (std::size_t i = width_; i-- > 1;)
+      tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double leaf(std::size_t i) const { return tree_[width_ + i]; }
+  [[nodiscard]] double total() const noexcept {
+    return width_ == 0 ? 0.0 : tree_[1];
+  }
+
+  /// Set leaf i and recompute its root path. Bit-identical to a rebuild.
+  void update(std::size_t i, double value) {
+    std::size_t idx = width_ + i;
+    tree_[idx] = value;
+    for (idx /= 2; idx >= 1; idx /= 2) {
+      tree_[idx] = tree_[2 * idx] + tree_[2 * idx + 1];
+      if (idx == 1) break;
+    }
+  }
+
+  /// Root value if leaf i were set to `value`, without mutating the tree.
+  /// Bit-identical to assign-then-total on the hypothetical leaves.
+  [[nodiscard]] double total_with(std::size_t i, double value) const {
+    if (width_ == 0) return 0.0;
+    std::size_t idx = width_ + i;
+    double acc = value;
+    while (idx > 1) {
+      const std::size_t sibling = idx ^ 1;
+      acc = (idx & 1) == 0 ? acc + tree_[sibling] : tree_[sibling] + acc;
+      idx /= 2;
+    }
+    return acc;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t width_ = 0;       ///< leaf capacity, power of two (0 when empty)
+  std::vector<double> tree_;    ///< 1-based heap layout; leaves at [width_, 2*width_)
+};
+
+}  // namespace impress::common

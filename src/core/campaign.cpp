@@ -73,7 +73,12 @@ CampaignResult Campaign::run(
     const std::vector<protein::DesignTarget>& targets) {
   rp::Session session(config_.session);
   const auto pilot = session.submit_pilot(config_.pilot);
-  Coordinator coordinator(session, config_.coordinator);
+  auto coordinator_config = config_.coordinator;
+  if (config_.enable_fold_cache && !coordinator_config.fold_cache)
+    coordinator_config.fold_cache = std::make_shared<fold::FoldCache>(
+        fold::FoldCache::Config{.capacity = config_.fold_cache_capacity,
+                                .shards = 8});
+  Coordinator coordinator(session, coordinator_config);
 
   std::shared_ptr<const SequenceGenerator> generator = config_.generator;
   if (!generator)
@@ -118,6 +123,8 @@ CampaignResult Campaign::run(
   r.task_requeues = session.task_manager().requeued();
   r.pilot_failures = retry.pilot_failures;
   r.attempts = hpc::attempt_counts(session.profiler());
+  if (coordinator_config.fold_cache)
+    r.fold_cache = coordinator_config.fold_cache->stats();
   return r;
 }
 

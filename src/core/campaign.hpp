@@ -15,6 +15,7 @@
 #include "core/generator.hpp"
 #include "core/pipeline.hpp"
 #include "core/protocol.hpp"
+#include "hpc/analytics.hpp"
 #include "hpc/utilization.hpp"
 #include "protein/datasets.hpp"
 
@@ -29,7 +30,8 @@ struct CampaignConfig {
       .fold_durations = calibration::fold_durations(),
       .refine_durations = RefineDurationModel{},
       .refined_noise_factor = 0.65,
-      .task_retry = {}};
+      .task_retry = {},
+      .fold_cache = {}};
   rp::PilotDescription pilot = calibration::amarel_pilot();
   rp::SessionConfig session{};  // simulated mode, seed 42
   mpnn::SamplerConfig sampler = calibration::sampler_config();
@@ -37,6 +39,13 @@ struct CampaignConfig {
   /// Optional generator override (defaults to the ProteinMPNN surrogate
   /// built from `sampler`).
   std::shared_ptr<const SequenceGenerator> generator;
+  /// Memoize fold predictions across the campaign (duplicate sequences
+  /// from GA iterations and retries fold once). Results are bit-identical
+  /// either way — see fold/fold_cache.hpp for the determinism contract.
+  bool enable_fold_cache = true;
+  /// Capacity of the campaign's fold cache (entries), when enabled and no
+  /// cache was provided via `coordinator.fold_cache`.
+  std::size_t fold_cache_capacity = 4096;
 };
 
 /// The paper's two arms, pre-configured.
@@ -77,6 +86,9 @@ struct CampaignResult {
   std::size_t pilot_failures = 0; ///< pilots lost to injected outages
   /// Attempts per task uid (> 1 identifies retried tasks).
   std::map<std::string, int> attempts;
+
+  /// Fold memo-cache behaviour over the run (all zero when disabled).
+  hpc::CacheSummary fold_cache;
 
   /// Trajectories in the paper's counting: accepted design iterations.
   [[nodiscard]] std::size_t total_trajectories() const;

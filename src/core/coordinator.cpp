@@ -9,11 +9,20 @@
 namespace impress::core {
 
 Coordinator::Coordinator(rp::Session& session, CoordinatorConfig config)
-    : session_(session), config_(std::move(config)) {
-  session_.task_manager().add_callback([this](const rp::TaskPtr& task) {
-    completion_channel_.send(Completion{task});
-    notify_runtime();
-  });
+    : session_(session),
+      config_(std::move(config)),
+      fold_rng_root_(session.fork_rng("coordinator.fold_rng")) {
+  completion_callback_id_ =
+      session_.task_manager().add_callback([this](const rp::TaskPtr& task) {
+        completion_channel_.send(Completion{task});
+        notify_runtime();
+      });
+}
+
+Coordinator::~Coordinator() {
+  // A worker finishing an unrelated task after campaign_done() could still
+  // be inside the completion callback; drain before the channels die.
+  session_.task_manager().remove_callback(completion_callback_id_);
 }
 
 void Coordinator::notify_runtime() {
@@ -191,10 +200,17 @@ void Coordinator::submit_fold_task(Pipeline* pipeline, protein::Complex input,
     return fold::AlphaFold(cfg);
   }();
   const protein::FitnessLandscape* landscape = &pipeline->target().landscape;
-  common::Rng rng = pipeline->fork_task_rng();
+  // Content-derived rng (not fork_task_rng): resubmissions of the same
+  // fold input get the same stream, which both keeps the memo cache exact
+  // and makes cached and uncached campaigns bit-identical.
+  const std::uint64_t content =
+      fold::FoldCache::content_key(input, *landscape, folder.config());
+  common::Rng rng = fold_rng_root_.fork(content);
 
-  auto work = [folder, landscape, input,
-               rng](rp::Task&) mutable -> std::any {
+  auto cache = config_.fold_cache;
+  auto work = [folder, landscape, input, rng,
+               cache](rp::Task&) mutable -> std::any {
+    if (cache) return cache->predict(folder, input, *landscape, rng);
     return folder.predict(input, *landscape, rng);
   };
 

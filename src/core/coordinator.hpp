@@ -25,6 +25,7 @@
 
 #include "common/channel.hpp"
 #include "core/pipeline.hpp"
+#include "fold/fold_cache.hpp"
 #include "fold/fold_task.hpp"
 #include "mpnn/mpnn_task.hpp"
 #include "runtime/session.hpp"
@@ -53,11 +54,25 @@ struct CoordinatorConfig {
   /// inject faults raise max_attempts so transient failures are absorbed
   /// by the runtime instead of terminating the pipeline.
   rp::RetryPolicy task_retry;
+  /// Optional memoization of fold predictions (see fold/fold_cache.hpp).
+  /// Sharing one cache across coordinators is safe — keys are content-
+  /// addressed. Null disables memoization; either way fold-task rngs are
+  /// derived from the fold input's content key, so results are identical
+  /// with and without the cache.
+  std::shared_ptr<fold::FoldCache> fold_cache;
 };
 
 class Coordinator {
  public:
   Coordinator(rp::Session& session, CoordinatorConfig config);
+
+  /// Deregisters the completion callback and waits for in-flight callback
+  /// passes to drain, so a late-finishing task cannot signal the channels
+  /// while they are being destroyed.
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
 
   /// Queue a root pipeline for submission (pipeline channel). Call before
   /// run(); the decision-making step uses the same channel at runtime.
@@ -113,6 +128,12 @@ class Coordinator {
 
   rp::Session& session_;
   CoordinatorConfig config_;
+  std::size_t completion_callback_id_ = 0;
+  /// Root stream for fold-task rngs: each fold task's rng is
+  /// fold_rng_root_.fork(content_key), so duplicate fold inputs draw
+  /// identical noise wherever they occur in the campaign — the property
+  /// the fold cache's exactness rests on.
+  common::Rng fold_rng_root_;
 
   // The paper's two channels.
   common::Channel<std::unique_ptr<Pipeline>> pipeline_channel_;

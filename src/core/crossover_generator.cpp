@@ -35,16 +35,19 @@ std::vector<mpnn::ScoredSequence> CrossoverGenerator::generate(
   // unsorted, so replace a random subset) with recombinants.
   const auto n_cross = static_cast<std::size_t>(
       config_.crossover_fraction * static_cast<double>(proposals.size()));
+  // Reward-weighted parent choice; the weights and the child scratch
+  // buffer are loop-invariant allocations, hoisted out of the per-child
+  // loop (parents is a private snapshot, rewards don't change here).
+  std::vector<double> weights;
+  weights.reserve(parents.size());
+  for (const auto& m : parents) weights.push_back(std::max(m.reward, 1e-3));
+  protein::MutationBuffer child;
   for (std::size_t k = 0; k < n_cross; ++k) {
-    // Reward-weighted parent choice.
-    std::vector<double> weights;
-    weights.reserve(parents.size());
-    for (const auto& m : parents) weights.push_back(std::max(m.reward, 1e-3));
     const std::size_t a = rng.categorical(weights);
     std::size_t b = rng.categorical(weights);
     if (b == a) b = (a + 1) % parents.size();
 
-    protein::Sequence child = parents[a].sequence;
+    child.rebase(parents[a].sequence);
     for (std::size_t pos : landscape.interface_positions())
       if (rng.chance(config_.mixing)) child.set(pos, parents[b].sequence[pos]);
 
@@ -53,7 +56,7 @@ std::vector<mpnn::ScoredSequence> CrossoverGenerator::generate(
     // Self-score: midpoint of the parents' rewards, so Stage-2 ranks
     // recombinants of strong parents competitively.
     proposals[slot] = mpnn::ScoredSequence{
-        std::move(child), (parents[a].reward + parents[b].reward) / 2.0 - 1.0};
+        child.materialize(), (parents[a].reward + parents[b].reward) / 2.0 - 1.0};
   }
   return proposals;
 }

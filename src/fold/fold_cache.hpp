@@ -1,0 +1,101 @@
+// Content-addressed memoization of AlphaFold surrogate predictions.
+//
+// GA iterations, crossover recombinants and retry attempts routinely
+// re-submit sequences the campaign has already folded. AlphaFold::predict
+// is a pure function of (receptor sequence, peptide sequence, structure
+// name, landscape, PredictorConfig, rng stream), so its result can be
+// memoized under a key derived from exactly those inputs.
+//
+// Determinism contract: the key includes the task rng's fingerprint().
+// The coordinator derives each fold task's rng from the *content* of the
+// fold input (Coordinator::fold_rng_for), so two submissions of the same
+// complex under the same config carry rngs with equal fingerprints — a
+// cache hit therefore returns bit-for-bit the Prediction the miss path
+// would have computed, and a cached campaign replays identically to an
+// uncached one. On a hit the rng is left untouched (the task closure
+// owns it and nothing observes it afterwards); on a miss it advances
+// exactly as the uncached path does.
+//
+// Eviction: per-shard LRU. The cache is sharded (hash-partitioned) so
+// concurrent executor threads contend only on 1/N of the structure; each
+// shard holds capacity/N entries rounded up, evicting its own
+// least-recently-used entry on overflow. Hit/miss/eviction counters are
+// lock-free atomics surfaced as hpc::CacheSummary.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <atomic>
+
+#include "fold/fold.hpp"
+#include "hpc/analytics.hpp"
+
+namespace impress::fold {
+
+class FoldCache {
+ public:
+  struct Config {
+    std::size_t capacity = 1024;  ///< max resident predictions (total)
+    std::size_t shards = 8;       ///< lock-striping factor
+  };
+
+  FoldCache();  ///< default Config
+  explicit FoldCache(Config config);
+
+  /// Stable digest of every input AlphaFold::predict reads *except* the
+  /// rng: receptor + peptide sequences, structure name, landscape
+  /// identity, predictor config. This is also what the coordinator feeds
+  /// to fork() to derive the task rng, which is what makes duplicate
+  /// submissions cache-hittable in the first place.
+  [[nodiscard]] static std::uint64_t content_key(
+      const protein::Complex& complex,
+      const protein::FitnessLandscape& landscape,
+      const PredictorConfig& config) noexcept;
+
+  /// Full cache key: content plus the rng stream identity.
+  [[nodiscard]] static std::uint64_t key(std::uint64_t content_key,
+                                         const common::Rng& rng) noexcept;
+
+  /// Memoized AlphaFold::predict. Thread-safe.
+  [[nodiscard]] Prediction predict(const AlphaFold& folder,
+                                   const protein::Complex& complex,
+                                   const protein::FitnessLandscape& landscape,
+                                   common::Rng& rng);
+
+  [[nodiscard]] std::optional<Prediction> lookup(std::uint64_t key);
+  void insert(std::uint64_t key, Prediction prediction);
+
+  [[nodiscard]] hpc::CacheSummary stats() const;
+  void clear();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// LRU order, most-recent first; the map points into the list.
+    std::list<std::pair<std::uint64_t, Prediction>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, Prediction>>::iterator>
+        index;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept;
+
+  Config config_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace impress::fold

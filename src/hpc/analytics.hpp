@@ -67,4 +67,20 @@ struct RetrySummary {
 [[nodiscard]] std::map<std::string, int> attempt_counts(
     const Profiler& profiler);
 
+/// Roll-up of a memoization cache's behaviour over a run (the fold memo
+/// cache reports through this; see fold::FoldCache::stats).
+struct CacheSummary {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;  ///< resident entries at sampling time
+
+  [[nodiscard]] std::size_t lookups() const noexcept { return hits + misses; }
+  /// Fraction of lookups served from cache, in [0,1] (0 when unused).
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
 }  // namespace impress::hpc

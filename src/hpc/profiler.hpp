@@ -4,10 +4,21 @@
 // record. The Fig-5 breakdown (Bootstrap / Exec setup / Running) is
 // computed from these records, and tests assert ordering invariants on
 // them (e.g. a task never runs before it is scheduled).
+//
+// Concurrency: record() appends to a per-thread buffer (discovered via a
+// thread-local cache keyed on a process-unique profiler id), so executor
+// threads never contend on a shared mutex — the only synchronization on
+// the hot path is an uncontended per-buffer lock and one relaxed
+// fetch_add that assigns the event its global sequence number. Readers
+// merge the buffers and sort by sequence number, reconstructing the
+// single record order the old global-mutex implementation produced.
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -44,9 +55,14 @@ inline constexpr std::string_view kPilotFailed = "pilot_failed";
 
 class Profiler {
  public:
+  Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
   void record(double time, std::string_view entity, std::string_view event,
               std::string_view info = {});
 
+  /// All events in global record order (sequence-number merged).
   [[nodiscard]] std::vector<ProfileEvent> events() const;
 
   /// Events for a single entity, in record order.
@@ -66,8 +82,25 @@ class Profiler {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<ProfileEvent> events_;
+  struct Entry {
+    std::uint64_t seq = 0;
+    ProfileEvent event;
+  };
+  struct Buffer {
+    std::mutex mutex;  // guards entries (writer vs concurrent reader)
+    std::vector<Entry> entries;
+  };
+
+  /// This thread's buffer for this profiler, creating and registering it
+  /// on first use. Buffers live until the profiler is destroyed.
+  [[nodiscard]] Buffer& local_buffer();
+  /// Snapshot of all buffers, merged and sorted by sequence number.
+  [[nodiscard]] std::vector<Entry> merged() const;
+
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local cache
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex registry_mutex_;  // guards buffers_
+  std::vector<std::unique_ptr<Buffer>> buffers_;
 };
 
 }  // namespace impress::hpc

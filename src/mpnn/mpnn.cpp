@@ -46,13 +46,24 @@ std::vector<ScoredSequence> Mpnn::design(
     }
   }
 
-  // Log-probability of residue `a` at designable index `i` under the
-  // temperature-scaled softmax of the noisy view.
-  auto log_prob = [&](std::size_t i, std::size_t a) {
+  // Softmax of the noisy view, precomputed per position: the sampling
+  // weights exp(view/T) and the log-partition were previously recomputed
+  // for every proposed mutation and every log-probability query. They are
+  // pure functions of `view` (no rng draws), so hoisting them preserves
+  // the sampled outputs bit for bit — the partition sum runs over b in
+  // the same left-to-right order log_prob used.
+  std::vector<std::array<double, kNumAminoAcids>> weights(designable.size());
+  std::vector<double> log_z(designable.size());
+  for (std::size_t i = 0; i < designable.size(); ++i) {
     double z = 0.0;
-    for (std::size_t b = 0; b < kNumAminoAcids; ++b)
-      z += std::exp(view[i][b] / config_.temperature);
-    return view[i][a] / config_.temperature - std::log(z);
+    for (std::size_t b = 0; b < kNumAminoAcids; ++b) {
+      weights[i][b] = std::exp(view[i][b] / config_.temperature);
+      z += weights[i][b];
+    }
+    log_z[i] = std::log(z);
+  }
+  auto log_prob = [&](std::size_t i, std::size_t a) {
+    return view[i][a] / config_.temperature - log_z[i];
   };
 
   std::size_t n_mut = config_.mutations_per_sequence;
@@ -61,10 +72,11 @@ std::vector<ScoredSequence> Mpnn::design(
 
   std::vector<ScoredSequence> out;
   out.reserve(config_.num_sequences);
+  protein::MutationBuffer buffer;       // reused across samples: no
+  std::vector<std::size_t> idx(designable.size());  // per-sample allocs
   for (std::size_t s = 0; s < config_.num_sequences; ++s) {
-    protein::Sequence seq = current;
+    buffer.rebase(current);
     // Choose distinct positions to redesign.
-    std::vector<std::size_t> idx(designable.size());
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
     rng.shuffle(idx);
     for (std::size_t m = 0; m < n_mut; ++m) {
@@ -72,23 +84,20 @@ std::vector<ScoredSequence> Mpnn::design(
       if (rng.chance(config_.prior_weight)) {
         // Background draw: the model's own sequence prior, blind to the
         // binding objective.
-        seq.set(designable[i],
-                static_cast<AminoAcid>(rng.below(kNumAminoAcids)));
+        buffer.set(designable[i],
+                   static_cast<AminoAcid>(rng.below(kNumAminoAcids)));
         continue;
       }
-      std::array<double, kNumAminoAcids> weights{};
-      for (std::size_t a = 0; a < kNumAminoAcids; ++a)
-        weights[a] = std::exp(view[i][a] / config_.temperature);
-      const std::size_t a = rng.categorical(weights);
-      seq.set(designable[i], static_cast<AminoAcid>(a));
+      const std::size_t a = rng.categorical(weights[i]);
+      buffer.set(designable[i], static_cast<AminoAcid>(a));
     }
     // Score: mean log-probability over all designable positions — the
     // sampler's own belief, not the ground truth.
     double ll = 0.0;
     for (std::size_t i = 0; i < designable.size(); ++i)
-      ll += log_prob(i, static_cast<std::size_t>(seq[designable[i]]));
+      ll += log_prob(i, static_cast<std::size_t>(buffer[designable[i]]));
     ll /= static_cast<double>(designable.size());
-    out.push_back(ScoredSequence{std::move(seq), ll});
+    out.push_back(ScoredSequence{buffer.materialize(), ll});
   }
   return out;
 }

@@ -1,0 +1,55 @@
+#include "protein/kernel_tables.hpp"
+
+#include <cmath>
+
+namespace impress::protein {
+
+namespace detail {
+
+double residue_similarity_direct(AminoAcid a, AminoAcid b) noexcept {
+  if (a == b) return 1.0;
+  const double dh = (hydropathy(a) - hydropathy(b)) / 9.0;   // span of KD scale
+  const double dv = (volume(a) - volume(b)) / 170.0;         // span of volumes
+  double sim = std::exp(-(dh * dh + dv * dv) * 3.0);
+  if (charge(a) != charge(b)) sim *= 0.5;
+  return sim;
+}
+
+double complementarity_direct(AminoAcid pocket, AminoAcid pep) noexcept {
+  double s = 0.0;
+  const int cp = charge(pocket) * charge(pep);
+  if (cp < 0) s += 1.0;          // salt bridge
+  else if (cp > 0) s -= 0.8;     // electrostatic clash
+  if (hydropathy(pocket) > 1.5 && hydropathy(pep) > 1.5) s += 0.7;
+  const double v = volume(pocket) + volume(pep);
+  if (v > 230.0 && v < 320.0) s += 0.4;
+  if (is_polar(pocket) && is_polar(pep)) s += 0.25;  // H-bond capability
+  return s;
+}
+
+}  // namespace detail
+
+namespace {
+
+template <typename Fn>
+PairTable build_table(Fn fn) {
+  PairTable t{};
+  for (std::size_t a = 0; a < kNumAminoAcids; ++a)
+    for (std::size_t b = 0; b < kNumAminoAcids; ++b)
+      t[a][b] = fn(static_cast<AminoAcid>(a), static_cast<AminoAcid>(b));
+  return t;
+}
+
+}  // namespace
+
+const PairTable& residue_similarity_table() noexcept {
+  static const PairTable table = build_table(detail::residue_similarity_direct);
+  return table;
+}
+
+const PairTable& complementarity_table() noexcept {
+  static const PairTable table = build_table(detail::complementarity_direct);
+  return table;
+}
+
+}  // namespace impress::protein

@@ -1,0 +1,55 @@
+// Precomputed 20×20 residue-pair kernels.
+//
+// residue_similarity() and complementarity() are pure functions of two
+// amino acids, but the direct formulas cost an exp() (similarity) or a
+// handful of branches (complementarity) per call — and they sit on the
+// hottest paths in the codebase: every scaffold-term evaluation touches
+// ~L positions, and seed_sequence / Mpnn::design evaluate thousands of
+// proposals per call. Both kernels are materialized here into 400-entry
+// tables built once per process; the table entries are produced by the
+// exact same formulas, so lookups are bit-identical to direct evaluation.
+
+#pragma once
+
+#include <array>
+
+#include "protein/residue.hpp"
+
+namespace impress::protein {
+
+/// 20×20 table of doubles indexed by [a][b].
+using PairTable =
+    std::array<std::array<double, kNumAminoAcids>, kNumAminoAcids>;
+
+/// Chemical similarity of two residues in [0,1] (1 = identical).
+/// Gaussian in hydropathy and volume space, penalized on charge mismatch.
+/// Symmetric in its arguments.
+[[nodiscard]] const PairTable& residue_similarity_table() noexcept;
+
+/// Physicochemical complementarity of a pocket residue against a peptide
+/// residue: opposite charges attract, hydrophobics pack, and the pair's
+/// combined volume should fill (not overflow) the pocket.
+[[nodiscard]] const PairTable& complementarity_table() noexcept;
+
+[[nodiscard]] inline double residue_similarity(AminoAcid a,
+                                               AminoAcid b) noexcept {
+  return residue_similarity_table()[static_cast<std::size_t>(a)]
+                                   [static_cast<std::size_t>(b)];
+}
+
+[[nodiscard]] inline double complementarity(AminoAcid pocket,
+                                            AminoAcid pep) noexcept {
+  return complementarity_table()[static_cast<std::size_t>(pocket)]
+                                [static_cast<std::size_t>(pep)];
+}
+
+namespace detail {
+/// Direct (un-tabulated) evaluations; used to build the tables and kept
+/// callable so benches and tests can verify table/direct equivalence.
+[[nodiscard]] double residue_similarity_direct(AminoAcid a,
+                                               AminoAcid b) noexcept;
+[[nodiscard]] double complementarity_direct(AminoAcid pocket,
+                                            AminoAcid pep) noexcept;
+}  // namespace detail
+
+}  // namespace impress::protein

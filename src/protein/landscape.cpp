@@ -5,37 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "protein/kernel_tables.hpp"
+
 namespace impress::protein {
-
-namespace {
-
-/// Chemical similarity of two residues in [0,1] (1 = identical).
-/// Gaussian in hydropathy and volume space, penalized on charge mismatch.
-double residue_similarity(AminoAcid a, AminoAcid b) {
-  if (a == b) return 1.0;
-  const double dh = (hydropathy(a) - hydropathy(b)) / 9.0;   // span of KD scale
-  const double dv = (volume(a) - volume(b)) / 170.0;         // span of volumes
-  double sim = std::exp(-(dh * dh + dv * dv) * 3.0);
-  if (charge(a) != charge(b)) sim *= 0.5;
-  return sim;
-}
-
-/// Physicochemical complementarity of a pocket residue against a peptide
-/// residue: opposite charges attract, hydrophobics pack, and the pair's
-/// combined volume should fill (not overflow) the pocket.
-double complementarity(AminoAcid pocket, AminoAcid pep) {
-  double s = 0.0;
-  const int cp = charge(pocket) * charge(pep);
-  if (cp < 0) s += 1.0;          // salt bridge
-  else if (cp > 0) s -= 0.8;     // electrostatic clash
-  if (hydropathy(pocket) > 1.5 && hydropathy(pep) > 1.5) s += 0.7;
-  const double v = volume(pocket) + volume(pep);
-  if (v > 230.0 && v < 320.0) s += 0.4;
-  if (is_polar(pocket) && is_polar(pep)) s += 0.25;  // H-bond capability
-  return s;
-}
-
-}  // namespace
 
 FitnessLandscape::FitnessLandscape(std::string target_name,
                                    std::size_t receptor_length,
@@ -118,52 +90,101 @@ FitnessLandscape::FitnessLandscape(std::string target_name,
     native[interface_[ii]] = static_cast<AminoAcid>(idx[rank]);
   }
   native_ = Sequence(std::move(native));
+
+  // Derived O(1) lookup structure over the finished landscape. Built
+  // after all rng draws so the generative sequence above is untouched.
+  pocket_index_.assign(length_, -1);
+  scaffold_index_.assign(length_, -1);
+  for (std::size_t ii = 0; ii < interface_.size(); ++ii)
+    pocket_index_[interface_[ii]] = static_cast<std::int32_t>(ii);
+  scaffold_positions_.reserve(length_ - interface_.size());
+  for (std::size_t pos = 0; pos < length_; ++pos) {
+    if (pocket_index_[pos] >= 0) continue;
+    scaffold_index_[pos] = static_cast<std::int32_t>(scaffold_positions_.size());
+    scaffold_positions_.push_back(pos);
+  }
+  couplings_at_.assign(interface_.size(), {});
+  for (std::size_t ci = 0; ci < couplings_.size(); ++ci) {
+    couplings_at_[couplings_[ci].a].push_back(ci);
+    couplings_at_[couplings_[ci].b].push_back(ci);
+  }
+
+  std::uint64_t fp = common::splitmix64(seed);
+  fp = common::splitmix64(fp ^ common::stable_hash(name_));
+  fp = common::splitmix64(fp ^ static_cast<std::uint64_t>(length_));
+  for (AminoAcid aa : peptide_)
+    fp = common::splitmix64(fp ^ (static_cast<std::uint64_t>(aa) + 1));
+  fingerprint_ = fp;
 }
 
 double FitnessLandscape::preference(std::size_t pos, AminoAcid aa) const {
-  const auto it = std::lower_bound(interface_.begin(), interface_.end(), pos);
-  if (it != interface_.end() && *it == pos) {
-    const auto ii = static_cast<std::size_t>(it - interface_.begin());
-    return pocket_pref_[ii][static_cast<std::size_t>(aa)];
-  }
+  const std::int32_t ii = pocket_index_.at(pos);
+  if (ii >= 0)
+    return pocket_pref_[static_cast<std::size_t>(ii)][static_cast<std::size_t>(aa)];
   return residue_similarity(aa, native_[pos]);
 }
 
+bool FitnessLandscape::coupling_satisfied(const Coupling& c, AminoAcid a,
+                                          AminoAcid b) const noexcept {
+  if (c.want_hydrophobic) return hydropathy(a) > 1.5 && hydropathy(b) > 1.5;
+  return charge(a) * charge(b) < 0;
+}
+
+double FitnessLandscape::combine_terms(double pocket, double coupling,
+                                       double scaffold) noexcept {
+  const double f = 0.70 * pocket + 0.15 * coupling + 0.15 * scaffold;
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double FitnessLandscape::normalized_pocket(double sum) const noexcept {
+  return interface_.empty() ? 0.0
+                            : sum / static_cast<double>(interface_.size());
+}
+
+double FitnessLandscape::normalized_coupling(
+    std::size_t satisfied) const noexcept {
+  if (couplings_.empty()) return 0.0;
+  return static_cast<double>(satisfied) /
+         static_cast<double>(couplings_.size());
+}
+
+double FitnessLandscape::normalized_scaffold(double sum) const noexcept {
+  return scaffold_positions_.empty()
+             ? 1.0
+             : sum / static_cast<double>(scaffold_positions_.size());
+}
+
+std::size_t FitnessLandscape::count_satisfied(const Sequence& receptor) const {
+  std::size_t satisfied = 0;
+  for (const auto& c : couplings_)
+    if (coupling_satisfied(c, receptor[interface_[c.a]],
+                           receptor[interface_[c.b]]))
+      ++satisfied;
+  return satisfied;
+}
+
 double FitnessLandscape::pocket_term(const Sequence& receptor) const {
-  double s = 0.0;
-  for (std::size_t ii = 0; ii < interface_.size(); ++ii)
-    s += pocket_pref_[ii][static_cast<std::size_t>(receptor[interface_[ii]])];
-  return interface_.empty() ? 0.0 : s / static_cast<double>(interface_.size());
+  const double sum = common::tree_reduce(
+      [&](std::size_t ii) {
+        return pocket_pref_[ii][static_cast<std::size_t>(
+            receptor[interface_[ii]])];
+      },
+      interface_.size());
+  return normalized_pocket(sum);
 }
 
 double FitnessLandscape::coupling_term(const Sequence& receptor) const {
-  if (couplings_.empty()) return 0.0;
-  std::size_t satisfied = 0;
-  for (const auto& c : couplings_) {
-    const AminoAcid a = receptor[interface_[c.a]];
-    const AminoAcid b = receptor[interface_[c.b]];
-    if (c.want_hydrophobic) {
-      if (hydropathy(a) > 1.5 && hydropathy(b) > 1.5) ++satisfied;
-    } else {
-      if (charge(a) * charge(b) < 0) ++satisfied;
-    }
-  }
-  return static_cast<double>(satisfied) / static_cast<double>(couplings_.size());
+  return normalized_coupling(count_satisfied(receptor));
 }
 
 double FitnessLandscape::scaffold_term(const Sequence& receptor) const {
-  double s = 0.0;
-  std::size_t n = 0;
-  std::size_t ii = 0;
-  for (std::size_t pos = 0; pos < length_; ++pos) {
-    if (ii < interface_.size() && interface_[ii] == pos) {
-      ++ii;
-      continue;
-    }
-    s += residue_similarity(receptor[pos], native_[pos]);
-    ++n;
-  }
-  return n == 0 ? 1.0 : s / static_cast<double>(n);
+  const double sum = common::tree_reduce(
+      [&](std::size_t j) {
+        const std::size_t pos = scaffold_positions_[j];
+        return residue_similarity(receptor[pos], native_[pos]);
+      },
+      scaffold_positions_.size());
+  return normalized_scaffold(sum);
 }
 
 double FitnessLandscape::fitness(const Sequence& receptor) const {
@@ -171,10 +192,8 @@ double FitnessLandscape::fitness(const Sequence& receptor) const {
     throw std::invalid_argument("FitnessLandscape::fitness: length mismatch (" +
                                 std::to_string(receptor.size()) + " vs " +
                                 std::to_string(length_) + ")");
-  const double f = 0.70 * pocket_term(receptor) +
-                   0.15 * coupling_term(receptor) +
-                   0.15 * scaffold_term(receptor);
-  return std::clamp(f, 0.0, 1.0);
+  return combine_terms(pocket_term(receptor), coupling_term(receptor),
+                       scaffold_term(receptor));
 }
 
 Sequence FitnessLandscape::greedy_optimal_sequence() const {
@@ -191,19 +210,105 @@ Sequence FitnessLandscape::greedy_optimal_sequence() const {
 
 Sequence FitnessLandscape::seed_sequence(double target_fitness,
                                          common::Rng& rng) const {
-  Sequence seq = native_;
-  double f = fitness(seq);
+  // Incremental hill-descent toward the target fitness. Draw order and
+  // accept logic match the naive loop exactly; score_mutation() returns
+  // the same bits fitness(seq.with_mutation(...)) would.
+  MutationScorer scorer(*this, native_);
+  double f = scorer.fitness();
   for (int iter = 0; iter < 4000 && std::fabs(f - target_fitness) > 0.01; ++iter) {
     const std::size_t pos = rng.below(static_cast<std::uint32_t>(length_));
     const auto aa = static_cast<AminoAcid>(rng.below(kNumAminoAcids));
-    const Sequence cand = seq.with_mutation(pos, aa);
-    const double fc = fitness(cand);
+    const double fc = scorer.score_mutation(pos, aa);
     if (std::fabs(fc - target_fitness) < std::fabs(f - target_fitness)) {
-      seq = cand;
+      scorer.apply(pos, aa);
       f = fc;
     }
   }
-  return seq;
+  return std::move(scorer).take_sequence();
+}
+
+FitnessLandscape::MutationScorer::MutationScorer(
+    const FitnessLandscape& landscape, Sequence sequence)
+    : land_(&landscape), seq_(std::move(sequence)) {
+  if (seq_.size() != land_->length_)
+    throw std::invalid_argument(
+        "MutationScorer: sequence length mismatch (" +
+        std::to_string(seq_.size()) + " vs " + std::to_string(land_->length_) +
+        ")");
+  std::vector<double> leaves(land_->interface_.size());
+  for (std::size_t ii = 0; ii < leaves.size(); ++ii)
+    leaves[ii] = land_->pocket_pref_[ii][static_cast<std::size_t>(
+        seq_[land_->interface_[ii]])];
+  pocket_.assign(leaves);
+
+  leaves.resize(land_->scaffold_positions_.size());
+  for (std::size_t j = 0; j < leaves.size(); ++j) {
+    const std::size_t pos = land_->scaffold_positions_[j];
+    leaves[j] = residue_similarity(seq_[pos], land_->native_[pos]);
+  }
+  scaffold_.assign(leaves);
+
+  satisfied_ = land_->count_satisfied(seq_);
+  fitness_ = combine_terms(land_->normalized_pocket(pocket_.total()),
+                           land_->normalized_coupling(satisfied_),
+                           land_->normalized_scaffold(scaffold_.total()));
+}
+
+std::size_t FitnessLandscape::MutationScorer::satisfied_with(
+    std::size_t ii, AminoAcid aa) const noexcept {
+  std::size_t sat = satisfied_;
+  const AminoAcid old = seq_[land_->interface_[ii]];
+  for (const std::size_t ci : land_->couplings_at_[ii]) {
+    const auto& c = land_->couplings_[ci];
+    const AminoAcid ra = c.a == ii ? old : seq_[land_->interface_[c.a]];
+    const AminoAcid rb = c.b == ii ? old : seq_[land_->interface_[c.b]];
+    const AminoAcid na = c.a == ii ? aa : ra;
+    const AminoAcid nb = c.b == ii ? aa : rb;
+    if (land_->coupling_satisfied(c, ra, rb)) --sat;
+    if (land_->coupling_satisfied(c, na, nb)) ++sat;
+  }
+  return sat;
+}
+
+double FitnessLandscape::MutationScorer::score_mutation(std::size_t pos,
+                                                        AminoAcid aa) const {
+  const AminoAcid old = seq_.at(pos);
+  if (aa == old) return fitness_;
+  const FitnessLandscape& L = *land_;
+  const std::int32_t ii = L.pocket_index_[pos];
+  if (ii >= 0) {
+    const auto iu = static_cast<std::size_t>(ii);
+    const double psum =
+        pocket_.total_with(iu, L.pocket_pref_[iu][static_cast<std::size_t>(aa)]);
+    return combine_terms(L.normalized_pocket(psum),
+                         L.normalized_coupling(satisfied_with(iu, aa)),
+                         L.normalized_scaffold(scaffold_.total()));
+  }
+  const auto j = static_cast<std::size_t>(L.scaffold_index_[pos]);
+  const double ssum =
+      scaffold_.total_with(j, residue_similarity(aa, L.native_[pos]));
+  return combine_terms(L.normalized_pocket(pocket_.total()),
+                       L.normalized_coupling(satisfied_),
+                       L.normalized_scaffold(ssum));
+}
+
+void FitnessLandscape::MutationScorer::apply(std::size_t pos, AminoAcid aa) {
+  const AminoAcid old = seq_.at(pos);
+  if (aa == old) return;
+  const FitnessLandscape& L = *land_;
+  const std::int32_t ii = L.pocket_index_[pos];
+  if (ii >= 0) {
+    const auto iu = static_cast<std::size_t>(ii);
+    satisfied_ = satisfied_with(iu, aa);  // recount before seq_ changes
+    pocket_.update(iu, L.pocket_pref_[iu][static_cast<std::size_t>(aa)]);
+  } else {
+    scaffold_.update(static_cast<std::size_t>(L.scaffold_index_[pos]),
+                     residue_similarity(aa, L.native_[pos]));
+  }
+  seq_.set(pos, aa);
+  fitness_ = combine_terms(L.normalized_pocket(pocket_.total()),
+                           L.normalized_coupling(satisfied_),
+                           L.normalized_scaffold(scaffold_.total()));
 }
 
 }  // namespace impress::protein

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sum_tree.hpp"
 #include "protein/sequence.hpp"
 
 namespace impress::protein {
@@ -72,6 +73,15 @@ class FitnessLandscape {
   [[nodiscard]] Sequence seed_sequence(double target_fitness,
                                        common::Rng& rng) const;
 
+  /// Stable 64-bit digest of the landscape's identity (name, size,
+  /// peptide, seed). Equal fingerprints imply bit-identical fitness
+  /// functions; fold::FoldCache keys memoized predictions on this.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  class MutationScorer;
+
  private:
   using Profile = std::array<double, kNumAminoAcids>;
 
@@ -88,9 +98,72 @@ class FitnessLandscape {
   };
   std::vector<Coupling> couplings_;
 
+  // Derived lookup structure (built once in the constructor) that turns
+  // the per-call searches of the naive implementation into O(1) indexing:
+  //   pocket_index_[pos]   = index into interface_/pocket_pref_, or -1
+  //   scaffold_index_[pos] = index into the scaffold-term leaf array, or -1
+  //   couplings_at_[ii]    = coupling indices touching interface index ii
+  std::vector<std::int32_t> pocket_index_;
+  std::vector<std::int32_t> scaffold_index_;
+  std::vector<std::size_t> scaffold_positions_;  ///< non-interface, ascending
+  std::vector<std::vector<std::size_t>> couplings_at_;
+  std::uint64_t fingerprint_ = 0;
+
   [[nodiscard]] double pocket_term(const Sequence& receptor) const;
   [[nodiscard]] double coupling_term(const Sequence& receptor) const;
   [[nodiscard]] double scaffold_term(const Sequence& receptor) const;
+  /// Whether coupling `c` is satisfied by the given pocket residues.
+  [[nodiscard]] bool coupling_satisfied(const Coupling& c, AminoAcid a,
+                                        AminoAcid b) const noexcept;
+  /// The weighted, clamped combination used by fitness() and the scorer.
+  /// Shared so both paths perform the identical float operations.
+  [[nodiscard]] static double combine_terms(double pocket, double coupling,
+                                            double scaffold) noexcept;
+  [[nodiscard]] double normalized_pocket(double sum) const noexcept;
+  [[nodiscard]] double normalized_coupling(std::size_t satisfied) const noexcept;
+  [[nodiscard]] double normalized_scaffold(double sum) const noexcept;
+  [[nodiscard]] std::size_t count_satisfied(const Sequence& receptor) const;
+};
+
+/// Incremental fitness evaluation: caches the pocket/coupling/scaffold
+/// decomposition of one sequence and scores a point mutation in O(log L)
+/// instead of the O(L·exp) full recompute — the kernel behind
+/// seed_sequence and the generator proposal loops. All partial sums use
+/// the same canonical binary-tree association as FitnessLandscape::
+/// fitness(), so score_mutation(pos, aa) is bit-identical to
+/// fitness(seq.with_mutation(pos, aa)) and fitness() to fitness(seq).
+class FitnessLandscape::MutationScorer {
+ public:
+  /// The landscape must outlive the scorer; `sequence` must match its
+  /// receptor length (throws std::invalid_argument otherwise).
+  MutationScorer(const FitnessLandscape& landscape, Sequence sequence);
+
+  /// Fitness of the current sequence.
+  [[nodiscard]] double fitness() const noexcept { return fitness_; }
+
+  /// Fitness the sequence would have with `aa` at `pos`, without
+  /// mutating. O(log L).
+  [[nodiscard]] double score_mutation(std::size_t pos, AminoAcid aa) const;
+
+  /// Commit the mutation, updating the cached decomposition. O(log L).
+  void apply(std::size_t pos, AminoAcid aa);
+
+  [[nodiscard]] const Sequence& sequence() const noexcept { return seq_; }
+  /// Move the sequence out; the scorer must not be used afterwards.
+  [[nodiscard]] Sequence take_sequence() && { return std::move(seq_); }
+
+ private:
+  const FitnessLandscape* land_;
+  Sequence seq_;
+  common::SumTree pocket_;    ///< leaf per interface position: preference
+  common::SumTree scaffold_;  ///< leaf per scaffold position: similarity
+  std::size_t satisfied_ = 0; ///< couplings currently satisfied
+  double fitness_ = 0.0;
+
+  /// satisfied_ if interface position ii held `aa` instead. Exact
+  /// (integer) incremental recount over couplings_at_[ii].
+  [[nodiscard]] std::size_t satisfied_with(std::size_t ii,
+                                           AminoAcid aa) const noexcept;
 };
 
 }  // namespace impress::protein

@@ -52,4 +52,22 @@ double Sequence::identity(const Sequence& other) const {
   return 1.0 - static_cast<double>(d) / static_cast<double>(size());
 }
 
+void MutationBuffer::rebase(const Sequence& base) {
+  residues_.assign(base.residues().begin(), base.residues().end());
+  undo_.clear();
+}
+
+void MutationBuffer::set(std::size_t i, AminoAcid aa) {
+  AminoAcid& slot = residues_.at(i);
+  if (slot == aa) return;
+  undo_.emplace_back(i, slot);
+  slot = aa;
+}
+
+void MutationBuffer::revert() {
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+    residues_[it->first] = it->second;
+  undo_.clear();
+}
+
 }  // namespace impress::protein

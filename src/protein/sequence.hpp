@@ -58,4 +58,45 @@ class Sequence {
   std::vector<AminoAcid> residues_;
 };
 
+/// Allocation-lean scratch pad for mutation proposal loops.
+///
+/// `Sequence::with_mutation` copies the full residue vector per proposal,
+/// which dominates hot loops that try thousands of candidate mutations
+/// (seed_sequence, Mpnn::design sampling, crossover). A MutationBuffer
+/// holds one working copy, applies mutations in place while recording an
+/// undo log, and either reverts (rejected proposal) or materializes an
+/// accepted candidate — the only allocations are one copy per rebase and
+/// one per materialize.
+class MutationBuffer {
+ public:
+  MutationBuffer() = default;
+  explicit MutationBuffer(const Sequence& base) { rebase(base); }
+
+  /// Reset the working copy to `base`, reusing capacity; clears the log.
+  void rebase(const Sequence& base);
+
+  /// Mutate position i in place, recording the previous residue. No-op
+  /// (and not recorded) if the residue is unchanged.
+  void set(std::size_t i, AminoAcid aa);
+
+  /// Undo all set() calls since the last rebase()/commit(), in reverse.
+  void revert();
+
+  /// Keep the applied mutations and clear the undo log.
+  void commit() { undo_.clear(); }
+
+  [[nodiscard]] AminoAcid operator[](std::size_t i) const {
+    return residues_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return residues_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return undo_.size(); }
+
+  /// Copy the current working state out as a Sequence.
+  [[nodiscard]] Sequence materialize() const { return Sequence(residues_); }
+
+ private:
+  std::vector<AminoAcid> residues_;
+  std::vector<std::pair<std::size_t, AminoAcid>> undo_;
+};
+
 }  // namespace impress::protein

@@ -128,6 +128,14 @@ std::size_t TaskManager::add_callback(Callback cb) {
   return callbacks_.size() - 1;
 }
 
+void TaskManager::remove_callback(std::size_t id) {
+  std::unique_lock lock(mutex_);
+  if (id < callbacks_.size()) callbacks_[id] = nullptr;
+  // A finalize pass snapshots callbacks_ under the mutex, so once every
+  // in-flight pass drains, no thread can still invoke the removed slot.
+  idle_cv_.wait(lock, [&] { return callbacks_in_flight_ == 0; });
+}
+
 bool TaskManager::cancel(const TaskPtr& task) {
   PilotPtr pilot;
   bool in_backoff = false;
@@ -340,7 +348,8 @@ void TaskManager::finalize(const TaskPtr& task) {
     // follow-on work is still pending — the old early-return race.
     ++callbacks_in_flight_;
   }
-  for (const auto& cb : callbacks) cb(task);
+  for (const auto& cb : callbacks)
+    if (cb) cb(task);
   {
     std::lock_guard lock(mutex_);
     --callbacks_in_flight_;

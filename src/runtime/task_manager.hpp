@@ -60,6 +60,12 @@ class TaskManager {
   /// Register a terminal-state callback; returns its registration id.
   std::size_t add_callback(Callback cb);
 
+  /// Deregister a callback and block until no callback pass that may still
+  /// hold it is executing. After this returns, the callback will never run
+  /// again — safe to destroy whatever it captured. Must not be called from
+  /// inside a callback (self-deadlock).
+  void remove_callback(std::size_t id);
+
   /// Cancel a submitted task (queued, executing, or waiting out a retry
   /// backoff). Returns false if the task is already terminal or unknown.
   bool cancel(const TaskPtr& task);

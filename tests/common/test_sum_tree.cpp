@@ -1,0 +1,116 @@
+// SumTree / tree_reduce: the bit-identical-summation contract that the
+// incremental fitness kernel (protein/landscape.cpp) is built on. All
+// equality here is on exact bit patterns, not EXPECT_DOUBLE_EQ — one ULP
+// of drift would break MutationScorer's golden equivalence.
+
+#include "common/sum_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace impress::common {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+std::vector<double> random_leaves(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  // Non-negative, wildly varying magnitudes: the regime where naive
+  // running sums drift but canonical tree order must not.
+  for (auto& v : out) v = rng.uniform() * std::pow(10.0, rng.range(-8, 8));
+  return out;
+}
+
+TEST(SumTree, EmptyAndSingle) {
+  SumTree empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.total(), 0.0);
+  EXPECT_EQ(tree_reduce([](std::size_t) { return 1.0; }, 0), 0.0);
+
+  SumTree one(std::vector<double>{3.25});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(bits(one.total()), bits(3.25));
+  EXPECT_EQ(bits(one.total_with(0, 7.5)), bits(7.5));
+}
+
+TEST(SumTree, TotalMatchesTreeReduceBitwise) {
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 17u, 64u, 96u, 257u}) {
+    const auto leaves = random_leaves(n, 100 + n);
+    const SumTree tree(leaves);
+    const double reduced =
+        tree_reduce([&](std::size_t i) { return leaves[i]; }, n);
+    EXPECT_EQ(bits(tree.total()), bits(reduced)) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(bits(tree.leaf(i)), bits(leaves[i]));
+  }
+}
+
+TEST(SumTree, TotalWithMatchesRebuildBitwise) {
+  for (const std::size_t n : {1u, 3u, 16u, 41u, 96u}) {
+    auto leaves = random_leaves(n, 7 * n);
+    const SumTree tree(leaves);
+    Rng rng(n);
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::size_t i = rng.below(static_cast<std::uint32_t>(n));
+      const double v = rng.uniform() * 100.0;
+      auto changed = leaves;
+      changed[i] = v;
+      const SumTree rebuilt(changed);
+      EXPECT_EQ(bits(tree.total_with(i, v)), bits(rebuilt.total()))
+          << "n=" << n << " i=" << i;
+    }
+    // total_with must not have mutated anything.
+    const SumTree fresh(leaves);
+    EXPECT_EQ(bits(tree.total()), bits(fresh.total()));
+  }
+}
+
+TEST(SumTree, UpdateMatchesRebuildBitwise) {
+  for (const std::size_t n : {1u, 5u, 32u, 96u, 130u}) {
+    auto leaves = random_leaves(n, 13 * n);
+    SumTree tree(leaves);
+    Rng rng(n + 1);
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::size_t i = rng.below(static_cast<std::uint32_t>(n));
+      const double v = rng.uniform() * std::pow(10.0, rng.range(-6, 6));
+      leaves[i] = v;
+      tree.update(i, v);
+      const SumTree rebuilt(leaves);
+      EXPECT_EQ(bits(tree.total()), bits(rebuilt.total()))
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SumTree, UpdateThenTotalWithAgree) {
+  // total_with(i, v) predicts exactly what update(i, v) commits.
+  auto leaves = random_leaves(33, 99);
+  SumTree tree(leaves);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t i = rng.below(33);
+    const double v = rng.uniform();
+    const double predicted = tree.total_with(i, v);
+    tree.update(i, v);
+    EXPECT_EQ(bits(tree.total()), bits(predicted));
+  }
+}
+
+TEST(SumTree, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(0), 1u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(96), 128u);
+  EXPECT_EQ(ceil_pow2(128), 128u);
+}
+
+}  // namespace
+}  // namespace impress::common

@@ -81,6 +81,42 @@ TEST(Determinism, DatasetsAreStableAcrossProcessRuns) {
   EXPECT_DOUBLE_EQ(f0, f0_again);
 }
 
+TEST(Determinism, FoldCacheOnOffBitIdentical) {
+  // The fold memo cache must be unobservable in the science: a cached
+  // campaign replays bit-for-bit as the uncached one (content-derived
+  // fold rngs make hit and miss paths compute identical predictions).
+  const auto targets = targets2();
+  auto cached_cfg = im_rp_campaign(42);
+  cached_cfg.enable_fold_cache = true;
+  auto uncached_cfg = im_rp_campaign(42);
+  uncached_cfg.enable_fold_cache = false;
+  const auto cached = Campaign(cached_cfg).run(targets);
+  const auto uncached = Campaign(uncached_cfg).run(targets);
+  expect_identical(cached, uncached);
+  // Every fold task consulted the cache exactly once; the uncached arm
+  // never touched one.
+  EXPECT_EQ(cached.fold_cache.lookups(), cached.fold_tasks);
+  EXPECT_EQ(uncached.fold_cache.lookups(), 0u);
+}
+
+TEST(Determinism, SharedFoldCacheHitsOnReplayedWork) {
+  // A cache shared across two identical campaigns sees every fold of the
+  // second run as a duplicate of the first — it must hit, and hitting
+  // must not perturb the replayed science.
+  const auto targets = targets2();
+  auto shared_cache = std::make_shared<fold::FoldCache>();
+  auto cfg = im_rp_campaign(42);
+  cfg.coordinator.fold_cache = shared_cache;
+  const auto first = Campaign(cfg).run(targets);
+  const std::size_t misses_after_first = shared_cache->stats().misses;
+  const auto second = Campaign(cfg).run(targets);
+  expect_identical(first, second);
+  EXPECT_EQ(shared_cache->stats().misses, misses_after_first)
+      << "the replay should add no new cache entries";
+  EXPECT_GE(shared_cache->stats().hits, first.fold_tasks)
+      << "every replayed fold should hit the shared cache";
+}
+
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, EverySeedIsSelfConsistent) {

@@ -18,6 +18,11 @@
 //                        their return value; callers must not silently
 //                        drop it, so the declaration carries
 //                        [[nodiscard]].
+//   hot-string-key       in the designated hot-path files, map lookups
+//                        must not build a fresh std::string (to_string /
+//                        string(...) temporaries) as the key — the
+//                        allocation dominates the lookup. Hoist the key
+//                        or use a numeric/content-addressed one.
 //
 // Violations are keyed as "<relative-path>:<rule>:<token>" (no line
 // numbers, so unrelated edits do not churn the baseline). Keys listed in
@@ -328,6 +333,53 @@ void check_class_members(const std::string& rel, const std::string& raw,
   }
 }
 
+// Files on the campaign's per-proposal / per-record hot paths, where a
+// heap-allocating lookup key is a measured regression (see
+// docs/performance.md). Kept as an explicit list: elsewhere readability
+// wins and the rule stays silent.
+bool is_hot_path_file(const std::string& rel) {
+  static const std::vector<std::string> hot = {
+      "src/protein/landscape.cpp",  "src/protein/kernel_tables.cpp",
+      "src/protein/sequence.cpp",   "src/mpnn/mpnn.cpp",
+      "src/fold/fold_cache.cpp",    "src/hpc/profiler.cpp",
+      "src/core/crossover_generator.cpp",
+  };
+  for (const auto& suffix : hot)
+    if (rel.size() >= suffix.size() &&
+        rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) == 0)
+      return true;
+  return false;
+}
+
+void check_hot_string_key(const std::string& rel, const std::string& code,
+                          std::vector<Violation>& out) {
+  if (!is_hot_path_file(rel)) return;
+  // A freshly built string used directly as an associative-container key:
+  // accessor call or subscript whose argument opens with std::to_string(
+  // or std::string(. (String literals are already blanked out by the
+  // preprocessing, so quoted keys cannot false-positive here.)
+  static const std::regex accessor_re(
+      R"((\.|->)(find|at|count|contains|erase)\s*\(\s*std::(to_string|string)\s*\()");
+  static const std::regex subscript_re(
+      R"(\[\s*std::(to_string|string)\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), accessor_re);
+       it != std::sregex_iterator(); ++it)
+    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
+                   "hot-string-key", (*it)[3].str(),
+                   "hot-path map lookup builds a temporary std::" +
+                       (*it)[3].str() +
+                       " key; hoist the key out of the loop or switch to a "
+                       "numeric/content-addressed key"});
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), subscript_re);
+       it != std::sregex_iterator(); ++it)
+    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
+                   "hot-string-key", (*it)[1].str(),
+                   "hot-path subscript builds a temporary std::" +
+                       (*it)[1].str() +
+                       " key; hoist the key out of the loop or switch to a "
+                       "numeric/content-addressed key"});
+}
+
 void check_header_rules(const std::string& rel, const std::string& raw,
                         const std::string& code, std::vector<Violation>& out) {
   if (raw.find("#pragma once") == std::string::npos)
@@ -409,6 +461,7 @@ int main(int argc, char** argv) {
           fs::relative(entry.path(), base).generic_string();
       check_naked_cv_wait(rel, code, violations);
       check_class_members(rel, raw, code, violations);
+      check_hot_string_key(rel, code, violations);
       if (ext == ".hpp" || ext == ".h")
         check_header_rules(rel, raw, code, violations);
     }
