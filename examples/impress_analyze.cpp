@@ -2,11 +2,13 @@
 // re-simulating (the radical.analytics-style post-processing workflow).
 //
 //   impress_analyze DUMP.json [DUMP2.json] [--cycles M] [--csv DIR]
-//                   [--gantt]
+//                   [--trace FILE.json] [--metrics FILE] [--gantt]
 //
 // With one dump: metric series, utilization figure and (optionally) the
 // task gantt. With two dumps: a side-by-side Table-I style comparison,
-// first dump treated as the baseline.
+// first dump treated as the baseline. --trace/--metrics re-export the
+// observability harvest stored in the first dump (chrome://tracing JSON /
+// Prometheus text) without re-running anything.
 
 #include <cstdio>
 #include <optional>
@@ -17,6 +19,7 @@
 #include "core/export.hpp"
 #include "core/report.hpp"
 #include "core/session_dump.hpp"
+#include "obs/export.hpp"
 
 using namespace impress;
 
@@ -24,6 +27,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> dumps;
   int cycles = core::calibration::kCycles;
   std::optional<std::string> csv_dir;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
   bool gantt = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -32,12 +37,17 @@ int main(int argc, char** argv) {
       cycles = std::stoi(argv[++i]);
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_dir = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg == "--gantt") {
       gantt = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "usage: %s DUMP.json [DUMP2.json] [--cycles M] "
-                   "[--csv DIR] [--gantt]\n",
+                   "[--csv DIR] [--trace FILE.json] [--metrics FILE] "
+                   "[--gantt]\n",
                    argv[0]);
       return 2;
     } else {
@@ -92,5 +102,29 @@ int main(int argc, char** argv) {
       const auto paths = core::export_campaign_csv(r, *csv_dir, cycles);
       for (const auto& p : paths) std::printf("wrote %s\n", p.c_str());
     }
+
+  if (trace_path) {
+    if (results[0].trace.empty()) {
+      std::fprintf(stderr,
+                   "%s holds no trace (run impress_cli with --trace)\n",
+                   dumps[0].c_str());
+      return 1;
+    }
+    core::write_text_file(*trace_path,
+                          obs::chrome_trace_json(results[0].trace, 2) + "\n");
+    std::printf("wrote %s (%zu spans)\n", trace_path->c_str(),
+                results[0].trace.size());
+  }
+  if (metrics_path) {
+    if (results[0].metrics.empty()) {
+      std::fprintf(stderr,
+                   "%s holds no metrics (run impress_cli with --metrics)\n",
+                   dumps[0].c_str());
+      return 1;
+    }
+    core::write_text_file(*metrics_path,
+                          obs::prometheus_text(results[0].metrics));
+    std::printf("wrote %s\n", metrics_path->c_str());
+  }
   return 0;
 }

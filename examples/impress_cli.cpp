@@ -2,7 +2,8 @@
 //
 //   impress_cli [--protocol imrp|contv] [--targets four|<N>]
 //               [--cycles M] [--seed S] [--mode sim|threaded]
-//               [--nodes K] [--csv DIR] [--gantt] [--verbose]
+//               [--nodes K] [--csv DIR] [--trace FILE] [--metrics FILE]
+//               [--gantt] [--verbose]
 //
 // Examples:
 //   impress_cli                              # the Table-I IM-RP arm
@@ -10,6 +11,8 @@
 //   impress_cli --targets 70 --csv out/      # Fig-3 campaign + CSV export
 //   impress_cli --nodes 4 --targets 16       # multi-node pilot
 //   impress_cli --mode threaded --gantt      # real threads + task gantt
+//   impress_cli --trace trace.json           # chrome://tracing / Perfetto
+//   impress_cli --metrics metrics.prom       # Prometheus text exposition
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +24,7 @@
 #include "core/export.hpp"
 #include "core/session_dump.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
 #include "protein/datasets.hpp"
 
 using namespace impress;
@@ -36,6 +40,8 @@ struct CliOptions {
   std::size_t nodes = 1;
   std::optional<std::string> csv_dir;
   std::optional<std::string> dump_path;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
   bool gantt = false;
   bool verbose = false;
 };
@@ -44,7 +50,8 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--protocol imrp|contv] [--targets four|<N>] [--cycles M]\n"
       "          [--seed S] [--mode sim|threaded] [--nodes K] [--csv DIR]\n"
-      "          [--dump FILE.json] [--gantt] [--verbose]\n",
+      "          [--dump FILE.json] [--trace FILE.json] [--metrics FILE]\n"
+      "          [--gantt] [--verbose]\n",
       argv0);
 }
 
@@ -89,6 +96,14 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         const char* v = value();
         if (!v) return std::nullopt;
         opts.dump_path = v;
+      } else if (arg == "--trace") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.trace_path = v;
+      } else if (arg == "--metrics") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.metrics_path = v;
       } else if (arg == "--gantt") {
         opts.gantt = true;
       } else if (arg == "--verbose") {
@@ -153,6 +168,8 @@ int main(int argc, char** argv) {
     cfg.session.time_scale = 1e-6;  // one simulated hour ~ 3.6 ms wall
     cfg.session.worker_threads = 16;
   }
+  cfg.session.enable_tracing = opts.trace_path.has_value();
+  cfg.session.enable_metrics = opts.metrics_path.has_value();
 
   std::printf("running %s on %zu target(s), %d cycle(s), %zu node(s), "
               "seed %llu, %s executor...\n",
@@ -191,6 +208,21 @@ int main(int argc, char** argv) {
     core::save_session_dump(result, *opts.dump_path);
     std::printf("\nsession dump: %s (re-render with impress_analyze)\n",
                 opts.dump_path->c_str());
+  }
+  if (opts.trace_path) {
+    core::write_text_file(*opts.trace_path,
+                          obs::chrome_trace_json(result.trace, 2) + "\n");
+    std::printf("\ntrace: %s (%zu spans; open in Perfetto or "
+                "chrome://tracing)\n",
+                opts.trace_path->c_str(), result.trace.size());
+  }
+  if (opts.metrics_path) {
+    core::write_text_file(*opts.metrics_path,
+                          obs::prometheus_text(result.metrics));
+    std::printf("metrics: %s (%zu counters, %zu gauges, %zu histograms)\n",
+                opts.metrics_path->c_str(), result.metrics.counters.size(),
+                result.metrics.gauges.size(),
+                result.metrics.histograms.size());
   }
   return result.failed_tasks == 0 ? 0 : 1;
 }

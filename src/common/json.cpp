@@ -52,6 +52,11 @@ void dump_number(double d, std::string& out) {
 
 class Parser {
  public:
+  /// Maximum container nesting. parse_value recurses per level, so without
+  /// a cap a short hostile input ("[[[[...") overflows the stack; 512
+  /// matches common parsers and is far beyond any document we emit.
+  static constexpr int kMaxDepth = 512;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   Json parse_document() {
@@ -94,8 +99,18 @@ class Parser {
 
   Json parse_value() {
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        if (++depth_ > kMaxDepth) fail("nesting too deep");
+        Json v = parse_object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (++depth_ > kMaxDepth) fail("nesting too deep");
+        Json v = parse_array();
+        --depth_;
+        return v;
+      }
       case '"': return Json(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -229,6 +244,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_impl(const Json& v, std::string& out, int indent, int depth);

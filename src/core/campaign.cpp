@@ -72,12 +72,25 @@ CampaignResult resume_campaign(const CampaignConfig& config,
 CampaignResult Campaign::run(
     const std::vector<protein::DesignTarget>& targets) {
   rp::Session session(config_.session);
+  obs::Observability& ob = session.observability();
+  obs::SpanId campaign_span = 0;
+  if (obs::Tracer& tracer = ob.tracer(); tracer.enabled()) {
+    campaign_span = tracer.begin(session.now(), "campaign." + config_.name,
+                                 obs::categories::kCampaign);
+    tracer.attr(campaign_span, "targets", std::to_string(targets.size()));
+    tracer.attr(campaign_span, "seed",
+                std::to_string(config_.session.seed));
+  }
   const auto pilot = session.submit_pilot(config_.pilot);
   auto coordinator_config = config_.coordinator;
+  coordinator_config.trace_root = campaign_span;
   if (config_.enable_fold_cache && !coordinator_config.fold_cache)
     coordinator_config.fold_cache = std::make_shared<fold::FoldCache>(
         fold::FoldCache::Config{.capacity = config_.fold_cache_capacity,
                                 .shards = 8});
+  if (coordinator_config.fold_cache)
+    coordinator_config.fold_cache->set_metrics(ob.metrics().fold_cache_hits,
+                                               ob.metrics().fold_cache_misses);
   Coordinator coordinator(session, coordinator_config);
 
   std::shared_ptr<const SequenceGenerator> generator = config_.generator;
@@ -125,6 +138,16 @@ CampaignResult Campaign::run(
   r.attempts = hpc::attempt_counts(session.profiler());
   if (coordinator_config.fold_cache)
     r.fold_cache = coordinator_config.fold_cache->stats();
+
+  // Observability harvest: close the root span at the simulated makespan
+  // (the session clock already sits there) and snapshot everything. The
+  // session has drained, so counter totals are exact.
+  if (campaign_span != 0) ob.tracer().end(campaign_span, session.now());
+  if (ob.tracer().enabled()) r.trace = ob.tracer().spans();
+  if (ob.registry().enabled()) r.metrics = ob.registry().snapshot();
+  // A caller-provided cache may outlive this session's registry: unhook.
+  if (coordinator_config.fold_cache)
+    coordinator_config.fold_cache->set_metrics(nullptr, nullptr);
   return r;
 }
 

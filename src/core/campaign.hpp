@@ -17,6 +17,7 @@
 #include "core/protocol.hpp"
 #include "hpc/analytics.hpp"
 #include "hpc/utilization.hpp"
+#include "obs/obs.hpp"
 #include "protein/datasets.hpp"
 
 namespace impress::core {
@@ -89,6 +90,14 @@ struct CampaignResult {
 
   /// Fold memo-cache behaviour over the run (all zero when disabled).
   hpc::CacheSummary fold_cache;
+
+  // Observability harvest (docs/observability.md). Both empty unless the
+  // session enabled the corresponding axis
+  // (config.session.enable_tracing / enable_metrics); neither feeds back
+  // into any other result field — tracing-on and tracing-off campaigns
+  // are bit-identical everywhere above.
+  std::vector<obs::SpanRecord> trace;
+  obs::MetricsSnapshot metrics;
 
   /// Trajectories in the paper's counting: accepted design iterations.
   [[nodiscard]] std::size_t total_trajectories() const;

@@ -73,6 +73,18 @@ void Coordinator::register_pipeline(std::unique_ptr<Pipeline> pipeline) {
   Pipeline* p = pipeline.get();
   pipelines_.push_back(std::move(pipeline));
   ++active_pipelines_;
+  obs::Observability& ob = session_.observability();
+  ob.metrics().pipeline_messages->inc();
+  ob.metrics().pipelines_started->inc();
+  ob.metrics().pipelines_active->add(1.0);
+  if (obs::Tracer& tracer = ob.tracer(); tracer.enabled()) {
+    const obs::SpanId span =
+        tracer.begin(session_.now(), p->id(), obs::categories::kPipeline,
+                     config_.trace_root);
+    if (p->is_subpipeline()) tracer.attr(span, "subpipeline", "true");
+    tracer.attr(span, "start_cycle", std::to_string(p->cycle() + 1));
+    pipeline_spans_[p] = span;
+  }
   IMPRESS_LOG(kInfo, "coordinator")
       << "pipeline " << p->id() << (p->is_subpipeline() ? " (sub)" : "")
       << " starting at cycle " << p->cycle() + 1;
@@ -80,10 +92,15 @@ void Coordinator::register_pipeline(std::unique_ptr<Pipeline> pipeline) {
 }
 
 void Coordinator::handle_completion(const rp::TaskPtr& task) {
+  session_.observability().metrics().completion_messages->inc();
   const auto it = inflight_.find(task->uid());
   if (it == inflight_.end()) return;  // not ours (foreign task on session)
   Pipeline* p = it->second;
   inflight_.erase(it);
+  // The stage span the coordinator opened at submit time closes when the
+  // stage's task comes back, whatever the outcome.
+  if (const obs::SpanId stage = task->description().trace_parent; stage != 0)
+    session_.observability().tracer().end(stage, session_.now());
 
   if (task->state() != rp::TaskState::kDone) {
     ++failed_tasks_;
@@ -156,6 +173,8 @@ void Coordinator::submit_generator_task(Pipeline* pipeline) {
       pipeline->id() + ".gen.c" + std::to_string(pipeline->cycle() + 1),
       /*n_structures=*/1, config_.mpnn_durations, std::move(work));
   td.metadata["pipeline"] = pipeline->id();
+  session_.observability().metrics().stage_generate->inc();
+  td.trace_parent = begin_stage_span(pipeline, "generate");
   submit_or_queue(pipeline, std::move(td));
 }
 
@@ -186,6 +205,8 @@ void Coordinator::submit_refine_task(Pipeline* pipeline,
   td.work = std::move(work);
   td.metadata["app"] = "refine";
   td.metadata["pipeline"] = pipeline->id();
+  session_.observability().metrics().stage_refine->inc();
+  td.trace_parent = begin_stage_span(pipeline, "refine");
   submit_or_queue(pipeline, std::move(td));
 }
 
@@ -220,7 +241,28 @@ void Coordinator::submit_fold_task(Pipeline* pipeline, protein::Complex input,
       pipeline->id() + ".fold.c" + std::to_string(pipeline->cycle() + 1),
       durations, std::move(work));
   td.metadata["pipeline"] = pipeline->id();
+  session_.observability().metrics().stage_fold->inc();
+  td.trace_parent = begin_stage_span(pipeline, "fold");
+  if (td.trace_parent != 0) {
+    obs::Tracer& tracer = session_.observability().tracer();
+    tracer.attr(td.trace_parent, "reuse_features",
+                reuse_features ? "true" : "false");
+    if (refined) tracer.attr(td.trace_parent, "refined", "true");
+  }
   submit_or_queue(pipeline, std::move(td));
+}
+
+obs::SpanId Coordinator::begin_stage_span(Pipeline* pipeline,
+                                          std::string_view stage) {
+  obs::Tracer& tracer = session_.observability().tracer();
+  if (!tracer.enabled()) return 0;
+  const auto it = pipeline_spans_.find(pipeline);
+  const obs::SpanId parent =
+      it == pipeline_spans_.end() ? config_.trace_root : it->second;
+  return tracer.begin(session_.now(),
+                      "stage." + std::string(stage) + ".c" +
+                          std::to_string(pipeline->cycle() + 1),
+                      obs::categories::kStage, parent);
 }
 
 void Coordinator::submit_or_queue(Pipeline* pipeline,
@@ -246,6 +288,16 @@ void Coordinator::maybe_submit_queued() {
 
 void Coordinator::on_pipeline_finished(Pipeline* pipeline) {
   if (active_pipelines_ > 0) --active_pipelines_;
+  obs::Observability& ob = session_.observability();
+  ob.metrics().pipelines_finished->inc();
+  ob.metrics().pipelines_active->sub(1.0);
+  if (const auto it = pipeline_spans_.find(pipeline);
+      it != pipeline_spans_.end()) {
+    ob.tracer().attr(it->second, "iterations",
+                     std::to_string(pipeline->history().size()));
+    ob.tracer().end(it->second, session_.now());
+    pipeline_spans_.erase(it);
+  }
   IMPRESS_LOG(kInfo, "coordinator")
       << "pipeline " << pipeline->id() << " finished after "
       << pipeline->history().size() << " accepted iteration(s)";
@@ -276,6 +328,16 @@ void Coordinator::consider_subpipeline(Pipeline* pipeline) {
 
   ++count;
   ++subpipelines_;
+  obs::Observability& ob = session_.observability();
+  ob.metrics().subpipelines_spawned->inc();
+  if (obs::Tracer& tracer = ob.tracer(); tracer.enabled()) {
+    const obs::SpanId decision = tracer.instant(
+        session_.now(), "decision.spawn_subpipeline",
+        obs::categories::kDecision, config_.trace_root);
+    tracer.attr(decision, "pipeline", pipeline->id());
+    tracer.attr(decision, "reason",
+                pruned ? "pruned-trajectory" : "below-pool-median");
+  }
   const int start_cycle =
       std::min(pipeline->cycle(), cfg.cycles - 1);
   auto sub = std::make_unique<Pipeline>(

@@ -60,6 +60,9 @@ struct CoordinatorConfig {
   /// derived from the fold input's content key, so results are identical
   /// with and without the cache.
   std::shared_ptr<fold::FoldCache> fold_cache;
+  /// Trace context: span the coordinator parents its pipeline spans under
+  /// (the campaign root span). 0 = pipelines become trace roots.
+  obs::SpanId trace_root = 0;
 };
 
 class Coordinator {
@@ -125,6 +128,11 @@ class Coordinator {
   [[nodiscard]] double pool_median_composite() const;
   [[nodiscard]] bool campaign_done() const;
   void notify_runtime();  ///< schedule a drain (simulated mode)
+  /// Open a stage span (stage.<what>.c<N>) under the pipeline's span;
+  /// returns 0 when tracing is off. Stamped into the stage's task as
+  /// trace_parent and closed when the task's completion comes back.
+  [[nodiscard]] obs::SpanId begin_stage_span(Pipeline* pipeline,
+                                             std::string_view stage);
 
   rp::Session& session_;
   CoordinatorConfig config_;
@@ -141,6 +149,7 @@ class Coordinator {
 
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
   std::unordered_map<std::string, Pipeline*> inflight_;  ///< task uid -> owner
+  std::unordered_map<const Pipeline*, obs::SpanId> pipeline_spans_;
   std::deque<std::pair<Pipeline*, rp::TaskDescription>> queued_;  ///< sequential mode
   std::unordered_map<std::string, int> subpipeline_count_;  ///< per target
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/export.hpp"
+#include "obs/export.hpp"
 
 namespace impress::core {
 
@@ -96,6 +97,12 @@ common::Json to_json(const CampaignResult& result) {
     trajectories.emplace_back(std::move(traj));
   }
   doc["trajectories"] = common::Json(std::move(trajectories));
+
+  // Observability harvest, present only when the session recorded it —
+  // dumps from untraced runs stay byte-identical to schema v1 output.
+  if (!result.trace.empty()) doc["trace"] = obs::spans_to_json(result.trace);
+  if (!result.metrics.empty())
+    doc["metrics"] = obs::metrics_to_json(result.metrics);
   return common::Json(std::move(doc));
 }
 
@@ -157,6 +164,10 @@ CampaignResult campaign_result_from_json(const common::Json& doc) {
     }
     r.trajectories.push_back(std::move(t));
   }
+
+  if (doc.contains("trace")) r.trace = obs::spans_from_json(doc.at("trace"));
+  if (doc.contains("metrics"))
+    r.metrics = obs::metrics_from_json(doc.at("metrics"));
   return r;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace impress::fold {
 
 double FoldMetrics::composite() const noexcept {
@@ -32,6 +34,9 @@ Prediction AlphaFold::predict_with_msa(
 Prediction AlphaFold::predict(const protein::Complex& complex,
                               const protein::FitnessLandscape& landscape,
                               common::Rng& rng) const {
+  // Traced as a child of whatever span is ambient (the executing attempt,
+  // or fold.cache when memoized); inert outside a traced task.
+  const obs::ScopedSpan span = obs::ambient_span("fold.predict");
   const double f_true = landscape.fitness(complex.receptor().sequence);
   // Degraded MSA pulls the effective signal toward the mean (0.5) and
   // widens the noise — single-sequence mode sees less of the landscape.

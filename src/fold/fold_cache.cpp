@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace impress::fold {
 
 namespace {
@@ -74,10 +76,12 @@ std::optional<Prediction> FoldCache::lookup(std::uint64_t key) {
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_misses_ != nullptr) obs_misses_->inc();
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_hits_ != nullptr) obs_hits_->inc();
   return it->second->second;
 }
 
@@ -106,7 +110,13 @@ Prediction FoldCache::predict(const AlphaFold& folder,
                               common::Rng& rng) {
   const std::uint64_t k =
       key(content_key(complex, landscape, folder.config()), rng);
-  if (auto cached = lookup(k)) return std::move(*cached);
+  // Visible in the trace as a child of the executing attempt span.
+  obs::ScopedSpan span = obs::ambient_span("fold.cache");
+  if (auto cached = lookup(k)) {
+    span.attr("cache", "hit");
+    return std::move(*cached);
+  }
+  span.attr("cache", "miss");
   Prediction fresh = folder.predict(complex, landscape, rng);
   insert(k, fresh);
   return fresh;

@@ -37,6 +37,7 @@
 
 #include "fold/fold.hpp"
 #include "hpc/analytics.hpp"
+#include "obs/metrics.hpp"
 
 namespace impress::fold {
 
@@ -76,6 +77,15 @@ class FoldCache {
   [[nodiscard]] hpc::CacheSummary stats() const;
   void clear();
 
+  /// Wire campaign-level hit/miss counters (obs metrics registry). Both
+  /// may be nullptr (the default) to unhook — required before the
+  /// counters' registry dies if the cache outlives it. Wire before
+  /// concurrent use; the pointers are read by executor threads.
+  void set_metrics(obs::Counter* hits, obs::Counter* misses) noexcept {
+    obs_hits_ = hits;
+    obs_misses_ = misses;
+  }
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
@@ -96,6 +106,8 @@ class FoldCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
 };
 
 }  // namespace impress::fold

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace impress::mpnn {
 
 using protein::AminoAcid;
@@ -20,6 +22,8 @@ Mpnn::Mpnn(SamplerConfig config) : config_(std::move(config)) {
 std::vector<ScoredSequence> Mpnn::design(
     const protein::Complex& complex,
     const protein::FitnessLandscape& landscape, common::Rng& rng) const {
+  // Child of the ambient attempt span when run inside a traced task.
+  const obs::ScopedSpan span = obs::ambient_span("mpnn.design");
   const protein::Sequence& current = complex.receptor().sequence;
   if (current.size() != landscape.receptor_length())
     throw std::invalid_argument("Mpnn::design: receptor/landscape mismatch");

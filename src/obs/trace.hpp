@@ -1,0 +1,204 @@
+// Structured tracing: RAII spans with parent/child nesting, recorded into
+// thread-safe per-thread buffers (the hpc::Profiler pattern) and exported
+// as a chrome://tracing / Perfetto-loadable JSON document (obs/export.hpp).
+//
+// A span is an interval [start, end] with a name, a category, an optional
+// parent span and string attributes. Span trees carry campaign / pipeline
+// / task / attempt identity, so a fold retry shows up as a sibling
+// "attempt" span under its task, inside its pipeline-iteration stage span.
+//
+// Determinism contract (pinned by tests/obs/test_golden_trace.cpp and the
+// Determinism suite): tracing never draws from any rng and never feeds
+// back into the traced computation, so enabling it must not perturb
+// campaign results — the same contract the fold cache honours. In
+// simulated mode the span tree (names, nesting, ordinal order) is itself
+// a pure function of the seed.
+//
+// Cost model: a disabled tracer (the default) costs one branch per call
+// site; no buffer is ever allocated. Compiling with
+// IMPRESS_OBS_COMPILED_IN=0 (cmake -DIMPRESS_OBS=OFF) additionally turns
+// every recording member into a statically checkable no-op —
+// obs::kCompiledIn lets tests assert which build they are in.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef IMPRESS_OBS_COMPILED_IN
+#define IMPRESS_OBS_COMPILED_IN 1
+#endif
+
+namespace impress::obs {
+
+/// Compile-time switch: when false every Tracer/ScopedSpan member is an
+/// empty inline function (the "no-op sink") and the optimizer erases the
+/// call sites entirely.
+inline constexpr bool kCompiledIn = IMPRESS_OBS_COMPILED_IN != 0;
+
+/// Identifies one span within one Tracer; 0 means "no span".
+using SpanId = std::uint64_t;
+
+/// Well-known span categories (the nesting levels of a campaign trace).
+namespace categories {
+inline constexpr std::string_view kCampaign = "campaign";
+inline constexpr std::string_view kPipeline = "pipeline";
+inline constexpr std::string_view kStage = "stage";
+inline constexpr std::string_view kTask = "task";
+inline constexpr std::string_view kAttempt = "attempt";
+inline constexpr std::string_view kPhase = "phase";
+inline constexpr std::string_view kWork = "work";
+inline constexpr std::string_view kDecision = "decision";
+}  // namespace categories
+
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root
+  std::string name;
+  std::string category;
+  double start = 0.0;
+  double end = -1.0;  ///< < start means the span was never closed
+  std::uint64_t open_seq = 0;   ///< global ordinal of the begin event
+  std::uint64_t close_seq = 0;  ///< 0 when never closed
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  [[nodiscard]] bool closed() const noexcept { return end >= start; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = false);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return kCompiledIn && enabled_;
+  }
+
+  /// Wire the clock used by ScopedSpan and now(); spans recorded through
+  /// the explicit-time overloads never consult it.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+  [[nodiscard]] double now() const { return clock_ ? clock_() : 0.0; }
+
+  /// Open a span at `time`; returns its id (0 when disabled, which every
+  /// other member accepts and ignores).
+  [[nodiscard]] SpanId begin(double time, std::string_view name,
+                             std::string_view category, SpanId parent = 0);
+  /// Close a span. Closing id 0 (or twice) is a no-op.
+  void end(SpanId id, double time);
+  /// Attach a key/value attribute to an open-or-closed span.
+  void attr(SpanId id, std::string_view key, std::string_view value);
+  /// Zero-duration marker span (begin and end at `time`).
+  SpanId instant(double time, std::string_view name,
+                 std::string_view category, SpanId parent = 0);
+
+  /// All spans, ordered by open ordinal, with attributes and close times
+  /// merged in. Thread-safe snapshot.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  /// Number of spans opened so far.
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  enum class Kind : std::uint8_t { kOpen, kClose, kAttr };
+  struct Event {
+    Kind kind = Kind::kOpen;
+    std::uint64_t seq = 0;
+    SpanId id = 0;
+    SpanId parent = 0;
+    double time = 0.0;
+    std::string name;      ///< span name (kOpen) or attr key (kAttr)
+    std::string category;  ///< span category (kOpen) or attr value (kAttr)
+  };
+  struct Buffer {
+    std::mutex mutex;  // writer vs concurrent snapshot reader
+    std::vector<Event> events;
+  };
+
+  [[nodiscard]] Buffer& local_buffer();
+  void record(Event event);
+  [[nodiscard]] std::vector<Event> merged() const;
+
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local cache
+  const bool enabled_;
+  std::function<double()> clock_;
+  /// Seqs double as span ids (an open's seq is its span's id); starts at 1
+  /// so id 0 stays "no span".
+  std::atomic<std::uint64_t> next_seq_{1};
+  mutable std::mutex registry_mutex_;  // guards buffers_
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: opens on construction using the tracer's clock, closes on
+/// destruction. Null/disabled tracer => fully inert object.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string_view name, std::string_view category,
+             SpanId parent = 0);
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(std::exchange(other.tracer_, nullptr)),
+        id_(std::exchange(other.id_, 0)),
+        ambient_(std::exchange(other.ambient_, false)) {}
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      close();
+      tracer_ = std::exchange(other.tracer_, nullptr);
+      id_ = std::exchange(other.id_, 0);
+      ambient_ = std::exchange(other.ambient_, false);
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { close(); }
+
+  [[nodiscard]] SpanId id() const noexcept { return id_; }
+  void attr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr && id_ != 0) tracer_->attr(id_, key, value);
+  }
+  /// Close early (idempotent).
+  void close();
+
+ private:
+  friend ScopedSpan ambient_span(std::string_view, std::string_view);
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+  bool ambient_ = false;  ///< pushed onto the ambient parent stack
+};
+
+/// Ambient trace context: the executor installs (tracer, parent span)
+/// around a task's work function so library code deep inside the call —
+/// the mpnn sampler, the fold surrogate, the fold cache — can open child
+/// spans without any tracer plumbing through their APIs. Purely
+/// thread-local; costs one pointer push/pop when tracing is enabled and a
+/// single branch when it is not.
+class AmbientContext {
+ public:
+  AmbientContext(Tracer* tracer, SpanId parent) noexcept;
+  ~AmbientContext();
+  AmbientContext(const AmbientContext&) = delete;
+  AmbientContext& operator=(const AmbientContext&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+/// The innermost ambient tracer/parent for this thread (nullptr/0 when no
+/// enabled context is installed).
+[[nodiscard]] Tracer* ambient_tracer() noexcept;
+[[nodiscard]] SpanId ambient_parent() noexcept;
+
+/// RAII child span under the current ambient context (inert without one).
+/// While alive it *is* the ambient parent, so nested calls nest naturally.
+[[nodiscard]] ScopedSpan ambient_span(
+    std::string_view name, std::string_view category = categories::kWork);
+
+}  // namespace impress::obs

@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "hpc/resource_pool.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/task.hpp"
 
@@ -54,6 +55,12 @@ class Executor {
     faults_ = faults;
   }
 
+  /// Wire the session's observability bundle (attempt/phase spans and the
+  /// exec histograms). Pass nullptr (the default) for an uninstrumented
+  /// executor. Must outlive the executor. Instrumentation never draws
+  /// from the executor's rng, so wiring it cannot perturb results.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+
  protected:
   /// Fate of one attempt: neutral when no injector is wired.
   [[nodiscard]] FaultInjector::AttemptFault draw_fault(
@@ -62,8 +69,19 @@ class Executor {
     return faults_->draw_attempt(task->uid(), task->attempt());
   }
 
+  /// Tracer when span recording is live for this executor, else nullptr.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept {
+    return obs_ != nullptr && obs_->tracer().enabled() ? &obs_->tracer()
+                                                       : nullptr;
+  }
+  /// Pre-registered metric handles, or nullptr when no bundle is wired.
+  [[nodiscard]] const obs::RuntimeMetrics* metrics() const noexcept {
+    return obs_ != nullptr ? &obs_->metrics() : nullptr;
+  }
+
  private:
   const FaultInjector* faults_ = nullptr;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace impress::rp

@@ -47,7 +47,16 @@ void Pilot::activate() {
   IMPRESS_LOG(kInfo, "pilot") << uid_ << " active ("
                               << pool_.total_cores() << " cores, "
                               << pool_.total_gpus() << " gpus)";
-  (void)scheduler_.try_schedule();
+  run_scheduler();
+}
+
+void Pilot::run_scheduler() {
+  // Called with mutex_ held.
+  const std::size_t placed = scheduler_.try_schedule();
+  if (obs_ != nullptr) {
+    obs_->metrics().scheduler_ticks->inc();
+    if (placed > 0) obs_->metrics().scheduler_placements->add(placed);
+  }
 }
 
 void Pilot::enqueue(TaskPtr task) {
@@ -66,8 +75,9 @@ bool Pilot::try_enqueue(TaskPtr task) {
                                 " can never fit on pilot " + uid_);
   task->set_state(TaskState::kScheduling, now_());
   profiler_.record(now_(), task->uid(), hpc::events::kSchedule, uid_);
+  if (obs_ != nullptr) obs_->metrics().scheduler_enqueues->inc();
   scheduler_.enqueue(std::move(task));
-  if (state_ == PilotState::kActive) (void)scheduler_.try_schedule();
+  if (state_ == PilotState::kActive) run_scheduler();
   return true;
 }
 
@@ -177,7 +187,7 @@ void Pilot::on_complete(const TaskPtr& task) {
                          ? hpc::events::kFailed
                          : hpc::events::kCancelled,
                      uid_);
-    if (state_ == PilotState::kActive) (void)scheduler_.try_schedule();
+    if (state_ == PilotState::kActive) run_scheduler();
     notify = on_task_terminal_;
   }
   if (notify) notify(task);

@@ -75,6 +75,11 @@ class Pilot {
   void attach(Executor& executor, CompletionFn on_task_terminal,
               RequeueFn on_task_requeue = {});
 
+  /// Wire the session's observability bundle (scheduler-decision
+  /// counters). Pass nullptr (the default) to leave the pilot
+  /// uninstrumented. Must outlive the pilot.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+
   /// Mark bootstrap finished; queued tasks start flowing.
   void activate();
 
@@ -116,6 +121,8 @@ class Pilot {
  private:
   void place(TaskPtr task, hpc::Allocation alloc);
   void on_complete(const TaskPtr& task);
+  /// try_schedule + scheduler-decision metrics (ticks/placements).
+  void run_scheduler();
 
   std::string uid_;
   PilotDescription description_;
@@ -125,6 +132,7 @@ class Pilot {
   hpc::UtilizationRecorder recorder_;
   Scheduler scheduler_;
   Executor* executor_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   CompletionFn on_task_terminal_;
   RequeueFn on_task_requeue_;
   // Atomic: read lock-free by TaskManager::route while activate()/finish()

@@ -11,14 +11,18 @@ namespace impress::rp {
 
 Session::Session(SessionConfig config)
     : config_(config),
+      obs_(obs::Observability::Config{.tracing = config.enable_tracing,
+                                      .metrics = config.enable_metrics}),
       rng_(common::Rng(config.seed)),
       wall_start_(std::chrono::steady_clock::now()) {
+  obs_.tracer().set_clock([this] { return now(); });
   if (config_.mode == ExecutionMode::kThreaded)
     pool_.emplace(config_.worker_threads);
   if (config_.faults.any())
     faults_.emplace(config_.faults, rng_.fork("faults"));
   tmgr_ = std::make_unique<TaskManager>(
       uids_, profiler_, [this] { return now(); }, rng_.fork("tmgr"));
+  tmgr_->set_observability(&obs_);
   tmgr_->set_defer(
       [this](double delay_s, std::function<void()> fn) {
         call_after(delay_s, std::move(fn));
@@ -59,6 +63,8 @@ PilotPtr Session::submit_pilot(const PilotDescription& description) {
         exec_rng, config_.time_scale, [this] { return now(); });
   }
   if (faults_) exec->set_fault_injector(&*faults_);
+  exec->set_observability(&obs_);
+  pilot->set_observability(&obs_);
   pilot->attach(*exec, tmgr_->terminal_handler(), tmgr_->requeue_handler());
   executors_.push_back(std::move(exec));
   pilots_.push_back(pilot);

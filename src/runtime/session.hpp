@@ -21,6 +21,7 @@
 #include "common/thread_pool.hpp"
 #include "common/uid.hpp"
 #include "hpc/profiler.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/pilot.hpp"
 #include "runtime/task_manager.hpp"
@@ -46,6 +47,11 @@ struct SessionConfig {
   /// Seeded fault plan: task failures / slowdowns drawn per (task, attempt)
   /// plus scheduled pilot outages. Empty by default (no faults).
   FaultConfig faults;
+  /// Observability (src/obs): span tracing and the metrics registry. Both
+  /// default off — a disabled axis costs one branch per call site and, by
+  /// the determinism contract, enabling either never perturbs results.
+  bool enable_tracing = false;
+  bool enable_metrics = false;
 };
 
 class Session {
@@ -63,6 +69,10 @@ class Session {
   [[nodiscard]] TaskManager& task_manager() noexcept { return *tmgr_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] hpc::Profiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] obs::Observability& observability() noexcept { return obs_; }
+  [[nodiscard]] const obs::Observability& observability() const noexcept {
+    return obs_;
+  }
   [[nodiscard]] common::UidGenerator& uids() noexcept { return uids_; }
   [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
   [[nodiscard]] ExecutionMode mode() const noexcept { return config_.mode; }
@@ -91,6 +101,9 @@ class Session {
   SessionConfig config_;
   sim::Engine engine_;
   hpc::Profiler profiler_;
+  // Declared before the task manager / executors / pilots that hold a
+  // pointer to it (and therefore destroyed after them).
+  obs::Observability obs_;
   common::UidGenerator uids_;
   common::Rng rng_;
   std::chrono::steady_clock::time_point wall_start_;

@@ -11,6 +11,19 @@ void SimExecutor::launch(TaskPtr task, CompletionFn on_complete) {
   double setup = overhead_.setup_mean_s;
   if (setup > 0.0 && overhead_.setup_jitter_sigma > 0.0)
     setup = rng_.lognormal_mean(setup, overhead_.setup_jitter_sigma);
+  // Instrumentation strictly after the rng draw: tracing must not shift
+  // the stream (the bit-exactness contract).
+  if (const obs::RuntimeMetrics* m = metrics())
+    m->exec_setup_seconds->observe(setup);
+  if (obs::Tracer* tr = tracer()) {
+    const obs::SpanId attempt =
+        tr->begin(now, "attempt." + std::to_string(task->attempt()),
+                  obs::categories::kAttempt, task->trace_span());
+    task->set_attempt_span(attempt);
+    const obs::SpanId span = tr->begin(now, "exec_setup",
+                                       obs::categories::kPhase, attempt);
+    tr->end(span, now + setup);
+  }
   auto& entry = pending_[task->uid()];
   entry.on_complete = std::move(on_complete);
   entry.event =
@@ -56,7 +69,17 @@ void SimExecutor::start_phases(const TaskPtr& task) {
   it->second.event = engine_.schedule_at(
       t, [this, task, intervals = std::move(intervals)]() mutable {
         // Usage is only recorded when the task actually ran to completion;
-        // a cancelled task never reaches this event.
+        // a cancelled task never reaches this event. Phase spans follow
+        // the same rule, with the intervals' explicit times.
+        if (obs::Tracer* tr = tracer()) {
+          const auto& phases = task->description().phases;
+          for (std::size_t i = 0; i < intervals.size(); ++i) {
+            const obs::SpanId span = tr->begin(
+                intervals[i].start, phases[i].name, obs::categories::kPhase,
+                task->attempt_span());
+            tr->end(span, intervals[i].end);
+          }
+        }
         for (auto& iv : intervals) recorder_.record(std::move(iv));
         finish(task);
       });
@@ -73,6 +96,10 @@ void SimExecutor::fail_injected(const TaskPtr& task) {
                   ")");
   task->set_state(TaskState::kFailed, now);
   profiler_.record(now, task->uid(), hpc::events::kExecStop, "injected-fault");
+  if (obs::Tracer* tr = tracer()) {
+    tr->attr(task->attempt_span(), "outcome", "injected-fault");
+    tr->end(task->attempt_span(), now);
+  }
   if (on_complete) on_complete(task);
 }
 
@@ -84,6 +111,9 @@ void SimExecutor::finish(const TaskPtr& task) {
 
   const double now = engine_.now();
   if (task->description().work) {
+    // Ambient context: code inside the work function (mpnn sampler, fold
+    // surrogate, fold cache) can open child spans under this attempt.
+    obs::AmbientContext ambient(tracer(), task->attempt_span());
     try {
       task->set_result(task->description().work(*task));
       task->set_state(TaskState::kDone, now);
@@ -98,6 +128,13 @@ void SimExecutor::finish(const TaskPtr& task) {
     task->set_state(TaskState::kDone, now);
   }
   profiler_.record(now, task->uid(), hpc::events::kExecStop);
+  if (const obs::RuntimeMetrics* m = metrics())
+    m->task_run_seconds->observe(now - task->state_time(TaskState::kExecuting));
+  if (obs::Tracer* tr = tracer()) {
+    tr->attr(task->attempt_span(), "outcome",
+             std::string(to_string(task->state())));
+    tr->end(task->attempt_span(), now);
+  }
   if (on_complete) on_complete(task);
 }
 
@@ -110,6 +147,10 @@ bool SimExecutor::cancel(const TaskPtr& task) {
   task->set_state(TaskState::kCancelled, engine_.now());
   profiler_.record(engine_.now(), task->uid(), hpc::events::kExecStop,
                    "cancelled");
+  if (obs::Tracer* tr = tracer()) {
+    tr->attr(task->attempt_span(), "outcome", "cancelled");
+    tr->end(task->attempt_span(), engine_.now());
+  }
   if (on_complete) on_complete(task);
   return true;
 }

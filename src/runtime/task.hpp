@@ -92,6 +92,9 @@ struct TaskDescription {
   int priority = 0;                     ///< higher runs earlier (backfill)
   RetryPolicy retry;                    ///< enforced by the TaskManager
   std::map<std::string, std::string> metadata;  ///< opaque to the runtime
+  /// Trace context: span id (obs::SpanId) of the enclosing stage/pipeline
+  /// span; the TaskManager parents the task's span under it. 0 = root.
+  std::uint64_t trace_parent = 0;
 
   /// Ensure at least one phase exists and phase usage fits the request.
   /// Throws std::invalid_argument on inconsistent descriptions.
@@ -157,6 +160,22 @@ class Task {
   /// clears the previous error/result, and re-enters kSubmitted.
   void begin_retry(double now) noexcept;
 
+  /// Trace span ids (obs::SpanId as raw integers so the runtime task
+  /// model stays obs-free). The task span covers submit→terminal across
+  /// every attempt; each executor launch opens its own attempt span under
+  /// it. Atomic: written by the TaskManager / executor threads, read by
+  /// whichever thread closes the span.
+  void set_trace_span(std::uint64_t id) noexcept { trace_span_.store(id); }
+  [[nodiscard]] std::uint64_t trace_span() const noexcept {
+    return trace_span_.load();
+  }
+  void set_attempt_span(std::uint64_t id) noexcept {
+    attempt_span_.store(id);
+  }
+  [[nodiscard]] std::uint64_t attempt_span() const noexcept {
+    return attempt_span_.load();
+  }
+
  private:
   std::string uid_;
   TaskDescription description_;
@@ -167,6 +186,8 @@ class Task {
   // while executors read it to key fault-injection draws.
   std::atomic<int> attempt_{1};
   std::atomic<EvictReason> evict_reason_{EvictReason::kNone};
+  std::atomic<std::uint64_t> trace_span_{0};
+  std::atomic<std::uint64_t> attempt_span_{0};
   std::string error_;
   std::any result_;
   hpc::Allocation allocation_;

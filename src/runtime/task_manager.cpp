@@ -58,6 +58,19 @@ TaskPtr TaskManager::submit(TaskDescription description) {
     ++outstanding_;
     ++submitted_;
   }
+  if (obs_ != nullptr) {
+    obs_->metrics().tasks_submitted->inc();
+    obs_->metrics().tasks_outstanding->add(1.0);
+    if (obs::Tracer& tracer = obs_->tracer(); tracer.enabled()) {
+      // The task span covers submit -> terminal across every attempt,
+      // nested under the submitting stage (TaskDescription::trace_parent).
+      const obs::SpanId span =
+          tracer.begin(now_(), task->description().name,
+                       obs::categories::kTask, task->description().trace_parent);
+      tracer.attr(span, "uid", task->uid());
+      task->set_trace_span(span);
+    }
+  }
   IMPRESS_LOG(kDebug, "tmgr") << "submit " << task->uid() << " ('"
                               << task->description().name << "') -> "
                               << pilot->uid();
@@ -111,6 +124,7 @@ void TaskManager::arm_deadline(const TaskPtr& task) {
       pilot = it->second;
       ++timed_out_;
     }
+    if (obs_ != nullptr) obs_->metrics().tasks_timed_out->inc();
     profiler_.record(now_(), task->uid(), hpc::events::kTimeout,
                      "attempt " + std::to_string(attempt));
     IMPRESS_LOG(kWarn, "tmgr") << task->uid() << " attempt " << attempt
@@ -260,6 +274,7 @@ void TaskManager::on_terminal(const TaskPtr& task) {
                        "attempt " + std::to_string(task->attempt()) +
                            " failed; next in " + std::to_string(delay) + "s");
       lock.unlock();
+      if (obs_ != nullptr) obs_->metrics().tasks_retried->inc();
       IMPRESS_LOG(kInfo, "tmgr")
           << task->uid() << " attempt " << task->attempt() << "/"
           << policy.max_attempts << " failed (" << task->error()
@@ -317,6 +332,7 @@ void TaskManager::requeue(const TaskPtr& task) {
     fail_unroutable(task, "pilot failed; no alternative fits");
     return;
   }
+  if (obs_ != nullptr) obs_->metrics().tasks_requeued->inc();
   IMPRESS_LOG(kInfo, "tmgr") << "requeue " << task->uid() << " -> "
                              << pilot->uid();
   dispatch(task, std::move(pilot));
@@ -330,6 +346,27 @@ void TaskManager::fail_unroutable(const TaskPtr& task, const std::string& why) {
 }
 
 void TaskManager::finalize(const TaskPtr& task) {
+  if (obs_ != nullptr) {
+    const TaskState state = task->state();
+    switch (state) {
+      case TaskState::kDone: obs_->metrics().tasks_done->inc(); break;
+      case TaskState::kFailed: obs_->metrics().tasks_failed->inc(); break;
+      case TaskState::kCancelled:
+        obs_->metrics().tasks_cancelled->inc();
+        break;
+      default: break;
+    }
+    obs_->metrics().tasks_outstanding->sub(1.0);
+    if (obs::Tracer& tracer = obs_->tracer();
+        tracer.enabled() && task->trace_span() != 0) {
+      tracer.attr(task->trace_span(), "outcome",
+                  std::string(to_string(state)));
+      if (task->attempt() > 1)
+        tracer.attr(task->trace_span(), "attempts",
+                    std::to_string(task->attempt()));
+      tracer.end(task->trace_span(), now_());
+    }
+  }
   std::vector<Callback> callbacks;
   {
     std::lock_guard lock(mutex_);

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "common/uid.hpp"
 #include "hpc/profiler.hpp"
+#include "obs/obs.hpp"
 #include "runtime/pilot.hpp"
 #include "runtime/task.hpp"
 
@@ -51,6 +52,12 @@ class TaskManager {
   /// Wire the deferred-execution hook. Without it, retries are submitted
   /// immediately (no backoff) and attempt deadlines are not enforced.
   void set_defer(DeferFn defer);
+
+  /// Wire the session's observability bundle: task spans (submit →
+  /// terminal, parented under TaskDescription::trace_parent) and the
+  /// task-lifecycle counters. Pass nullptr (the default) to leave the
+  /// manager uninstrumented. Must outlive the manager.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
 
   /// Submit one task; returns the live Task handle.
   /// Throws std::runtime_error if no registered pilot can ever fit it.
@@ -119,6 +126,7 @@ class TaskManager {
   std::function<double()> now_;
   common::Rng rng_;  ///< backoff jitter; forked per (task, attempt)
   DeferFn defer_;
+  obs::Observability* obs_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;

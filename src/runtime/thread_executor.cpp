@@ -38,12 +38,26 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
     std::lock_guard lock(mutex_);
     cancel_flags_[task->uid()] = flag;
   }
+  // Instrumentation strictly after every rng draw above (bit-exactness).
+  if (const obs::RuntimeMetrics* m = metrics())
+    m->exec_setup_seconds->observe(setup);
+  if (obs::Tracer* tr = tracer())
+    task->set_attempt_span(
+        tr->begin(now_(), "attempt." + std::to_string(task->attempt()),
+                  obs::categories::kAttempt, task->trace_span()));
 
   pool_.submit([this, task = std::move(task), on_complete = std::move(on_complete),
                 setup, durations = std::move(durations), fault, fail_budget,
                 flag] {
     profiler_.record(now_(), task->uid(), hpc::events::kExecSetupStart);
+    const double setup_t0 = now_();
     sleep_scaled(setup);
+    if (obs::Tracer* tr = tracer()) {
+      const obs::SpanId span =
+          tr->begin(setup_t0, "exec_setup", obs::categories::kPhase,
+                    task->attempt_span());
+      tr->end(span, now_());
+    }
     profiler_.record(now_(), task->uid(), hpc::events::kExecStart);
 
     bool cancelled = false;
@@ -67,6 +81,11 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
       const double t0 = now_();
       sleep_scaled(d);
       if (fault.fail) continue;  // doomed attempt: no usage accounting
+      if (obs::Tracer* tr = tracer()) {
+        const obs::SpanId span = tr->begin(
+            t0, phases[i].name, obs::categories::kPhase, task->attempt_span());
+        tr->end(span, now_());
+      }
       recorder_.record(hpc::UsageInterval{.start = t0,
                                           .end = now_(),
                                           .cores = phases[i].cores,
@@ -87,6 +106,9 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
                       std::to_string(task->attempt()) + ")");
       task->set_state(TaskState::kFailed, now);
     } else if (task->description().work) {
+      // Ambient context: library code inside the work function can open
+      // child spans under this attempt (see obs::ambient_span).
+      obs::AmbientContext ambient(tracer(), task->attempt_span());
       try {
         task->set_result(task->description().work(*task));
         task->set_state(TaskState::kDone, now);
@@ -102,6 +124,15 @@ void ThreadExecutor::launch(TaskPtr task, CompletionFn on_complete) {
     }
     profiler_.record(now_(), task->uid(), hpc::events::kExecStop,
                      crashed ? "injected-fault" : "");
+    if (const obs::RuntimeMetrics* m = metrics())
+      m->task_run_seconds->observe(now_() -
+                                   task->state_time(TaskState::kExecuting));
+    if (obs::Tracer* tr = tracer()) {
+      tr->attr(task->attempt_span(), "outcome",
+               crashed ? "injected-fault"
+                       : std::string(to_string(task->state())));
+      tr->end(task->attempt_span(), now_());
+    }
     {
       std::lock_guard lock(mutex_);
       cancel_flags_.erase(task->uid());

@@ -1,0 +1,152 @@
+// Property/fuzz tests for common::Json: randomly generated documents must
+// survive writer -> parser round trips bit-for-bit, and malformed or
+// hostile input must raise std::invalid_argument — never crash, hang, or
+// blow the stack (the parser caps container nesting at 512).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace impress::common {
+namespace {
+
+/// Random document generator. Numbers are restricted to values our writer
+/// reproduces exactly (%.17g round-trips every finite double, but NaN/inf
+/// dump as null, so only finite values are generated).
+Json random_json(std::mt19937_64& rng, int depth) {
+  const int kind = static_cast<int>(rng() % (depth > 0 ? 6 : 4));
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(rng() % 2 == 0);
+    case 2: {
+      switch (rng() % 4) {
+        case 0: return Json(static_cast<double>(rng() % 1'000'000));
+        case 1: return Json(-static_cast<double>(rng() % 1'000'000));
+        case 2:
+          return Json(std::ldexp(static_cast<double>(rng() % (1u << 20)),
+                                 static_cast<int>(rng() % 64) - 32));
+        default: return Json(0.0);
+      }
+    }
+    case 3: {
+      // Strings exercising every escape class + UTF-8 passthrough.
+      static const std::string alphabet =
+          "ab\"\\\n\r\t\b\f/ \x01\x1f{}[]:,\xc3\xa9";
+      std::string s;
+      const std::size_t len = rng() % 12;
+      for (std::size_t i = 0; i < len; ++i)
+        s += alphabet[rng() % alphabet.size()];
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json::Array arr;
+      const std::size_t len = rng() % 5;
+      for (std::size_t i = 0; i < len; ++i)
+        arr.push_back(random_json(rng, depth - 1));
+      return Json(std::move(arr));
+    }
+    default: {
+      Json::Object obj;
+      const std::size_t len = rng() % 5;
+      for (std::size_t i = 0; i < len; ++i)
+        obj.emplace("k" + std::to_string(rng() % 8),
+                    random_json(rng, depth - 1));
+      return Json(std::move(obj));
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomDocumentsRoundTripCompact) {
+  std::mt19937_64 rng(20260805);
+  for (int i = 0; i < 300; ++i) {
+    const Json doc = random_json(rng, 5);
+    const Json back = Json::parse(doc.dump());
+    EXPECT_EQ(back, doc) << doc.dump();
+  }
+}
+
+TEST(JsonFuzz, RandomDocumentsRoundTripIndented) {
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 150; ++i) {
+    const Json doc = random_json(rng, 4);
+    EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+    EXPECT_EQ(Json::parse(doc.dump(7)), doc);
+  }
+}
+
+TEST(JsonFuzz, MalformedInputsThrowInsteadOfCrashing) {
+  const char* cases[] = {
+      "",          "   ",        "{",          "[",           "\"",
+      "{]",        "[}",         "tru",        "falsey",      "nul",
+      "01x",       "-",          "+1",         "1.2.3",       "\"\\q\"",
+      "\"\\u12\"", "\"\\u12zx\"", "{\"a\"}",   "{\"a\":}",    "{\"a\":1,}",
+      "[1,]",      "[1 2]",      "{1:2}",      "\"unterminated",
+      "[1],",      "42 43",      "{\"a\":1}}", "\x80\x80",    "nan",
+      "inf",       "--3",        "1e",         "[,1]",        "{,}",
+  };
+  for (const char* text : cases)
+    EXPECT_THROW((void)Json::parse(text), std::invalid_argument) << text;
+}
+
+TEST(JsonFuzz, HostileNestingErrorsInsteadOfOverflowingTheStack) {
+  // 200k opening brackets previously recursed 200k frames deep.
+  const std::string bombs[] = {
+      std::string(200'000, '['),
+      std::string(200'000, '[') + "1" + std::string(200'000, ']'),
+      [] {
+        std::string s;
+        for (int i = 0; i < 200'000; ++i) s += "{\"a\":";
+        return s;
+      }(),
+  };
+  for (const auto& bomb : bombs)
+    EXPECT_THROW((void)Json::parse(bomb), std::invalid_argument);
+}
+
+TEST(JsonFuzz, NestingJustBelowTheCapStillParses) {
+  constexpr int kDepth = 500;  // cap is 512
+  std::string text = std::string(kDepth, '[') + "7" +
+                     std::string(kDepth, ']');
+  const Json doc = Json::parse(text);
+  const Json* v = &doc;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->size(), 1u);
+    v = &v->as_array()[0];
+  }
+  EXPECT_DOUBLE_EQ(v->as_number(), 7.0);
+  // ...and its dump round-trips through the same cap.
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+}
+
+TEST(JsonFuzz, RandomByteNoiseNeverCrashesTheParser) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    std::string noise;
+    const std::size_t len = rng() % 64;
+    for (std::size_t j = 0; j < len; ++j)
+      noise += static_cast<char>(rng() % 256);
+    try {
+      (void)Json::parse(noise);  // parsing may legitimately succeed
+    } catch (const std::invalid_argument&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(JsonFuzz, TruncationsOfAValidDocumentAllThrow) {
+  const std::string valid =
+      R"({"name":"x","vals":[1,2.5,-3e4,true,null],"nested":{"s":"\u00e9"}})";
+  ASSERT_NO_THROW((void)Json::parse(valid));
+  for (std::size_t cut = 0; cut < valid.size(); ++cut)
+    EXPECT_THROW((void)Json::parse(valid.substr(0, cut)),
+                 std::invalid_argument)
+        << "prefix length " << cut;
+}
+
+}  // namespace
+}  // namespace impress::common

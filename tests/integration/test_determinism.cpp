@@ -117,6 +117,49 @@ TEST(Determinism, SharedFoldCacheHitsOnReplayedWork) {
       << "every replayed fold should hit the shared cache";
 }
 
+TEST(Determinism, TracingOnOffBitIdentical) {
+  // Observability must be a pure observer: switching the tracer on cannot
+  // perturb a single result field (spans are recorded strictly after the
+  // rng draws they bracket, and never feed back into the run).
+  const auto targets = targets2();
+  auto traced_cfg = im_rp_campaign(42);
+  traced_cfg.session.enable_tracing = true;
+  const auto traced = Campaign(traced_cfg).run(targets);
+  const auto untraced = Campaign(im_rp_campaign(42)).run(targets);
+  expect_identical(traced, untraced);
+  EXPECT_FALSE(traced.trace.empty());
+  EXPECT_TRUE(untraced.trace.empty());
+}
+
+TEST(Determinism, MetricsOnOffBitIdentical) {
+  const auto targets = targets2();
+  auto metered_cfg = im_rp_campaign(42);
+  metered_cfg.session.enable_metrics = true;
+  const auto metered = Campaign(metered_cfg).run(targets);
+  const auto plain = Campaign(im_rp_campaign(42)).run(targets);
+  expect_identical(metered, plain);
+  EXPECT_FALSE(metered.metrics.empty());
+  // The counters must agree with the independently-kept workload tallies.
+  EXPECT_EQ(metered.metrics.counter("impress_stage_fold"),
+            metered.fold_tasks);
+  EXPECT_EQ(metered.metrics.counter("impress_subpipelines_spawned"),
+            metered.subpipelines);
+  EXPECT_TRUE(plain.metrics.empty());
+}
+
+TEST(Determinism, FullObservabilityOnOffBitIdentical) {
+  // Both axes at once, threaded against the sequential control arm too.
+  const auto targets = targets2();
+  for (auto make : {im_rp_campaign, cont_v_campaign}) {
+    auto on_cfg = make(42);
+    on_cfg.session.enable_tracing = true;
+    on_cfg.session.enable_metrics = true;
+    const auto on = Campaign(on_cfg).run(targets);
+    const auto off = Campaign(make(42)).run(targets);
+    expect_identical(on, off);
+  }
+}
+
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, EverySeedIsSelfConsistent) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for src/ from a coverage-instrumented build.
+
+Usage: tools/coverage/gcov_summary.py BUILD_DIR [SRC_PREFIX]
+
+Walks BUILD_DIR for .gcda files, asks gcov for JSON intermediate output,
+and unions per-(file, line) execution counts across translation units
+(headers are counted once, with the max count seen anywhere). Prints a
+per-file table and the aggregate line rate for files under SRC_PREFIX
+(default: <repo>/src). This mirrors what the CI coverage job computes
+with lcov, without requiring lcov locally.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json(gcda: str):
+    """One JSON document per input file, via gcov --stdout."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(gcda),
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    build_dir = os.path.abspath(sys.argv[1])
+    repo = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    prefix = os.path.abspath(sys.argv[2]) if len(sys.argv) > 2 else \
+        os.path.join(repo, "src")
+
+    # (file, line) -> max count over all TUs that compiled the line.
+    counts: dict[tuple[str, int], int] = {}
+    n_gcda = 0
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if not name.endswith(".gcda"):
+                continue
+            n_gcda += 1
+            doc = gcov_json(os.path.join(root, name))
+            if doc is None:
+                continue
+            for f in doc.get("files", []):
+                path = f.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.abspath(os.path.join(root, path))
+                if not path.startswith(prefix + os.sep):
+                    continue
+                for line in f.get("lines", []):
+                    key = (path, int(line["line_number"]))
+                    count = int(line.get("count", 0))
+                    if counts.get(key, -1) < count:
+                        counts[key] = count
+    if not counts:
+        print(f"no coverage data under {build_dir} for {prefix}",
+              file=sys.stderr)
+        return 1
+
+    per_file: dict[str, list[int]] = {}
+    for (path, _line), count in counts.items():
+        hit_total = per_file.setdefault(path, [0, 0])
+        hit_total[1] += 1
+        if count > 0:
+            hit_total[0] += 1
+
+    width = max(len(os.path.relpath(p, repo)) for p in per_file)
+    for path in sorted(per_file):
+        hit, total = per_file[path]
+        print(f"{os.path.relpath(path, repo):{width}}  "
+              f"{100.0 * hit / total:6.1f}%  ({hit}/{total})")
+
+    hit = sum(h for h, _t in per_file.values())
+    total = sum(t for _h, t in per_file.values())
+    print(f"\n{n_gcda} .gcda files, {len(per_file)} source files")
+    print(f"TOTAL src/ line coverage: {100.0 * hit / total:.1f}% "
+          f"({hit}/{total})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
