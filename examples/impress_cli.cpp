@@ -13,11 +13,17 @@
 //   impress_cli --mode threaded --gantt      # real threads + task gantt
 //   impress_cli --trace trace.json           # chrome://tracing / Perfetto
 //   impress_cli --metrics metrics.prom       # Prometheus text exposition
+//   impress_cli --checkpoint-dir ckpt/ --checkpoint-every 25
+//                                            # crash-consistent checkpoints
+//   impress_cli --resume ckpt/checkpoint.json
+//                                            # continue an interrupted run
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
+#include <system_error>
 
 #include "common/logging.hpp"
 #include "core/campaign.hpp"
@@ -42,6 +48,9 @@ struct CliOptions {
   std::optional<std::string> dump_path;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> checkpoint_dir;
+  std::size_t checkpoint_every = 25;
+  std::optional<std::string> resume_path;
   bool gantt = false;
   bool verbose = false;
 };
@@ -51,7 +60,8 @@ void usage(const char* argv0) {
       "usage: %s [--protocol imrp|contv] [--targets four|<N>] [--cycles M]\n"
       "          [--seed S] [--mode sim|threaded] [--nodes K] [--csv DIR]\n"
       "          [--dump FILE.json] [--trace FILE.json] [--metrics FILE]\n"
-      "          [--gantt] [--verbose]\n",
+      "          [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "          [--resume FILE.json] [--gantt] [--verbose]\n",
       argv0);
 }
 
@@ -104,6 +114,18 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         const char* v = value();
         if (!v) return std::nullopt;
         opts.metrics_path = v;
+      } else if (arg == "--checkpoint-dir") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.checkpoint_dir = v;
+      } else if (arg == "--checkpoint-every") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.checkpoint_every = std::stoull(v);
+      } else if (arg == "--resume") {
+        const char* v = value();
+        if (!v) return std::nullopt;
+        opts.resume_path = v;
       } else if (arg == "--gantt") {
         opts.gantt = true;
       } else if (arg == "--verbose") {
@@ -129,6 +151,10 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   }
   if (opts.cycles < 1 || opts.nodes < 1) {
     std::fprintf(stderr, "cycles and nodes must be >= 1\n");
+    return std::nullopt;
+  }
+  if (opts.checkpoint_dir && opts.checkpoint_every < 1) {
+    std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
     return std::nullopt;
   }
   return opts;
@@ -170,13 +196,27 @@ int main(int argc, char** argv) {
   }
   cfg.session.enable_tracing = opts.trace_path.has_value();
   cfg.session.enable_metrics = opts.metrics_path.has_value();
+  if (opts.checkpoint_dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(*opts.checkpoint_dir, ec);
+    cfg.checkpoint.directory = *opts.checkpoint_dir;
+    cfg.checkpoint.every_n_completions = opts.checkpoint_every;
+  }
 
   std::printf("running %s on %zu target(s), %d cycle(s), %zu node(s), "
               "seed %llu, %s executor...\n",
               cfg.name.c_str(), targets.size(), opts.cycles, opts.nodes,
               static_cast<unsigned long long>(opts.seed), opts.mode.c_str());
   core::Campaign campaign(cfg);
-  const auto result = campaign.run(targets);
+  const auto result = [&] {
+    if (!opts.resume_path) return campaign.run(targets);
+    const auto checkpoint = core::load_checkpoint(*opts.resume_path);
+    std::printf("resuming from %s (checkpoint #%llu, t=%.1fs)\n",
+                opts.resume_path->c_str(),
+                static_cast<unsigned long long>(checkpoint.ordinal),
+                checkpoint.now);
+    return campaign.resume(targets, checkpoint);
+  }();
 
   // Report.
   std::printf("\n");

@@ -1,0 +1,55 @@
+#include "common/fs.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define IMPRESS_HAVE_FSYNC 1
+#endif
+
+namespace impress::common {
+
+namespace {
+
+AtomicWriteHook g_write_hook;  // test-only; see header
+
+void sync_to_disk(const std::string& path) {
+#ifdef IMPRESS_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("fs: cannot reopen " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw std::runtime_error("fs: fsync failed for " + path);
+#else
+  (void)path;  // best effort: ofstream flush already happened
+#endif
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // Deterministic sibling name: a crashed write's leftover is overwritten
+  // by the next attempt instead of accumulating.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("fs: cannot open " + tmp);
+    os << content;
+    os.flush();
+    if (!os) throw std::runtime_error("fs: write failed for " + tmp);
+  }
+  sync_to_disk(tmp);
+  if (g_write_hook) g_write_hook(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("fs: rename failed for " + path);
+}
+
+void set_atomic_write_test_hook(AtomicWriteHook hook) {
+  g_write_hook = std::move(hook);
+}
+
+}  // namespace impress::common

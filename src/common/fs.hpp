@@ -1,0 +1,31 @@
+// Crash-consistent file writes.
+//
+// Every persistent artifact the library produces (session dumps, CSV
+// exports, campaign checkpoints) goes through write_file_atomic: the
+// content is written to a sibling temp file, flushed to stable storage
+// with fsync, and then rename(2)-ed over the destination. POSIX rename is
+// atomic, so a reader — including a resuming campaign — always observes
+// either the complete previous file or the complete new one, never a
+// truncated hybrid. A crash between fsync and rename leaves the previous
+// file untouched (plus a stray .tmp sibling that the next write reuses).
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace impress::common {
+
+/// Atomically replace `path` with `content`. Throws std::runtime_error on
+/// I/O failure; on failure the previous contents of `path` are preserved.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Test-only crash hook: invoked after the temp file is durable but
+/// before the rename, with the temp path. A hook that throws simulates a
+/// process killed mid-write — the destination must still hold the
+/// previous contents. Pass nullptr to clear. Not thread-safe; tests
+/// install it around single-threaded write calls only.
+using AtomicWriteHook = std::function<void(const std::string& tmp_path)>;
+void set_atomic_write_test_hook(AtomicWriteHook hook);
+
+}  // namespace impress::common

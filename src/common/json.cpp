@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace impress::common {
@@ -235,6 +236,19 @@ class Parser {
     const auto* first = text_.data() + start;
     const auto* last = text_.data() + pos_;
     const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range && ptr == last && first != last) {
+      // from_chars reports ERANGE for subnormals (strtod-backed libstdc++
+      // does, and glibc strtod sets ERANGE on any denormal result), which
+      // would make us reject numbers our own dump() emits. Re-parse with
+      // strtod and accept any finite result; true overflow stays an error.
+      const std::string buf(first, last);
+      char* end = nullptr;
+      const double v = std::strtod(buf.c_str(), &end);
+      if (end == buf.c_str() + buf.size() && std::isfinite(v))
+        return Json(v);
+      pos_ = start;
+      fail("number out of range");
+    }
     if (ec != std::errc{} || ptr != last || first == last) {
       pos_ = start;
       fail("bad number");

@@ -32,6 +32,20 @@ class Rng {
  public:
   using result_type = std::uint32_t;
 
+  /// Raw generator state for checkpoint/restore. The constructor scrambles
+  /// its seed, so a generator's position in its stream cannot be recreated
+  /// from the original (seed, stream) pair — checkpointing must capture the
+  /// post-scramble words verbatim. `cached_normal` preserves the Box–Muller
+  /// half-pair so restored generators replay bit-identically.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+
   /// Construct from a seed and an optional stream id. Different stream
   /// ids yield statistically independent sequences for the same seed.
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
@@ -42,6 +56,22 @@ class Rng {
   /// parent's future output.
   [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
   [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
+
+  /// Snapshot / restore the exact stream position (see State).
+  [[nodiscard]] State save_state() const noexcept {
+    return {state_, inc_, cached_normal_, has_cached_normal_};
+  }
+  void restore_state(const State& s) noexcept {
+    state_ = s.state;
+    inc_ = s.inc;
+    cached_normal_ = s.cached_normal;
+    has_cached_normal_ = s.has_cached_normal;
+  }
+  [[nodiscard]] static Rng from_state(const State& s) noexcept {
+    Rng r;
+    r.restore_state(s);
+    return r;
+  }
 
   /// Stable 64-bit digest of the generator's full state (position in the
   /// stream, stream selector, and Box–Muller cache). Two generators with

@@ -24,6 +24,19 @@ class UidGenerator {
   /// How many ids have been handed out for a namespace.
   [[nodiscard]] std::uint64_t count(std::string_view ns) const;
 
+  /// Checkpoint support: snapshot / restore every namespace counter, so a
+  /// resumed session numbers its entities exactly like the uninterrupted
+  /// run would have.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counters() const {
+    std::lock_guard lock(mutex_);
+    return {counters_.begin(), counters_.end()};
+  }
+  void restore_counters(const std::map<std::string, std::uint64_t>& counters) {
+    std::lock_guard lock(mutex_);
+    counters_.clear();
+    counters_.insert(counters.begin(), counters.end());
+  }
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;

@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <map>
+#include <stdexcept>
 
 #include "common/time_util.hpp"
 #include "hpc/analytics.hpp"
@@ -72,16 +73,58 @@ CampaignResult resume_campaign(const CampaignConfig& config,
 CampaignResult Campaign::run(
     const std::vector<protein::DesignTarget>& targets) {
   rp::Session session(config_.session);
+  return execute(session, targets, nullptr);
+}
+
+CampaignResult Campaign::resume(
+    const std::vector<protein::DesignTarget>& targets,
+    const CampaignCheckpoint& checkpoint) {
+  if (checkpoint.campaign_name != config_.name)
+    throw std::invalid_argument(
+        "Campaign::resume: checkpoint is for campaign '" +
+        checkpoint.campaign_name + "', not '" + config_.name + "'");
+  if (checkpoint.seed != config_.session.seed)
+    throw std::invalid_argument("Campaign::resume: seed mismatch");
+  if (checkpoint.targets != targets.size())
+    throw std::invalid_argument("Campaign::resume: target count mismatch");
+
+  rp::SessionRestore restore;
+  restore.now = checkpoint.now;
+  restore.profiler_events = checkpoint.profiler_events;
+  restore.trace = checkpoint.trace;
+  restore.trace_next_seq = checkpoint.trace_next_seq;
+  restore.metrics = checkpoint.metrics;
+  restore.uid_counters = checkpoint.uid_counters;
+  restore.task_counters = checkpoint.task_counters;
+  rp::Session session(config_.session, restore);
+  return execute(session, targets, &checkpoint);
+}
+
+CampaignResult Campaign::execute(
+    rp::Session& session, const std::vector<protein::DesignTarget>& targets,
+    const CampaignCheckpoint* resume_from) {
   obs::Observability& ob = session.observability();
   obs::SpanId campaign_span = 0;
   if (obs::Tracer& tracer = ob.tracer(); tracer.enabled()) {
-    campaign_span = tracer.begin(session.now(), "campaign." + config_.name,
-                                 obs::categories::kCampaign);
-    tracer.attr(campaign_span, "targets", std::to_string(targets.size()));
-    tracer.attr(campaign_span, "seed",
-                std::to_string(config_.session.seed));
+    if (resume_from != nullptr) {
+      // The root span is still open inside the preloaded trace; keep its
+      // id so stage/pipeline spans parent under it and the close below
+      // merges into the original record.
+      campaign_span = resume_from->campaign_span;
+    } else {
+      campaign_span = tracer.begin(session.now(), "campaign." + config_.name,
+                                   obs::categories::kCampaign);
+      tracer.attr(campaign_span, "targets", std::to_string(targets.size()));
+      tracer.attr(campaign_span, "seed",
+                  std::to_string(config_.session.seed));
+    }
   }
-  const auto pilot = session.submit_pilot(config_.pilot);
+  const auto pilot = [&] {
+    if (resume_from == nullptr) return session.submit_pilot(config_.pilot);
+    if (resume_from->pilots.empty())
+      throw std::invalid_argument("Campaign::resume: checkpoint has no pilot");
+    return session.submit_pilot(config_.pilot, resume_from->pilots.front());
+  }();
   auto coordinator_config = config_.coordinator;
   coordinator_config.trace_root = campaign_span;
   if (config_.enable_fold_cache && !coordinator_config.fold_cache)
@@ -91,18 +134,93 @@ CampaignResult Campaign::run(
   if (coordinator_config.fold_cache)
     coordinator_config.fold_cache->set_metrics(ob.metrics().fold_cache_hits,
                                                ob.metrics().fold_cache_misses);
-  Coordinator coordinator(session, coordinator_config);
+  if (resume_from != nullptr && resume_from->fold_cache &&
+      coordinator_config.fold_cache)
+    coordinator_config.fold_cache->restore(*resume_from->fold_cache);
 
   std::shared_ptr<const SequenceGenerator> generator = config_.generator;
   if (!generator)
     generator = std::make_shared<MpnnGenerator>(config_.sampler);
+  if (resume_from != nullptr)
+    generator->restore_checkpoint_state(resume_from->generator_state);
 
-  for (const auto& target : targets) {
-    auto pipeline = std::make_unique<Pipeline>(
-        target.name, target, target.start_complex(), config_.protocol,
-        generator, fold::AlphaFold(config_.predictor),
-        session.fork_rng("pipeline." + target.name));
-    coordinator.add_pipeline(std::move(pipeline));
+  // Checkpoint sink: invoked by the coordinator at quiesce. Ordering
+  // matters for bit-exact resume — the write marker (span + counter) is
+  // recorded BEFORE the observability state is harvested, so the document
+  // includes its own marker and a resumed tracer/registry continues
+  // exactly where the uninterrupted run's would.
+  std::size_t local_writes = 0;
+  const std::uint64_t prior_ordinal =
+      resume_from != nullptr ? resume_from->ordinal : 0;
+  if (config_.checkpoint.enabled()) {
+    coordinator_config.checkpoint.every_n_completions =
+        config_.checkpoint.every_n_completions;
+    coordinator_config.checkpoint.every_n_pipelines =
+        config_.checkpoint.every_n_pipelines;
+    coordinator_config.checkpoint_sink =
+        [&, campaign_span](const CoordinatorCheckpoint& coord) {
+          CampaignCheckpoint doc;
+          doc.ordinal = prior_ordinal + ++local_writes;
+          if (obs::Tracer& tracer = ob.tracer(); tracer.enabled()) {
+            const obs::SpanId mark =
+                tracer.instant(session.now(), "checkpoint.write",
+                               obs::categories::kDecision, campaign_span);
+            tracer.attr(mark, "ordinal", std::to_string(doc.ordinal));
+          }
+          ob.registry()
+              .counter(obs::names::kCheckpointsWritten)
+              ->inc();
+          doc.campaign_name = config_.name;
+          doc.seed = config_.session.seed;
+          doc.targets = targets.size();
+          doc.now = session.now();
+          doc.profiler_events = session.profiler().events();
+          if (ob.tracer().enabled()) {
+            doc.trace = ob.tracer().spans();
+            doc.trace_next_seq = ob.tracer().next_seq();
+          }
+          doc.campaign_span = campaign_span;
+          if (ob.registry().enabled()) doc.metrics = ob.registry().snapshot();
+          doc.uid_counters = session.uids().counters();
+          doc.task_counters = session.task_manager().counters();
+          doc.pilots = session.checkpoint_pilots();
+          doc.coordinator = coord;
+          if (coordinator_config.fold_cache)
+            doc.fold_cache = coordinator_config.fold_cache->snapshot();
+          doc.generator_state = generator->checkpoint_state();
+          save_checkpoint(doc, config_.checkpoint.path());
+          if (config_.checkpoint.halt_after > 0 &&
+              local_writes >= config_.checkpoint.halt_after &&
+              session.mode() == rp::ExecutionMode::kSimulated)
+            session.engine().stop();
+        };
+  }
+  Coordinator coordinator(session, coordinator_config);
+
+  if (resume_from != nullptr) {
+    std::map<std::string, const protein::DesignTarget*> by_name;
+    for (const auto& target : targets) by_name[target.name] = &target;
+    std::vector<std::unique_ptr<Pipeline>> pipelines;
+    pipelines.reserve(resume_from->coordinator.pipelines.size());
+    for (const auto& snap : resume_from->coordinator.pipelines) {
+      const auto it = by_name.find(snap.target_name);
+      if (it == by_name.end())
+        throw std::invalid_argument(
+            "Campaign::resume: checkpoint references unknown target '" +
+            snap.target_name + "'");
+      pipelines.push_back(std::make_unique<Pipeline>(Pipeline::restore(
+          snap, *it->second, config_.protocol, generator,
+          fold::AlphaFold(config_.predictor))));
+    }
+    coordinator.restore(resume_from->coordinator, std::move(pipelines));
+  } else {
+    for (const auto& target : targets) {
+      auto pipeline = std::make_unique<Pipeline>(
+          target.name, target, target.start_complex(), config_.protocol,
+          generator, fold::AlphaFold(config_.predictor),
+          session.fork_rng("pipeline." + target.name));
+      coordinator.add_pipeline(std::move(pipeline));
+    }
   }
 
   coordinator.run();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/calibration.hpp"
+#include "core/checkpoint.hpp"
 #include "core/coordinator.hpp"
 #include "core/generator.hpp"
 #include "core/pipeline.hpp"
@@ -21,6 +22,30 @@
 #include "protein/datasets.hpp"
 
 namespace impress::core {
+
+/// Campaign-level checkpointing (docs/persistence.md). Disabled unless a
+/// directory is set. Checkpoints are cut at coordinator quiesce points on
+/// the configured cadence and written crash-consistently (atomic
+/// replacement), so the file at `directory/filename` is always a complete,
+/// loadable document — the previous checkpoint survives until the next one
+/// is durable.
+struct CheckpointConfig {
+  std::string directory;  ///< empty = checkpointing disabled
+  /// Cadence triggers, forwarded to the coordinator's CheckpointPolicy
+  /// (either 0 disables that trigger; both 0 with a directory set means a
+  /// directory was configured but no checkpoint will ever be cut).
+  std::size_t every_n_completions = 0;
+  std::size_t every_n_pipelines = 0;
+  std::string filename = "checkpoint.json";
+  /// Test hook (simulated mode only): hard-stop the engine right after
+  /// the Nth checkpoint of this process is written, modelling a crash.
+  /// The interrupted run's CampaignResult is meaningless; resume from the
+  /// written checkpoint instead. 0 = never halt.
+  std::size_t halt_after = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory.empty(); }
+  [[nodiscard]] std::string path() const { return directory + "/" + filename; }
+};
 
 struct CampaignConfig {
   std::string name = "IM-RP";
@@ -47,6 +72,8 @@ struct CampaignConfig {
   /// Capacity of the campaign's fold cache (entries), when enabled and no
   /// cache was provided via `coordinator.fold_cache`.
   std::size_t fold_cache_capacity = 4096;
+  /// Crash-consistent mid-campaign checkpointing; see CheckpointConfig.
+  CheckpointConfig checkpoint;
 };
 
 /// The paper's two arms, pre-configured.
@@ -112,9 +139,26 @@ class Campaign {
   [[nodiscard]] CampaignResult run(
       const std::vector<protein::DesignTarget>& targets);
 
+  /// Continue an interrupted campaign from a mid-flight checkpoint (see
+  /// core/checkpoint.hpp). `targets` must be the same target set the
+  /// checkpointed run used (validated by name), and this campaign's
+  /// config must match the original's — resume reconstructs coordinator,
+  /// runtime and rng state and continues, so in simulated mode the
+  /// returned CampaignResult is bit-identical to the uninterrupted run's
+  /// (with the same checkpoint cadence configured).
+  [[nodiscard]] CampaignResult resume(
+      const std::vector<protein::DesignTarget>& targets,
+      const CampaignCheckpoint& checkpoint);
+
   [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
 
  private:
+  /// Shared body of run()/resume(): wire coordinator + checkpoint sink,
+  /// execute, harvest the CampaignResult.
+  [[nodiscard]] CampaignResult execute(
+      rp::Session& session, const std::vector<protein::DesignTarget>& targets,
+      const CampaignCheckpoint* resume_from);
+
   CampaignConfig config_;
 };
 

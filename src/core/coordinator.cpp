@@ -38,6 +38,9 @@ void Coordinator::add_pipeline(std::unique_ptr<Pipeline> pipeline) {
 void Coordinator::run() {
   if (started_) throw std::logic_error("Coordinator::run: already run");
   started_ = true;
+  // A resumed coordinator re-submits the checkpoint's parked actions in
+  // their original order instead of starting root pipelines.
+  if (resumed_) release_parked();
   if (session_.mode() == rp::ExecutionMode::kSimulated) {
     drain_channels();  // submit root pipelines, creating the first events
     session_.run();
@@ -51,6 +54,7 @@ void Coordinator::run() {
       register_pipeline(std::move(*p));
     if (auto msg = completion_channel_.receive_for(20ms))
       handle_completion(msg->task);
+    maybe_checkpoint();
   }
 }
 
@@ -65,8 +69,9 @@ void Coordinator::drain_channels() {
       handle_completion(msg->task);
       progressed = true;
     }
-    if (!progressed) return;
+    if (!progressed) break;
   }
+  maybe_checkpoint();
 }
 
 void Coordinator::register_pipeline(std::unique_ptr<Pipeline> pipeline) {
@@ -97,6 +102,10 @@ void Coordinator::handle_completion(const rp::TaskPtr& task) {
   if (it == inflight_.end()) return;  // not ours (foreign task on session)
   Pipeline* p = it->second;
   inflight_.erase(it);
+  ++completions_since_checkpoint_;
+  if (config_.checkpoint.every_n_completions > 0 &&
+      completions_since_checkpoint_ >= config_.checkpoint.every_n_completions)
+    checkpoint_pending_ = true;
   // The stage span the coordinator opened at submit time closes when the
   // stage's task comes back, whatever the outcome.
   if (const obs::SpanId stage = task->description().trace_parent; stage != 0)
@@ -139,6 +148,18 @@ void Coordinator::handle_completion(const rp::TaskPtr& task) {
 }
 
 void Coordinator::process_action(Pipeline* pipeline, Pipeline::Action action) {
+  // While a checkpoint is pending, task-submitting actions are parked so
+  // the coordinator drains to a quiesce point. Parking precedes any rng
+  // fork or TaskDescription construction, so the checkpoint captures the
+  // exact state the released (or resumed) submission will start from.
+  // Completion/termination actions still process — they submit nothing.
+  const bool submits = action.kind == Pipeline::Action::Kind::kRunGenerator ||
+                       action.kind == Pipeline::Action::Kind::kRunRefine ||
+                       action.kind == Pipeline::Action::Kind::kRunFold;
+  if (submits && checkpoint_pending_) {
+    parked_.emplace_back(pipeline, std::move(action));
+    return;
+  }
   switch (action.kind) {
     case Pipeline::Action::Kind::kRunGenerator:
       submit_generator_task(pipeline);
@@ -288,6 +309,10 @@ void Coordinator::maybe_submit_queued() {
 
 void Coordinator::on_pipeline_finished(Pipeline* pipeline) {
   if (active_pipelines_ > 0) --active_pipelines_;
+  ++finished_since_checkpoint_;
+  if (config_.checkpoint.every_n_pipelines > 0 &&
+      finished_since_checkpoint_ >= config_.checkpoint.every_n_pipelines)
+    checkpoint_pending_ = true;
   obs::Observability& ob = session_.observability();
   ob.metrics().pipelines_finished->inc();
   ob.metrics().pipelines_active->sub(1.0);
@@ -350,6 +375,110 @@ void Coordinator::consider_subpipeline(Pipeline* pipeline) {
       << (pruned ? "pruned trajectory" : "below pool median") << ")";
   pipeline_channel_.send(std::move(sub));
   notify_runtime();
+}
+
+bool Coordinator::quiesced() const noexcept {
+  return inflight_.empty() && queued_.empty() && pipeline_channel_.empty() &&
+         completion_channel_.empty();
+}
+
+void Coordinator::maybe_checkpoint() {
+  if (!checkpoint_pending_ || !quiesced()) return;
+  // Reset before the sink runs: a resumed coordinator starts its cadence
+  // counters at zero, so the uninterrupted run must too.
+  checkpoint_pending_ = false;
+  completions_since_checkpoint_ = 0;
+  finished_since_checkpoint_ = 0;
+  if (config_.checkpoint_sink) config_.checkpoint_sink(checkpoint());
+  release_parked();
+}
+
+void Coordinator::release_parked() {
+  std::vector<std::pair<Pipeline*, Pipeline::Action>> parked;
+  parked.swap(parked_);
+  for (auto& [pipeline, action] : parked)
+    process_action(pipeline, std::move(action));
+  maybe_submit_queued();
+}
+
+CoordinatorCheckpoint Coordinator::checkpoint() const {
+  CoordinatorCheckpoint c;
+  c.pipelines.reserve(pipelines_.size());
+  for (const auto& p : pipelines_) c.pipelines.push_back(p->snapshot());
+  c.parked.reserve(parked_.size());
+  for (const auto& [pipeline, action] : parked_) {
+    CoordinatorCheckpoint::ParkedAction pa;
+    pa.pipeline_id = pipeline->id();
+    pa.kind = static_cast<int>(action.kind);
+    pa.fold_input = action.fold_input;
+    pa.reuse_features = action.reuse_features;
+    pa.refined = action.refined;
+    c.parked.push_back(std::move(pa));
+  }
+  c.subpipeline_count.insert(subpipeline_count_.begin(),
+                             subpipeline_count_.end());
+  for (const auto& [p, span] : pipeline_spans_)
+    c.pipeline_spans[p->id()] = span;
+  c.root_pipelines = root_pipelines_;
+  c.subpipelines = subpipelines_;
+  c.generator_tasks = generator_tasks_;
+  c.refine_tasks = refine_tasks_;
+  c.fold_tasks = fold_tasks_;
+  c.fold_retries = fold_retries_;
+  c.failed_tasks = failed_tasks_;
+  return c;
+}
+
+void Coordinator::restore(const CoordinatorCheckpoint& state,
+                          std::vector<std::unique_ptr<Pipeline>> pipelines) {
+  if (started_) throw std::logic_error("Coordinator::restore: already run");
+  if (resumed_)
+    throw std::logic_error("Coordinator::restore: already restored");
+  if (root_pipelines_ != 0)
+    throw std::logic_error(
+        "Coordinator::restore: pipelines already added via add_pipeline");
+  if (pipelines.size() != state.pipelines.size())
+    throw std::invalid_argument(
+        "Coordinator::restore: pipeline count mismatch");
+  resumed_ = true;
+  pipelines_ = std::move(pipelines);
+
+  std::unordered_map<std::string, Pipeline*> by_id;
+  for (const auto& p : pipelines_) by_id[p->id()] = p.get();
+  active_pipelines_ = 0;
+  for (const auto& p : pipelines_)
+    if (!p->finished()) ++active_pipelines_;
+
+  parked_.reserve(state.parked.size());
+  for (const auto& pa : state.parked) {
+    const auto it = by_id.find(pa.pipeline_id);
+    if (it == by_id.end())
+      throw std::invalid_argument(
+          "Coordinator::restore: parked action references unknown pipeline " +
+          pa.pipeline_id);
+    Pipeline::Action action;
+    action.kind = static_cast<Pipeline::Action::Kind>(pa.kind);
+    action.fold_input = pa.fold_input;
+    action.reuse_features = pa.reuse_features;
+    action.refined = pa.refined;
+    parked_.emplace_back(it->second, std::move(action));
+  }
+  subpipeline_count_.insert(state.subpipeline_count.begin(),
+                            state.subpipeline_count.end());
+  // Pipeline spans were preloaded (still open, same ids) into the tracer
+  // by the session restore; rebind them so stage spans parent correctly
+  // and the spans close when their pipelines finish.
+  for (const auto& [id, span] : state.pipeline_spans)
+    if (const auto it = by_id.find(id); it != by_id.end())
+      pipeline_spans_[it->second] = span;
+
+  root_pipelines_ = static_cast<std::size_t>(state.root_pipelines);
+  subpipelines_ = static_cast<std::size_t>(state.subpipelines);
+  generator_tasks_ = static_cast<std::size_t>(state.generator_tasks);
+  refine_tasks_ = static_cast<std::size_t>(state.refine_tasks);
+  fold_tasks_ = static_cast<std::size_t>(state.fold_tasks);
+  fold_retries_ = static_cast<std::size_t>(state.fold_retries);
+  failed_tasks_ = static_cast<std::size_t>(state.failed_tasks);
 }
 
 bool Coordinator::campaign_done() const {

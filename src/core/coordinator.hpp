@@ -17,10 +17,15 @@
 
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/channel.hpp"
@@ -39,6 +44,45 @@ struct RefineDurationModel {
   double jitter_sigma = 0.15;
   std::uint32_t cores = 4;
   double cpu_intensity = 0.90;
+};
+
+/// Checkpoint cadence. A checkpoint becomes *pending* when either counter
+/// reaches its threshold (0 disables that trigger); it is cut at the next
+/// quiesce point — no task in flight, both channels empty — so the
+/// document never has to describe a half-executed runtime task. Would-be
+/// task submissions arriving while a checkpoint is pending are parked
+/// (before any rng fork or task construction) and released, in order,
+/// once the checkpoint is durable.
+struct CheckpointPolicy {
+  std::size_t every_n_completions = 0;  ///< handled task completions
+  std::size_t every_n_pipelines = 0;    ///< finished pipelines
+  [[nodiscard]] bool enabled() const noexcept {
+    return every_n_completions > 0 || every_n_pipelines > 0;
+  }
+};
+
+/// Everything of the coordinator's state a campaign checkpoint captures at
+/// a quiesce point. Pipelines appear in submission order; parked actions
+/// in release (FIFO) order.
+struct CoordinatorCheckpoint {
+  struct ParkedAction {
+    std::string pipeline_id;
+    int kind = 0;  ///< Pipeline::Action::Kind, numeric
+    std::optional<protein::Complex> fold_input;
+    bool reuse_features = false;
+    bool refined = false;
+  };
+  std::vector<Pipeline::Snapshot> pipelines;
+  std::vector<ParkedAction> parked;
+  std::map<std::string, int> subpipeline_count;        ///< per target name
+  std::map<std::string, obs::SpanId> pipeline_spans;   ///< open spans, by id
+  std::uint64_t root_pipelines = 0;
+  std::uint64_t subpipelines = 0;
+  std::uint64_t generator_tasks = 0;
+  std::uint64_t refine_tasks = 0;
+  std::uint64_t fold_tasks = 0;
+  std::uint64_t fold_retries = 0;
+  std::uint64_t failed_tasks = 0;
 };
 
 struct CoordinatorConfig {
@@ -63,6 +107,13 @@ struct CoordinatorConfig {
   /// Trace context: span the coordinator parents its pipeline spans under
   /// (the campaign root span). 0 = pipelines become trace roots.
   obs::SpanId trace_root = 0;
+  /// Checkpoint cadence (disabled by default) and the sink invoked with
+  /// the coordinator's state at each quiesce-point checkpoint. The sink
+  /// (the campaign layer) adds session/runtime state and persists the
+  /// document; a sink that throws aborts the campaign, modelling a crash
+  /// during the write.
+  CheckpointPolicy checkpoint;
+  std::function<void(const CoordinatorCheckpoint&)> checkpoint_sink;
 };
 
 class Coordinator {
@@ -80,6 +131,15 @@ class Coordinator {
   /// Queue a root pipeline for submission (pipeline channel). Call before
   /// run(); the decision-making step uses the same channel at runtime.
   void add_pipeline(std::unique_ptr<Pipeline> pipeline);
+
+  /// Adopt a checkpoint's coordinator state before run(). `pipelines`
+  /// must be the rebuilt counterparts of `state.pipelines`, same order
+  /// (the campaign layer rebuilds them via Pipeline::restore, resolving
+  /// targets/generators/folders from its own configuration). Mutually
+  /// exclusive with add_pipeline(); run() then releases the checkpoint's
+  /// parked actions instead of submitting roots.
+  void restore(const CoordinatorCheckpoint& state,
+               std::vector<std::unique_ptr<Pipeline>> pipelines);
 
   /// Execute until every pipeline has completed or terminated. Drives the
   /// session event loop (simulated mode) or a dispatcher thread (threaded
@@ -125,6 +185,15 @@ class Coordinator {
   void maybe_submit_queued();
   void on_pipeline_finished(Pipeline* pipeline);
   void consider_subpipeline(Pipeline* pipeline);
+  /// All runtime work drained: nothing in flight, nothing queued, both
+  /// channels empty — the only moments a checkpoint may be cut.
+  [[nodiscard]] bool quiesced() const noexcept;
+  /// Cut a checkpoint if one is pending and the coordinator is quiesced:
+  /// reset the cadence counters, hand the state to the sink, release the
+  /// parked actions.
+  void maybe_checkpoint();
+  void release_parked();
+  [[nodiscard]] CoordinatorCheckpoint checkpoint() const;
   [[nodiscard]] double pool_median_composite() const;
   [[nodiscard]] bool campaign_done() const;
   void notify_runtime();  ///< schedule a drain (simulated mode)
@@ -162,6 +231,17 @@ class Coordinator {
   std::size_t fold_retries_ = 0;
   std::size_t failed_tasks_ = 0;
   bool started_ = false;
+
+  // --- checkpoint machinery ---
+  /// Actions intercepted while a checkpoint is pending, in submission
+  /// order. Parking happens before the task rng is forked, so the
+  /// checkpoint captures the pipeline rng at exactly the position the
+  /// resumed submission will fork from.
+  std::vector<std::pair<Pipeline*, Pipeline::Action>> parked_;
+  bool checkpoint_pending_ = false;
+  bool resumed_ = false;
+  std::size_t completions_since_checkpoint_ = 0;
+  std::size_t finished_since_checkpoint_ = 0;
 };
 
 }  // namespace impress::core

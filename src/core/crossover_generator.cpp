@@ -79,4 +79,39 @@ std::size_t CrossoverGenerator::population(std::size_t length) const {
   return it == populations_.end() ? 0 : it->second.size();
 }
 
+common::Json CrossoverGenerator::checkpoint_state() const {
+  common::Json::Object out;
+  out["inner"] = inner_->checkpoint_state();
+  std::lock_guard lock(mutex_);
+  common::Json::Object pops;
+  for (const auto& [length, pop] : populations_) {
+    common::Json::Array members;
+    members.reserve(pop.size());
+    for (const auto& m : pop) {
+      common::Json::Object o;
+      o["sequence"] = m.sequence.to_string();
+      o["reward"] = m.reward;
+      members.emplace_back(std::move(o));
+    }
+    pops.emplace(std::to_string(length), common::Json(std::move(members)));
+  }
+  out["populations"] = common::Json(std::move(pops));
+  return common::Json(std::move(out));
+}
+
+void CrossoverGenerator::restore_checkpoint_state(
+    const common::Json& state) const {
+  if (state.is_null()) return;
+  inner_->restore_checkpoint_state(state.at("inner"));
+  std::lock_guard lock(mutex_);
+  populations_.clear();
+  for (const auto& [key, members] : state.at("populations").as_object()) {
+    auto& pop = populations_[std::stoull(key)];
+    for (const auto& m : members.as_array())
+      pop.push_back(
+          Member{protein::Sequence::from_string(m.at("sequence").as_string()),
+                 m.at("reward").as_number()});
+  }
+}
+
 }  // namespace impress::core

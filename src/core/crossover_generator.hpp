@@ -51,6 +51,11 @@ class CrossoverGenerator final : public SequenceGenerator {
   /// Current population size for a receptor length (tests/telemetry).
   [[nodiscard]] std::size_t population(std::size_t length) const;
 
+  /// Campaign checkpoint: the per-length populations plus the wrapped
+  /// generator's own state (nested under "inner").
+  [[nodiscard]] common::Json checkpoint_state() const override;
+  void restore_checkpoint_state(const common::Json& state) const override;
+
  private:
   struct Member {
     protein::Sequence sequence;

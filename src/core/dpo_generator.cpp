@@ -91,4 +91,49 @@ std::size_t DpoGenerator::updates() const {
   return updates_;
 }
 
+common::Json DpoGenerator::checkpoint_state() const {
+  std::lock_guard lock(mutex_);
+  common::Json::Array policy;
+  policy.reserve(policy_.size());
+  for (const auto& row : policy_) {
+    common::Json::Array logits;
+    logits.reserve(row.size());
+    for (double v : row) logits.emplace_back(v);
+    policy.emplace_back(std::move(logits));
+  }
+  common::Json::Object pending;
+  for (const auto& [length, obs] : pending_) {
+    common::Json::Object o;
+    o["sequence"] = obs.sequence.to_string();
+    o["reward"] = obs.reward;
+    pending[std::to_string(length)] = common::Json(std::move(o));
+  }
+  common::Json::Object out;
+  out["policy"] = common::Json(std::move(policy));
+  out["pending"] = common::Json(std::move(pending));
+  out["updates"] = updates_;
+  return common::Json(std::move(out));
+}
+
+void DpoGenerator::restore_checkpoint_state(const common::Json& state) const {
+  if (state.is_null()) return;
+  std::lock_guard lock(mutex_);
+  policy_.clear();
+  for (const auto& row : state.at("policy").as_array()) {
+    std::array<double, protein::kNumAminoAcids> logits{};
+    const auto& values = row.as_array();
+    for (std::size_t i = 0; i < logits.size() && i < values.size(); ++i)
+      logits[i] = values[i].as_number();
+    policy_.push_back(logits);
+  }
+  pending_.clear();
+  for (const auto& [key, obs] : state.at("pending").as_object()) {
+    pending_.emplace(
+        std::stoull(key),
+        Observation{protein::Sequence::from_string(obs.at("sequence").as_string()),
+                    obs.at("reward").as_number()});
+  }
+  updates_ = static_cast<std::size_t>(state.at("updates").as_number());
+}
+
 }  // namespace impress::core

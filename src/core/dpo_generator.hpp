@@ -66,6 +66,11 @@ class DpoGenerator final : public SequenceGenerator {
   /// Preference pairs consumed so far (for tests/telemetry).
   [[nodiscard]] std::size_t updates() const;
 
+  /// Campaign checkpoint: policy logits, pending observations and the
+  /// update counter (everything observe()/generate() mutate).
+  [[nodiscard]] common::Json checkpoint_state() const override;
+  void restore_checkpoint_state(const common::Json& state) const override;
+
  private:
   struct Observation {
     protein::Sequence sequence;

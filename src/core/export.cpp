@@ -2,9 +2,8 @@
 
 #include <cctype>
 #include <filesystem>
-#include <fstream>
-#include <stdexcept>
 
+#include "common/fs.hpp"
 #include "common/stats.hpp"
 #include "core/report.hpp"
 
@@ -18,19 +17,32 @@ std::string num(double v, int decimals = 6) {
 
 }  // namespace
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string trajectories_csv(const CampaignResult& result) {
   std::string out =
       "pipeline_id,target,is_subpipeline,cycle,plddt,ptm,ipae,composite,"
       "true_fitness,retries,sequence\n";
   for (const auto& t : result.trajectories) {
     for (const auto& rec : t.history) {
-      out += t.pipeline_id + ',' + t.target_name + ',' +
+      out += csv_escape(t.pipeline_id) + ',' + csv_escape(t.target_name) + ',' +
              (t.is_subpipeline ? "1" : "0") + ',' + std::to_string(rec.cycle) +
              ',' + num(rec.metrics.plddt, 3) + ',' + num(rec.metrics.ptm, 4) +
              ',' + num(rec.metrics.ipae, 3) + ',' +
              num(rec.metrics.composite(), 4) + ',' +
              num(rec.true_fitness, 4) + ',' + std::to_string(rec.retries) +
-             ',' + rec.sequence + '\n';
+             ',' + csv_escape(rec.sequence) + '\n';
     }
   }
   return out;
@@ -67,10 +79,7 @@ std::string iterations_csv(const CampaignResult& result, int cycles) {
 }
 
 void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("export: cannot open " + path);
-  os << content;
-  if (!os) throw std::runtime_error("export: write failed for " + path);
+  common::write_file_atomic(path, content);
 }
 
 std::vector<std::string> export_campaign_csv(const CampaignResult& result,

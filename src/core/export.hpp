@@ -5,8 +5,9 @@
 //  * utilization   — the binned CPU/GPU series behind Figs 4-5;
 //  * iterations    — per-cycle medians/spreads per metric (Figs 2-3 data).
 //
-// All CSV is RFC-4180-ish: comma separated, '.' decimal point, first row
-// is the header, fields never contain commas (ids are alphanumeric).
+// All CSV is RFC-4180: comma separated, '.' decimal point, first row is
+// the header; string fields (ids, target names, sequences) are quoted
+// when they contain commas, quotes, or newlines (see csv_escape).
 
 #pragma once
 
@@ -15,6 +16,11 @@
 #include "core/campaign.hpp"
 
 namespace impress::core {
+
+/// RFC-4180 field quoting: wraps `field` in double quotes (doubling any
+/// embedded quote) when it contains a comma, quote, or line break;
+/// returns it unchanged otherwise.
+[[nodiscard]] std::string csv_escape(const std::string& field);
 
 /// pipeline_id,target,is_subpipeline,cycle,plddt,ptm,ipae,composite,
 /// true_fitness,retries,sequence

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "mpnn/mpnn.hpp"
 #include "protein/landscape.hpp"
@@ -41,6 +42,19 @@ class SequenceGenerator {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Campaign checkpoint hooks. Learning generators (DpoGenerator,
+  /// CrossoverGenerator) carry mutable feedback state that must survive a
+  /// checkpoint/restore cycle for bit-exact resume; they serialize it
+  /// here. Stateless generators keep the defaults (null / ignore). Const
+  /// for the same reason observe() is: generators are shared as
+  /// shared_ptr<const> across pipelines, with interior mutability.
+  [[nodiscard]] virtual common::Json checkpoint_state() const {
+    return common::Json(nullptr);
+  }
+  virtual void restore_checkpoint_state(const common::Json& state) const {
+    (void)state;
+  }
 };
 
 /// The default: the ProteinMPNN surrogate.

@@ -191,6 +191,64 @@ std::optional<double> Pipeline::last_composite() const {
   return last_metrics_->composite();
 }
 
+Pipeline::Snapshot Pipeline::snapshot() const {
+  Snapshot snap;
+  snap.id = id_;
+  snap.target_name = target_->name;
+  snap.current = current_;
+  snap.rng = rng_.save_state();
+  snap.task_counter = task_counter_;
+  snap.state = static_cast<int>(state_);
+  snap.cycle = cycle_;
+  snap.is_sub = is_sub_;
+  snap.candidates = candidates_;
+  snap.next_candidate = next_candidate_;
+  snap.pending_candidate = pending_candidate_;
+  snap.pending_reuse_features = pending_reuse_features_;
+  snap.retries_this_cycle = retries_this_cycle_;
+  snap.total_retries = total_retries_;
+  snap.last_metrics = last_metrics_;
+  snap.history = history_;
+  return snap;
+}
+
+Pipeline::Pipeline(RestoreTag, const Snapshot& snap,
+                   const protein::DesignTarget& target, ProtocolConfig config,
+                   std::shared_ptr<const SequenceGenerator> generator,
+                   fold::AlphaFold folder)
+    : id_(snap.id),
+      target_(&target),
+      current_(snap.current),
+      config_(config),
+      generator_(std::move(generator)),
+      folder_(std::move(folder)),
+      rng_(common::Rng::from_state(snap.rng)),
+      task_counter_(snap.task_counter),
+      state_(static_cast<State>(snap.state)),
+      cycle_(snap.cycle),
+      is_sub_(snap.is_sub),
+      candidates_(snap.candidates),
+      next_candidate_(snap.next_candidate),
+      pending_candidate_(snap.pending_candidate),
+      pending_reuse_features_(snap.pending_reuse_features),
+      retries_this_cycle_(snap.retries_this_cycle),
+      total_retries_(snap.total_retries),
+      last_metrics_(snap.last_metrics),
+      history_(snap.history) {
+  if (!generator_) throw std::invalid_argument("Pipeline: null generator");
+  if (target.name != snap.target_name)
+    throw std::invalid_argument("Pipeline::restore: target name mismatch");
+}
+
+Pipeline Pipeline::restore(const Snapshot& snap,
+                           const protein::DesignTarget& target,
+                           ProtocolConfig config,
+                           std::shared_ptr<const SequenceGenerator> generator,
+                           fold::AlphaFold folder) {
+  return Pipeline(RestoreTag{}, snap, target, config, std::move(generator),
+                  std::move(folder));
+}
+
 TrajectoryResult Pipeline::result() const {
   TrajectoryResult r;
   r.pipeline_id = id_;

@@ -121,6 +121,37 @@ class Pipeline {
 
   [[nodiscard]] TrajectoryResult result() const;
 
+  /// Everything a campaign checkpoint needs to rebuild this pipeline at a
+  /// quiesce point (no task in flight). The target is referenced by name
+  /// and re-resolved on restore; protocol config, generator and folder are
+  /// likewise re-supplied from the (identical) campaign configuration.
+  struct Snapshot {
+    std::string id;
+    std::string target_name;
+    protein::Complex current;
+    common::Rng::State rng;
+    std::uint64_t task_counter = 0;
+    int state = 0;  ///< State enum, numeric
+    int cycle = 0;
+    bool is_sub = false;
+    std::vector<mpnn::ScoredSequence> candidates;
+    std::uint64_t next_candidate = 0;
+    std::uint64_t pending_candidate = 0;
+    bool pending_reuse_features = false;
+    int retries_this_cycle = 0;
+    int total_retries = 0;
+    std::optional<fold::FoldMetrics> last_metrics;
+    std::vector<IterationRecord> history;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Rebuild a pipeline mid-flight from a checkpoint snapshot. `target`
+  /// must outlive the pipeline (resolved by snapshot().target_name).
+  [[nodiscard]] static Pipeline restore(
+      const Snapshot& snap, const protein::DesignTarget& target,
+      ProtocolConfig config,
+      std::shared_ptr<const SequenceGenerator> generator,
+      fold::AlphaFold folder);
+
  private:
   enum class State {
     kIdle,
@@ -130,6 +161,12 @@ class Pipeline {
     kDone,
     kTerminated,
   };
+
+  struct RestoreTag {};
+  Pipeline(RestoreTag, const Snapshot& snap,
+           const protein::DesignTarget& target, ProtocolConfig config,
+           std::shared_ptr<const SequenceGenerator> generator,
+           fold::AlphaFold folder);
 
   /// Whether Stage-6 gating applies to the cycle being worked on.
   [[nodiscard]] bool cycle_is_adaptive() const noexcept;

@@ -134,6 +134,45 @@ hpc::CacheSummary FoldCache::stats() const {
   return s;
 }
 
+FoldCache::Snapshot FoldCache::snapshot() const {
+  Snapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    std::vector<Snapshot::Entry> entries;
+    entries.reserve(shard->lru.size());
+    for (const auto& [key, prediction] : shard->lru)
+      entries.push_back(Snapshot::Entry{key, prediction});
+    snap.shards.push_back(std::move(entries));
+  }
+  snap.hits = hits_.load(std::memory_order_relaxed);
+  snap.misses = misses_.load(std::memory_order_relaxed);
+  snap.evictions = evictions_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void FoldCache::restore(const Snapshot& snap) {
+  if (snap.shards.size() != shards_.size())
+    throw std::invalid_argument(
+        "FoldCache::restore: shard count mismatch (snapshot from a "
+        "differently-configured cache)");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    // Entries are MRU-first; push_front in reverse rebuilds that order.
+    const auto& entries = snap.shards[s];
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      shard.lru.emplace_front(it->key, it->prediction);
+      shard.index.emplace(it->key, shard.lru.begin());
+    }
+  }
+  hits_.store(snap.hits, std::memory_order_relaxed);
+  misses_.store(snap.misses, std::memory_order_relaxed);
+  evictions_.store(snap.evictions, std::memory_order_relaxed);
+}
+
 void FoldCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);

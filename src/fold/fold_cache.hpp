@@ -77,6 +77,26 @@ class FoldCache {
   [[nodiscard]] hpc::CacheSummary stats() const;
   void clear();
 
+  /// Full cache contents for campaign checkpoints: per-shard entries in
+  /// MRU→LRU order plus the lifetime counters. Restoring reproduces the
+  /// exact recency order, so post-resume hit/eviction patterns — and the
+  /// CacheSummary in the final CampaignResult — match the uninterrupted
+  /// run's bit for bit.
+  struct Snapshot {
+    struct Entry {
+      std::uint64_t key = 0;
+      Prediction prediction;
+    };
+    std::vector<std::vector<Entry>> shards;  ///< MRU first within a shard
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Load a snapshot into an empty cache with the same Config (shard
+  /// count and capacity must match the checkpointing cache's).
+  void restore(const Snapshot& snap);
+
   /// Wire campaign-level hit/miss counters (obs metrics registry). Both
   /// may be nullptr (the default) to unhook — required before the
   /// counters' registry dies if the cache outlives it. Wire before

@@ -133,6 +133,16 @@ std::size_t Profiler::size() const {
   return total;
 }
 
+void Profiler::preload(const std::vector<ProfileEvent>& events) {
+  Buffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  for (const auto& e : events) {
+    const std::uint64_t seq =
+        next_seq_.fetch_add(1, std::memory_order_relaxed);
+    buf.entries.push_back(Entry{seq, e});
+  }
+}
+
 void Profiler::clear() {
   std::lock_guard registry_lock(registry_mutex_);
   for (const auto& buf : buffers_) {

@@ -81,6 +81,11 @@ class Profiler {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Checkpoint restore: seed the profiler with `events` as the earliest
+  /// records (fresh sequence numbers 0..n-1; later record() calls sort
+  /// after them). Only meaningful on an empty profiler.
+  void preload(const std::vector<ProfileEvent>& events);
+
  private:
   struct Entry {
     std::uint64_t seq = 0;

@@ -61,6 +61,17 @@ double Histogram::sum() const noexcept {
   return total;
 }
 
+void Histogram::preload(const std::vector<std::uint64_t>& buckets,
+                        std::uint64_t count, double sum) noexcept {
+  if (!enabled_) return;
+  Stripe& s = *stripes_[0];
+  const std::size_t n = std::min(buckets.size(), s.buckets.size());
+  for (std::size_t i = 0; i < n; ++i)
+    s.buckets[i].store(buckets[i], std::memory_order_relaxed);
+  s.count.store(count, std::memory_order_relaxed);
+  s.sum.store(sum, std::memory_order_relaxed);
+}
+
 std::vector<double> Histogram::default_seconds_bounds() {
   return {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0, 43200.0};
 }
@@ -94,6 +105,14 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
   auto& slot = histograms_[std::string(name)];
   if (!slot) slot = std::make_unique<Histogram>(enabled_, std::move(bounds));
   return slot.get();
+}
+
+void MetricsRegistry::preload(const MetricsSnapshot& snap) {
+  if (!enabled()) return;
+  for (const auto& c : snap.counters) counter(c.name)->add(c.value);
+  for (const auto& g : snap.gauges) gauge(g.name)->set(g.value);
+  for (const auto& h : snap.histograms)
+    histogram(h.name, h.bounds)->preload(h.buckets, h.count, h.sum);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -141,6 +141,12 @@ class Histogram {
   /// Default latency edges (seconds), log-ish spaced.
   [[nodiscard]] static std::vector<double> default_seconds_bounds();
 
+  /// Checkpoint restore: load `buckets`/`count`/`sum` into stripe 0 of an
+  /// untouched histogram (post-resume observes add on top). Bucket counts
+  /// beyond bounds().size()+1 are ignored.
+  void preload(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+               double sum) noexcept;
+
  private:
   struct alignas(64) Stripe {
     std::vector<std::atomic<std::uint64_t>> buckets;
@@ -211,6 +217,12 @@ class MetricsRegistry {
                                      std::vector<double> bounds);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Checkpoint restore: re-register every instrument in `snap` and load
+  /// its value (counters via add, gauges via set, histograms via
+  /// Histogram::preload), so a freshly-constructed registry resumes with
+  /// the checkpointed totals. No-op when disabled.
+  void preload(const MetricsSnapshot& snap);
 
  private:
   const bool enabled_;

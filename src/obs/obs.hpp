@@ -62,6 +62,10 @@ inline constexpr std::string_view kStageFold = "impress_stage_fold";
 inline constexpr std::string_view kFoldCacheHits = "impress_fold_cache_hits";
 inline constexpr std::string_view kFoldCacheMisses =
     "impress_fold_cache_misses";
+// persistence (cold path: looked up by name in the checkpoint sink, not
+// part of the pre-registered RuntimeMetrics bundle)
+inline constexpr std::string_view kCheckpointsWritten =
+    "impress_checkpoints_written";
 }  // namespace names
 
 /// Pre-registered handles for every runtime metric: built once at session

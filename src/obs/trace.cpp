@@ -96,9 +96,15 @@ std::vector<Tracer::Event> Tracer::merged() const {
   return out;
 }
 
+void Tracer::preload(std::vector<SpanRecord> spans, std::uint64_t next_seq) {
+  preloaded_ = std::move(spans);
+  next_seq_.store(next_seq, std::memory_order_relaxed);
+}
+
 std::vector<SpanRecord> Tracer::spans() const {
-  std::vector<SpanRecord> out;
+  std::vector<SpanRecord> out = preloaded_;
   std::unordered_map<SpanId, std::size_t> index;  // span id -> out slot
+  for (std::size_t i = 0; i < out.size(); ++i) index[out[i].id] = i;
   for (auto& e : merged()) {
     switch (e.kind) {
       case Kind::kOpen: {
@@ -136,7 +142,7 @@ std::vector<SpanRecord> Tracer::spans() const {
 }
 
 std::size_t Tracer::size() const {
-  std::size_t total = 0;
+  std::size_t total = preloaded_.size();
   std::lock_guard registry_lock(registry_mutex_);
   for (const auto& buf : buffers_) {
     std::lock_guard lock(buf->mutex);

@@ -106,6 +106,17 @@ class Tracer {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Checkpoint restore: seed the tracer with spans recorded before the
+  /// cut and continue numbering at `next_seq` (the value checkpointed
+  /// from the original run, so post-resume seqs match the uninterrupted
+  /// run's). Post-resume end()/attr() calls on a preloaded span id merge
+  /// into its record. Call once, before any concurrent use.
+  void preload(std::vector<SpanRecord> spans, std::uint64_t next_seq);
+  /// Next seq the tracer will assign (checkpointed alongside spans()).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class Kind : std::uint8_t { kOpen, kClose, kAttr };
   struct Event {
@@ -129,6 +140,9 @@ class Tracer {
   const std::uint64_t id_;  ///< process-unique; keys the thread-local cache
   const bool enabled_;
   std::function<double()> clock_;
+  /// Spans restored from a checkpoint (see preload); their ids are all
+  /// below the restored next_seq_, so they sort before live spans.
+  std::vector<SpanRecord> preloaded_;
   /// Seqs double as span ids (an open's seq is its span's id); starts at 1
   /// so id 0 stays "no span".
   std::atomic<std::uint64_t> next_seq_{1};

@@ -16,6 +16,7 @@
 
 #include <functional>
 
+#include "common/rng.hpp"
 #include "hpc/resource_pool.hpp"
 #include "obs/obs.hpp"
 #include "runtime/fault.hpp"
@@ -47,6 +48,12 @@ class Executor {
   /// true if the task was prevented from completing normally (the
   /// completion callback still fires, with state kCancelled).
   virtual bool cancel(const TaskPtr& task) = 0;
+
+  /// Checkpoint support: position of the executor's duration-jitter rng
+  /// stream. Only meaningful while the executor has no task in flight (a
+  /// checkpoint is only cut at quiesce).
+  [[nodiscard]] virtual common::Rng::State rng_state() const = 0;
+  virtual void restore_rng_state(const common::Rng::State& s) = 0;
 
   /// Wire a fault injector; each launched attempt draws its fate from it.
   /// Pass nullptr (the default) for a fault-free executor. The injector

@@ -17,7 +17,8 @@ std::string_view to_string(PilotState s) noexcept {
 }
 
 Pilot::Pilot(std::string uid, PilotDescription description,
-             hpc::Profiler& profiler, std::function<double()> now_fn)
+             hpc::Profiler& profiler, std::function<double()> now_fn,
+             bool restored)
     : uid_(std::move(uid)),
       description_(std::move(description)),
       profiler_(profiler),
@@ -28,7 +29,7 @@ Pilot::Pilot(std::string uid, PilotDescription description,
                  [this](TaskPtr t, hpc::Allocation a) {
                    place(std::move(t), std::move(a));
                  }) {
-  profiler_.record(now_(), uid_, hpc::events::kBootstrapStart);
+  if (!restored) profiler_.record(now_(), uid_, hpc::events::kBootstrapStart);
 }
 
 void Pilot::attach(Executor& executor, CompletionFn on_task_terminal,

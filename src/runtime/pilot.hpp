@@ -49,9 +49,17 @@ struct PilotDescription {
 class Pilot {
  public:
   /// `now_fn` reads the session clock; `on_task_terminal` reports back to
-  /// the TaskManager after resources are released.
+  /// the TaskManager after resources are released. A `restored` pilot is
+  /// being rebuilt from a checkpoint: its bootstrap_start event already
+  /// lives in the preloaded profiler, so the constructor must not record a
+  /// second one (the caller then sets the checkpointed state via
+  /// restore_state()).
   Pilot(std::string uid, PilotDescription description, hpc::Profiler& profiler,
-        std::function<double()> now_fn);
+        std::function<double()> now_fn, bool restored = false);
+
+  /// Checkpoint restore: force the lifecycle state without emitting
+  /// profiler events or draining/evicting anything.
+  void restore_state(PilotState s) noexcept { state_.store(s); }
 
   Pilot(const Pilot&) = delete;
   Pilot& operator=(const Pilot&) = delete;

@@ -1,6 +1,7 @@
 #include "runtime/session.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -29,6 +30,23 @@ Session::Session(SessionConfig config)
       });
 }
 
+Session::Session(SessionConfig config, const SessionRestore& restore)
+    : Session(config) {
+  // Clock first: preloaded trace/profiler events carry pre-cut times, and
+  // everything recorded from here on must stamp post-cut times.
+  if (config_.mode == ExecutionMode::kSimulated) {
+    engine_.warp_to(restore.now);
+  } else {
+    clock_offset_ = restore.now;
+  }
+  profiler_.preload(restore.profiler_events);
+  if (obs_.tracer().enabled())
+    obs_.tracer().preload(restore.trace, restore.trace_next_seq);
+  obs_.registry().preload(restore.metrics);
+  uids_.restore_counters(restore.uid_counters);
+  tmgr_->restore_counters(restore.task_counters);
+}
+
 Session::~Session() {
   close();
   // Join detached-timer threads before members are destroyed.
@@ -41,19 +59,17 @@ double Session::now() const {
   const auto wall = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - wall_start_)
                         .count();
-  return wall / config_.time_scale;
+  return clock_offset_ + wall / config_.time_scale;
 }
 
 common::Rng Session::fork_rng(std::string_view tag) const {
   return rng_.fork(tag);
 }
 
-PilotPtr Session::submit_pilot(const PilotDescription& description) {
-  auto pilot = std::make_shared<Pilot>(uids_.next("pilot"), description,
-                                       profiler_, [this] { return now(); });
-
+std::unique_ptr<Executor> Session::make_executor(
+    const PilotPtr& pilot, const PilotDescription& description,
+    common::Rng exec_rng) {
   std::unique_ptr<Executor> exec;
-  const auto exec_rng = rng_.fork("executor." + pilot->uid());
   if (config_.mode == ExecutionMode::kSimulated) {
     exec = std::make_unique<SimExecutor>(engine_, profiler_, pilot->recorder(),
                                          description.exec_overhead, exec_rng);
@@ -64,24 +80,75 @@ PilotPtr Session::submit_pilot(const PilotDescription& description) {
   }
   if (faults_) exec->set_fault_injector(&*faults_);
   exec->set_observability(&obs_);
+  return exec;
+}
+
+void Session::register_pilot(PilotPtr pilot, std::unique_ptr<Executor> exec) {
   pilot->set_observability(&obs_);
   pilot->attach(*exec, tmgr_->terminal_handler(), tmgr_->requeue_handler());
   executors_.push_back(std::move(exec));
   pilots_.push_back(pilot);
-  tmgr_->add_pilot(pilot);
+  tmgr_->add_pilot(std::move(pilot));
+}
 
-  call_after(description.bootstrap_s, [pilot] { pilot->activate(); });
-
-  // Arm any scheduled outage for this pilot (index in submission order).
-  const std::size_t index = pilots_.size() - 1;
+void Session::arm_outages(const PilotPtr& pilot, std::size_t index,
+                          double horizon_s) {
   for (const auto& outage : config_.faults.pilot_outages) {
-    if (outage.pilot_index != index) continue;
+    if (outage.pilot_index != index || outage.at_s <= horizon_s) continue;
     const double delay = std::max(0.0, outage.at_s - now());
     IMPRESS_LOG(kInfo, "session")
         << "pilot " << pilot->uid() << " will fail at t=" << outage.at_s;
     call_after(delay, [pilot] { pilot->fail(); });
   }
+}
+
+PilotPtr Session::submit_pilot(const PilotDescription& description) {
+  auto pilot = std::make_shared<Pilot>(uids_.next("pilot"), description,
+                                       profiler_, [this] { return now(); });
+  register_pilot(pilot,
+                 make_executor(pilot, description,
+                               rng_.fork("executor." + pilot->uid())));
+  call_after(description.bootstrap_s, [pilot] { pilot->activate(); });
+  // Arm any scheduled outage for this pilot (index in submission order).
+  arm_outages(pilot, pilots_.size() - 1,
+              -std::numeric_limits<double>::infinity());
   return pilot;
+}
+
+PilotPtr Session::submit_pilot(const PilotDescription& description,
+                               const PilotRestore& restore) {
+  // The checkpointed uid is reused verbatim; the uid counters restored at
+  // construction already account for it, so next("pilot") is not drawn.
+  auto pilot = std::make_shared<Pilot>(restore.uid, description, profiler_,
+                                       [this] { return now(); },
+                                       /*restored=*/true);
+  for (const auto& interval : restore.intervals)
+    pilot->recorder().record(interval);
+  auto exec = make_executor(pilot, description,
+                            rng_.fork("executor." + pilot->uid()));
+  exec->restore_rng_state(restore.executor_rng);
+  register_pilot(pilot, std::move(exec));
+  // Bootstrap completed before the cut (its events are preloaded); jump
+  // straight to the checkpointed lifecycle state.
+  pilot->restore_state(restore.failed ? PilotState::kFailed
+                                      : PilotState::kActive);
+  // Re-arm only outages that had not fired by the cut.
+  arm_outages(pilot, pilots_.size() - 1, now());
+  return pilot;
+}
+
+std::vector<PilotRestore> Session::checkpoint_pilots() const {
+  std::vector<PilotRestore> out;
+  out.reserve(pilots_.size());
+  for (std::size_t i = 0; i < pilots_.size(); ++i) {
+    PilotRestore pr;
+    pr.uid = pilots_[i]->uid();
+    pr.failed = pilots_[i]->state() == PilotState::kFailed;
+    pr.executor_rng = executors_[i]->rng_state();
+    pr.intervals = pilots_[i]->recorder().intervals();
+    out.push_back(std::move(pr));
+  }
+  return out;
 }
 
 void Session::run() {

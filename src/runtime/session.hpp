@@ -54,9 +54,35 @@ struct SessionConfig {
   bool enable_metrics = false;
 };
 
+/// One pilot's checkpointed runtime state, applied by the restoring
+/// submit_pilot overload (see docs/persistence.md).
+struct PilotRestore {
+  std::string uid;  ///< checkpointed uid; the generator counter is restored
+                    ///< separately, so next() is NOT consulted
+  bool failed = false;  ///< pilot was FAILED at the cut
+  common::Rng::State executor_rng;  ///< duration-jitter stream position
+  std::vector<hpc::UsageInterval> intervals;  ///< recorder contents
+};
+
+/// Runtime-layer checkpoint payload, applied at construction: clock warp,
+/// profiler/trace/metrics preloads, uid counters and TaskManager totals.
+/// Checkpoints are only cut at quiesce (nothing in flight), so no task or
+/// scheduler state appears here.
+struct SessionRestore {
+  double now = 0.0;  ///< session clock at the cut (simulated seconds)
+  std::vector<hpc::ProfileEvent> profiler_events;
+  std::vector<obs::SpanRecord> trace;
+  std::uint64_t trace_next_seq = 1;
+  obs::MetricsSnapshot metrics;
+  std::map<std::string, std::uint64_t> uid_counters;
+  TaskManager::Counters task_counters;
+};
+
 class Session {
  public:
   explicit Session(SessionConfig config = {});
+  /// Construct a session resuming from a checkpoint cut at restore.now.
+  Session(SessionConfig config, const SessionRestore& restore);
   ~Session();
 
   Session(const Session&) = delete;
@@ -65,6 +91,14 @@ class Session {
   /// Create a pilot, wire its executor, and schedule its bootstrap
   /// completion. The pilot becomes ACTIVE after description.bootstrap_s.
   PilotPtr submit_pilot(const PilotDescription& description);
+
+  /// Checkpoint-restoring variant: rebuilds the pilot under its
+  /// checkpointed uid, already past bootstrap (no bootstrap events or
+  /// activation timer), with its recorder intervals and executor rng
+  /// stream restored. Outages that already fired before the cut are not
+  /// re-armed.
+  PilotPtr submit_pilot(const PilotDescription& description,
+                        const PilotRestore& restore);
 
   [[nodiscard]] TaskManager& task_manager() noexcept { return *tmgr_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
@@ -83,6 +117,11 @@ class Session {
   /// Session clock in simulated seconds (virtual clock or scaled wall).
   [[nodiscard]] double now() const;
 
+  /// Per-pilot checkpoint payloads (uid, failed flag, executor rng stream
+  /// position, recorder intervals), in submission order. Only meaningful
+  /// at quiesce — no task outstanding.
+  [[nodiscard]] std::vector<PilotRestore> checkpoint_pilots() const;
+
   /// Independent child generator for a named component.
   [[nodiscard]] common::Rng fork_rng(std::string_view tag) const;
 
@@ -98,6 +137,19 @@ class Session {
   void close();
 
  private:
+  /// Executor construction + fault/obs wiring shared by both
+  /// submit_pilot overloads.
+  std::unique_ptr<Executor> make_executor(const PilotPtr& pilot,
+                                          const PilotDescription& description,
+                                          common::Rng exec_rng);
+  /// Registration shared by both submit_pilot overloads (executor/pilot
+  /// bookkeeping + TaskManager routing).
+  void register_pilot(PilotPtr pilot, std::unique_ptr<Executor> exec);
+  /// Arm scheduled outages for the pilot at `index`, skipping any at or
+  /// before `horizon_s` (already fired before a checkpoint cut).
+  void arm_outages(const PilotPtr& pilot, std::size_t index,
+                   double horizon_s);
+
   SessionConfig config_;
   sim::Engine engine_;
   hpc::Profiler profiler_;
@@ -107,6 +159,10 @@ class Session {
   common::UidGenerator uids_;
   common::Rng rng_;
   std::chrono::steady_clock::time_point wall_start_;
+  /// Simulated seconds already elapsed before this process started
+  /// (checkpoint restore); added to the wall clock in threaded mode. The
+  /// simulated engine warps its own clock instead.
+  double clock_offset_ = 0.0;
   // Declared before the executors that hold a pointer to it.
   std::optional<FaultInjector> faults_;
   std::unique_ptr<TaskManager> tmgr_;

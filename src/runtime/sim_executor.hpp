@@ -34,6 +34,13 @@ class SimExecutor : public Executor {
     return pending_.size();
   }
 
+  [[nodiscard]] common::Rng::State rng_state() const override {
+    return rng_.save_state();
+  }
+  void restore_rng_state(const common::Rng::State& s) override {
+    rng_.restore_state(s);
+  }
+
  private:
   struct InFlight {
     sim::EventId event = 0;  ///< the event that advances this task next

@@ -92,6 +92,35 @@ class TaskManager {
   /// Tasks handed back by failing pilots and re-routed.
   [[nodiscard]] std::size_t requeued() const;
 
+  /// Lifetime counters as one plain-data bundle (checkpointed so a
+  /// resumed campaign reports the same workload totals).
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t requeued = 0;
+    bool operator==(const Counters&) const = default;
+  };
+  [[nodiscard]] Counters counters() const {
+    std::lock_guard lock(mutex_);
+    return {submitted_, done_, failed_, cancelled_,
+            retried_,   timed_out_, requeued_};
+  }
+  /// Checkpoint restore; only valid while no task is outstanding.
+  void restore_counters(const Counters& c) {
+    std::lock_guard lock(mutex_);
+    submitted_ = c.submitted;
+    done_ = c.done;
+    failed_ = c.failed;
+    cancelled_ = c.cancelled;
+    retried_ = c.retried;
+    timed_out_ = c.timed_out;
+    requeued_ = c.requeued;
+  }
+
   /// Block the calling thread until no task is outstanding *and* no
   /// terminal callback is still running. Only meaningful with the
   /// threaded executor — with the simulated executor use Session::run(),

@@ -42,6 +42,16 @@ class ThreadExecutor : public Executor {
   /// Cooperative cancel: takes effect at the next phase boundary.
   bool cancel(const TaskPtr& task) override;
 
+  /// Checkpoint accessors; only called at quiesce (no launches racing).
+  [[nodiscard]] common::Rng::State rng_state() const override {
+    std::lock_guard lock(mutex_);
+    return rng_.save_state();
+  }
+  void restore_rng_state(const common::Rng::State& s) override {
+    std::lock_guard lock(mutex_);
+    rng_.restore_state(s);
+  }
+
  private:
   void sleep_scaled(double sim_seconds) const;
 
@@ -53,7 +63,7 @@ class ThreadExecutor : public Executor {
   double time_scale_;
   std::function<double()> now_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<std::atomic<bool>>> cancel_flags_;
 };
 

@@ -64,6 +64,13 @@ class Engine {
   /// Make run()/run_until() return after the current event completes.
   void stop() noexcept { stopped_ = true; }
 
+  /// Jump the clock forward to `t` (checkpoint restore). Only legal while
+  /// no events are pending — restored work is rescheduled relative to the
+  /// warped clock afterwards. Times before now() are ignored.
+  void warp_to(SimTime t) noexcept {
+    if (live_events_ == 0 && t > now_) now_ = t;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending_events() const noexcept { return live_events_; }
   [[nodiscard]] std::uint64_t fired_events() const noexcept { return fired_; }

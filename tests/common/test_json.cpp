@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -174,6 +176,62 @@ TEST_P(JsonFuzz, RoundTripAnyDocument) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range<std::uint64_t>(1, 7));
+
+// parse(dump(x)) must return x's exact bit pattern for every finite
+// double — checkpoints (core/checkpoint.hpp) round rng offsets, clock
+// values and metrics through JSON and rely on this for bit-exact resume.
+void expect_number_round_trip(double x) {
+  const Json back = Json::parse(Json(x).dump());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.as_number()),
+            std::bit_cast<std::uint64_t>(x))
+      << "value " << x << " dumped as " << Json(x).dump();
+}
+
+TEST(Json, NumberRoundTripNegativeZero) {
+  expect_number_round_trip(-0.0);
+  EXPECT_TRUE(std::signbit(Json::parse(Json(-0.0).dump()).as_number()));
+}
+
+TEST(Json, NumberRoundTripSubnormals) {
+  expect_number_round_trip(std::numeric_limits<double>::denorm_min());
+  expect_number_round_trip(-std::numeric_limits<double>::denorm_min());
+  expect_number_round_trip(std::numeric_limits<double>::min() / 2.0);
+  expect_number_round_trip(
+      std::bit_cast<double>(std::uint64_t{0x000fffffffffffffULL}));
+}
+
+TEST(Json, NumberRoundTripExtremes) {
+  expect_number_round_trip(std::numeric_limits<double>::max());
+  expect_number_round_trip(std::numeric_limits<double>::min());
+  expect_number_round_trip(std::numeric_limits<double>::epsilon());
+  expect_number_round_trip(5e-324);
+  expect_number_round_trip(0.1);
+  expect_number_round_trip(1.0 / 3.0);
+}
+
+TEST(Json, NumberRoundTripIntegralStraddle1e15) {
+  // The dumper switches between integer-style and %.17g style output
+  // around the "integral double" boundary; both sides must survive.
+  for (double x : {999999999999999.0, 1e15, 1e15 + 2.0, 9.007199254740992e15,
+                   9.007199254740994e15, 1e16, 1.00000000000000016e15})
+    expect_number_round_trip(x);
+}
+
+TEST(Json, NumberRoundTripRandomBitPatterns) {
+  // Deterministic xorshift sweep over raw bit patterns, skipping
+  // non-finite encodings (those intentionally dump as null).
+  std::uint64_t state = 0x2545f4914f6cdd1dULL;
+  int tested = 0;
+  while (tested < 500) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double x = std::bit_cast<double>(state);
+    if (!std::isfinite(x)) continue;
+    expect_number_round_trip(x);
+    ++tested;
+  }
+}
 
 TEST(Json, EqualityIsDeep) {
   const auto a = Json::parse(R"({"x":[1,2,{"y":true}]})");
