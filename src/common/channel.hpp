@@ -11,12 +11,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/lockdep.hpp"
 
 namespace impress::common {
 
@@ -152,10 +153,11 @@ class Channel {
     return capacity_ == 0 || queue_.size() < capacity_;
   }
 
-  // Mutex first: it guards every member below it.
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  // Mutex first: it guards every member below it. Tracked so lockdep
+  // builds catch channel operations nested under other locks.
+  mutable TrackedMutex mutex_{"Channel::mutex_"};
+  CondVar not_empty_;
+  CondVar not_full_;
   std::deque<T> queue_;
   std::size_t capacity_;
   bool closed_ = false;

@@ -1,0 +1,229 @@
+#include "common/lockdep.hpp"
+
+#if IMPRESS_LOCKDEP_COMPILED_IN
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace impress::common::lockdep {
+namespace {
+
+/// One entry per distinct mutex instance the thread currently holds;
+/// `depth` counts recursive relocks of the same instance.
+struct Held {
+  std::uint32_t cls;
+  const void* instance;
+  const char* name;
+  std::uint32_t depth;
+};
+
+thread_local std::vector<Held> t_held;
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> class_names;  // id -> name
+  std::unordered_map<std::string, std::uint32_t> class_ids;
+  /// Lock-order graph: edges[a] holds every class observed taken while a
+  /// was held. Kept acyclic: an edge that would close a cycle is reported
+  /// and dropped, so later checks stay cheap and report fresh cycles.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> edges;
+  std::vector<std::string> violations;          // insertion order
+  std::unordered_set<std::string> violation_keys;  // dedup
+  bool abort_on_violation = false;
+  bool abort_env_read = false;
+};
+
+// Leaked singleton: lockdep hooks may run during static destruction
+// (e.g. a static object's dtor unlocking a TrackedMutex), after a plain
+// function-local static registry would already be gone.
+Registry& reg() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void record_violation_locked(Registry& r, const std::string& msg) {
+  if (!r.violation_keys.insert(msg).second) return;
+  r.violations.push_back(msg);
+  std::fprintf(stderr, "[lockdep] %s\n", msg.c_str());
+  if (!r.abort_env_read) {
+    r.abort_env_read = true;
+    const char* env = std::getenv("IMPRESS_LOCKDEP_ABORT");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0'))
+      r.abort_on_violation = true;
+  }
+  if (r.abort_on_violation) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+/// Depth-first search for a path `from` -> ... -> `to` over the current
+/// edge set; fills `path` with the class ids along it (inclusive).
+bool find_path_locked(Registry& r, std::uint32_t from, std::uint32_t to,
+                      std::vector<std::uint32_t>& path) {
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  std::vector<std::uint32_t> stack{from};
+  parent.emplace(from, from);
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      for (std::uint32_t n = to; n != from; n = parent.at(n))
+        path.push_back(n);
+      path.push_back(from);
+      std::reverse(path.begin(), path.end());
+      return true;
+    }
+    auto it = r.edges.find(node);
+    if (it == r.edges.end()) continue;
+    for (std::uint32_t next : it->second)
+      if (parent.emplace(next, node).second) stack.push_back(next);
+  }
+  return false;
+}
+
+/// Record `held -> taken`; report a lock-order cycle if the reverse path
+/// already exists.
+void add_edge_locked(Registry& r, std::uint32_t held, std::uint32_t taken) {
+  auto& out = r.edges[held];
+  if (out.contains(taken)) return;
+  std::vector<std::uint32_t> path;
+  if (find_path_locked(r, taken, held, path)) {
+    // path = taken..held, so the chain reads held -> taken -> ... -> held.
+    std::string msg = "lock-order cycle: ";
+    msg += r.class_names[held];
+    for (std::uint32_t n : path) {
+      msg += " -> ";
+      msg += r.class_names[n];
+    }
+    record_violation_locked(r, msg);
+    return;  // keep the graph acyclic
+  }
+  out.insert(taken);
+}
+
+}  // namespace
+
+std::uint32_t register_class(const char* name) {
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  auto it = r.class_ids.find(name);
+  if (it != r.class_ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(r.class_names.size());
+  r.class_names.emplace_back(name);
+  r.class_ids.emplace(name, id);
+  return id;
+}
+
+void note_lock_attempt(std::uint32_t cls, const void* instance, bool nested) {
+  if (t_held.empty()) return;
+  for (const Held& h : t_held)
+    if (h.instance == instance) return;  // recursive relock: no new edges
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  for (const Held& h : t_held) {
+    if (h.cls == cls) {
+      if (nested) continue;  // address-ordered MultiGuard acquisition
+      record_violation_locked(
+          r, "lock-order cycle: " + r.class_names[cls] + " -> " +
+                 r.class_names[cls] +
+                 " (same-class nesting on distinct instances; use MultiGuard)");
+      continue;
+    }
+    add_edge_locked(r, h.cls, cls);
+  }
+}
+
+void note_lock_acquired(std::uint32_t cls, const void* instance,
+                        const char* name) {
+  for (Held& h : t_held) {
+    if (h.instance == instance) {
+      ++h.depth;
+      return;
+    }
+  }
+  t_held.push_back({cls, instance, name, 1});
+}
+
+void note_try_acquired(std::uint32_t cls, const void* instance,
+                       const char* name) {
+  // try_lock never blocks, so it cannot deadlock: record the held-set
+  // entry (later acquisitions under it still get edges) but no ordering
+  // edge for the try itself. This is what keeps std::scoped_lock's
+  // lock/try_lock rotation free of false cycles.
+  note_lock_acquired(cls, instance, name);
+}
+
+void note_unlock(const void* instance) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance != instance) continue;
+    if (--it->depth == 0) t_held.erase(std::next(it).base());
+    return;
+  }
+}
+
+void check_blocking(const char* what, const void* held_ok) {
+  std::string held;
+  for (const Held& h : t_held) {
+    if (h.instance == held_ok) continue;
+    if (!held.empty()) held += ", ";
+    held += h.name;
+  }
+  if (held.empty()) return;
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  record_violation_locked(
+      r, std::string("blocking call ") + what + " while holding " + held);
+}
+
+void note_cv_wait_begin(const void* instance, const char* name) {
+  check_blocking((std::string("wait on ") + name).c_str(), instance);
+  // The wait releases the mutex: drop it from the held set so other locks
+  // taken by the notifying thread are not misattributed to this one.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance == instance) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void note_cv_wait_end(std::uint32_t cls, const void* instance,
+                      const char* name) {
+  t_held.push_back({cls, instance, name, 1});
+}
+
+std::vector<std::string> report() {
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  return r.violations;
+}
+
+std::size_t violation_count() {
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  return r.violations.size();
+}
+
+void clear() {
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  r.edges.clear();
+  r.violations.clear();
+  r.violation_keys.clear();
+}
+
+void set_abort_on_violation(bool on) {
+  Registry& r = reg();
+  std::lock_guard lock(r.mu);
+  r.abort_on_violation = on;
+  r.abort_env_read = true;  // explicit setting overrides the environment
+}
+
+}  // namespace impress::common::lockdep
+
+#endif  // IMPRESS_LOCKDEP_COMPILED_IN

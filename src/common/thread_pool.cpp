@@ -17,6 +17,9 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  // Joining the workers blocks until the queue drains: destroying the
+  // pool while holding any tracked mutex a worker may need is a deadlock.
+  lockdep::check_blocking("ThreadPool join");
   for (auto& w : workers_)
     if (w.joinable()) w.join();
 }

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -19,6 +18,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/lockdep.hpp"
 
 namespace impress::common {
 
@@ -66,9 +67,9 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
+  mutable TrackedMutex mutex_{"ThreadPool::mutex_"};
+  CondVar cv_;
+  CondVar idle_cv_;
   std::queue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t pending_ = 0;

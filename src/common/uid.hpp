@@ -14,6 +14,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/lockdep.hpp"
+
 namespace impress::common {
 
 class UidGenerator {
@@ -38,7 +40,7 @@ class UidGenerator {
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable TrackedMutex mutex_{"UidGenerator::mutex_"};
   std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/lockdep.hpp"
 #include "common/time_util.hpp"
 #include "hpc/analytics.hpp"
 #include "hpc/gantt.hpp"
@@ -263,6 +264,7 @@ CampaignResult Campaign::execute(
   if (campaign_span != 0) ob.tracer().end(campaign_span, session.now());
   if (ob.tracer().enabled()) r.trace = ob.tracer().spans();
   if (ob.registry().enabled()) r.metrics = ob.registry().snapshot();
+  r.lockdep = common::lockdep::report();
   // A caller-provided cache may outlive this session's registry: unhook.
   if (coordinator_config.fold_cache)
     coordinator_config.fold_cache->set_metrics(nullptr, nullptr);

@@ -126,6 +126,12 @@ struct CampaignResult {
   std::vector<obs::SpanRecord> trace;
   obs::MetricsSnapshot metrics;
 
+  /// Lockdep violation report (src/common/lockdep.hpp): always empty in
+  /// default builds; under IMPRESS_LOCKDEP=ON it carries any lock-order
+  /// cycles / blocking-under-lock hits observed during the run, so they
+  /// land in session dumps next to the trace they explain.
+  std::vector<std::string> lockdep;
+
   /// Trajectories in the paper's counting: accepted design iterations.
   [[nodiscard]] std::size_t total_trajectories() const;
 };

@@ -417,8 +417,13 @@ CoordinatorCheckpoint Coordinator::checkpoint() const {
   }
   c.subpipeline_count.insert(subpipeline_count_.begin(),
                              subpipeline_count_.end());
-  for (const auto& [p, span] : pipeline_spans_)
-    c.pipeline_spans[p->id()] = span;
+  // Walk pipelines_ (registration order) rather than the unordered span
+  // map: every span key was inserted by register_pipeline, so this covers
+  // the map without exposing hash order to the checkpoint path.
+  for (const auto& p : pipelines_)
+    if (const auto it = pipeline_spans_.find(p.get());
+        it != pipeline_spans_.end())
+      c.pipeline_spans[p->id()] = it->second;
   c.root_pipelines = root_pipelines_;
   c.subpipelines = subpipelines_;
   c.generator_tasks = generator_tasks_;

@@ -103,6 +103,14 @@ common::Json to_json(const CampaignResult& result) {
   if (!result.trace.empty()) doc["trace"] = obs::spans_to_json(result.trace);
   if (!result.metrics.empty())
     doc["metrics"] = obs::metrics_to_json(result.metrics);
+  // Lockdep violations follow the same rule: absent unless a lockdep
+  // build actually recorded one (default builds never populate this).
+  if (!result.lockdep.empty()) {
+    std::vector<common::Json> lines;
+    lines.reserve(result.lockdep.size());
+    for (const auto& line : result.lockdep) lines.emplace_back(line);
+    doc["lockdep"] = common::Json(std::move(lines));
+  }
   return common::Json(std::move(doc));
 }
 
@@ -168,6 +176,9 @@ CampaignResult campaign_result_from_json(const common::Json& doc) {
   if (doc.contains("trace")) r.trace = obs::spans_from_json(doc.at("trace"));
   if (doc.contains("metrics"))
     r.metrics = obs::metrics_from_json(doc.at("metrics"));
+  if (doc.contains("lockdep"))
+    for (const auto& line : doc.at("lockdep").as_array())
+      r.lockdep.push_back(line.as_string());
   return r;
 }
 

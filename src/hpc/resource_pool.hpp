@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "hpc/node.hpp"
 
 namespace impress::hpc {
@@ -75,7 +76,7 @@ class ResourcePool {
   std::vector<NodeSpec> nodes_;  ///< immutable after construction
   std::uint32_t total_cores_ = 0;
   std::uint32_t total_gpus_ = 0;
-  mutable std::mutex mutex_;  ///< guards states_
+  mutable common::TrackedMutex mutex_{"ResourcePool::mutex_"};  ///< guards states_
   std::vector<NodeState> states_;
 };
 

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/lockdep.hpp"
+
 namespace impress::hpc {
 
 struct UsageInterval {
@@ -81,7 +83,7 @@ class UtilizationRecorder {
 
   std::uint32_t total_cores_;
   std::uint32_t total_gpus_;
-  mutable std::mutex mutex_;
+  mutable common::TrackedMutex mutex_{"UtilizationRecorder::mutex_"};
   std::vector<UsageInterval> intervals_;
 };
 

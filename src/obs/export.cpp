@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 
 namespace impress::obs {
@@ -30,7 +31,9 @@ common::Json chrome_trace(const std::vector<SpanRecord>& spans) {
   // inherit. Spans arrive ordered by open_seq, so a parent's track is
   // always assigned before its children ask for it.
   std::unordered_map<SpanId, std::uint64_t> track;
-  std::unordered_map<std::uint64_t, std::string> track_name;
+  // Ordered: the metadata events below iterate this, and trace files must
+  // come out byte-identical run to run (hash order would leak into them).
+  std::map<std::uint64_t, std::string> track_name;
   std::uint64_t next_track = 1;
 
   Json::Array events;

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "hpc/node.hpp"
 #include "hpc/profiler.hpp"
 #include "hpc/resource_pool.hpp"
@@ -148,7 +149,12 @@ class Pilot {
   std::atomic<PilotState> state_{PilotState::kLaunching};
   // Atomic for the same reason as state_: routing reads it lock-free.
   std::atomic<std::size_t> running_{0};
-  mutable std::recursive_mutex mutex_;  ///< guards executing_ and scheduler_
+  /// Guards executing_ and scheduler_. Recursive: enqueue -> run_scheduler
+  /// -> place re-enters under the same lock. Second tier of the canonical
+  /// order: taken under TaskManager::mutex_ (route), holds Executor /
+  /// ThreadPool / ResourcePool locks below it, and is always dropped
+  /// before the terminal/requeue callbacks re-enter the TaskManager.
+  mutable common::TrackedRecursiveMutex mutex_{"Pilot::mutex_"};
   // Tasks currently holding an allocation, by uid: fail() must evict them
   // without the executor exposing its in-flight bookkeeping.
   std::unordered_map<std::string, TaskPtr> executing_;

@@ -49,7 +49,9 @@ Session::Session(SessionConfig config, const SessionRestore& restore)
 
 Session::~Session() {
   close();
-  // Join detached-timer threads before members are destroyed.
+  // Join detached-timer threads before members are destroyed. Blocking:
+  // a timer callback may need any runtime lock, so none may be held here.
+  common::lockdep::check_blocking("Session timer join");
   for (auto& t : timers_)
     if (t.joinable()) t.join();
 }

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/uid.hpp"
@@ -172,7 +173,9 @@ class Session {
   // joins the workers, so the TaskManager, pilots and executors are
   // guaranteed to outlive every in-flight completion callback.
   std::optional<common::ThreadPool> pool_;
-  std::mutex timer_mutex_;  ///< guards timers_; declared before it
+  /// A leaf lock in the canonical order: call_after only appends under
+  /// it and never calls out.
+  common::TrackedMutex timer_mutex_{"Session::timer_mutex_"};  // guards timers_
   std::vector<std::thread> timers_;
 };
 

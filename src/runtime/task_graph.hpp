@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "runtime/task.hpp"
 #include "runtime/task_manager.hpp"
 
@@ -74,7 +75,7 @@ class TaskGraph {
     void on_terminal(const TaskPtr& task, TaskManager& tmgr);
     void skip_dependents(NodeId id);
 
-    mutable std::mutex mutex_;
+    mutable common::TrackedMutex mutex_{"TaskGraph::mutex_"};
     std::vector<Node> nodes_;
     std::unordered_map<std::string, NodeId> by_uid_;
     std::size_t remaining_ = 0;

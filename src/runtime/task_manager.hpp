@@ -15,13 +15,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lockdep.hpp"
 #include "common/rng.hpp"
 #include "common/uid.hpp"
 #include "hpc/profiler.hpp"
@@ -157,8 +157,11 @@ class TaskManager {
   DeferFn defer_;
   obs::Observability* obs_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;
+  // Root of the canonical acquisition order (see lockdep.hpp): held while
+  // peeking Pilot queue lengths in route() and drawing uids, never taken
+  // while a pilot or executor lock is held.
+  mutable common::TrackedMutex mutex_{"TaskManager::mutex_"};
+  common::CondVar idle_cv_;
   std::vector<PilotPtr> pilots_;
   std::vector<Callback> callbacks_;
   std::unordered_map<std::string, PilotPtr> task_pilot_;

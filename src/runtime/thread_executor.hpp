@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/lockdep.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "hpc/profiler.hpp"
@@ -63,7 +64,7 @@ class ThreadExecutor : public Executor {
   double time_scale_;
   std::function<double()> now_;
 
-  mutable std::mutex mutex_;
+  mutable common::TrackedMutex mutex_{"ThreadExecutor::mutex_"};
   std::unordered_map<std::string, std::shared_ptr<std::atomic<bool>>> cancel_flags_;
 };
 

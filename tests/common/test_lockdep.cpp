@@ -1,0 +1,244 @@
+// Lockdep subsystem tests.
+//
+// The violation-provoking tests only exist in IMPRESS_LOCKDEP builds (run
+// them via the `lockdep` preset); in default builds this binary proves the
+// off-gate contract instead: TrackedMutex is layout-identical to
+// std::mutex and the report surface collapses to constants.
+
+#include "common/lockdep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+
+#include "common/channel.hpp"
+
+namespace lockdep = impress::common::lockdep;
+using impress::common::Channel;
+using impress::common::MultiGuard;
+using impress::common::TrackedMutex;
+using impress::common::TrackedRecursiveMutex;
+
+#if !IMPRESS_LOCKDEP_COMPILED_IN
+
+// Zero-cost when off: no extra members, no registry, nothing to report.
+static_assert(sizeof(TrackedMutex) == sizeof(std::mutex),
+              "gate-off TrackedMutex must add no state over std::mutex");
+static_assert(sizeof(TrackedRecursiveMutex) == sizeof(std::recursive_mutex),
+              "gate-off TrackedRecursiveMutex must add no state");
+static_assert(!lockdep::kCompiledIn);
+
+TEST(LockdepGateOff, ReportSurfaceIsInert) {
+  TrackedMutex m("test::m");
+  {
+    std::scoped_lock lock(m);
+  }
+  lockdep::check_blocking("anything");
+  EXPECT_TRUE(lockdep::report().empty());
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+  lockdep::clear();  // must be callable and a no-op
+}
+
+#else  // IMPRESS_LOCKDEP_COMPILED_IN
+
+static_assert(lockdep::kCompiledIn);
+
+namespace {
+
+/// Every test starts from a clean graph with process-abort disabled (the
+/// lockdep ctest preset exports IMPRESS_LOCKDEP_ABORT=1 so *production*
+/// suites fail loudly; these tests provoke violations on purpose).
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockdep::set_abort_on_violation(false);
+    lockdep::clear();
+  }
+  void TearDown() override { lockdep::clear(); }
+};
+
+bool any_contains(const std::vector<std::string>& lines,
+                  const std::string& needle) {
+  for (const auto& l : lines)
+    if (l.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+}  // namespace
+
+TEST_F(LockdepTest, SeededAbbaCycleReportedWithoutDeadlock) {
+  TrackedMutex a("abba::A");
+  TrackedMutex b("abba::B");
+  // Two threads exercise the inconsistent order *sequentially* — the
+  // interleaving that would actually deadlock never happens, yet the
+  // cycle must still be reported from the order graph alone.
+  std::thread t1([&] {
+    std::lock_guard la(a);
+    std::lock_guard lb(b);  // records A -> B
+  });
+  t1.join();
+  std::thread t2([&] {
+    std::lock_guard lb(b);
+    std::lock_guard la(a);  // records B -> A: closes the cycle
+  });
+  t2.join();
+  const auto lines = lockdep::report();
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_TRUE(any_contains(lines, "lock-order cycle"));
+  EXPECT_TRUE(any_contains(lines, "abba::A"));
+  EXPECT_TRUE(any_contains(lines, "abba::B"));
+}
+
+TEST_F(LockdepTest, TransitiveCycleThroughThirdClass) {
+  TrackedMutex a("chain::A");
+  TrackedMutex b("chain::B");
+  TrackedMutex c("chain::C");
+  {
+    std::lock_guard la(a);
+    std::lock_guard lb(b);  // A -> B
+  }
+  {
+    std::lock_guard lb(b);
+    std::lock_guard lc(c);  // B -> C
+  }
+  {
+    std::lock_guard lc(c);
+    std::lock_guard la(a);  // C -> A: cycle via B
+  }
+  EXPECT_TRUE(any_contains(lockdep::report(), "lock-order cycle"));
+}
+
+TEST_F(LockdepTest, ConsistentOrderIsSilent) {
+  TrackedMutex a("ordered::A");
+  TrackedMutex b("ordered::B");
+  for (int i = 0; i < 3; ++i) {
+    std::lock_guard la(a);
+    std::lock_guard lb(b);
+  }
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, BlockingAssertionFiresUnderHeldLock) {
+  TrackedMutex m("blocking::M");
+  std::lock_guard lock(m);
+  lockdep::check_blocking("TestOp");
+  const auto lines = lockdep::report();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("blocking call TestOp"), std::string::npos);
+  EXPECT_NE(lines[0].find("blocking::M"), std::string::npos);
+}
+
+TEST_F(LockdepTest, BlockingAssertionSilentWhenNothingHeld) {
+  lockdep::check_blocking("TestOp");
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, ChannelReceiveUnderForeignLockIsFlagged) {
+  TrackedMutex m("blocking::Holder");
+  Channel<int> ch;
+  ch.close();  // receive returns immediately — only the assertion fires
+  std::lock_guard lock(m);
+  EXPECT_EQ(ch.receive(), std::nullopt);
+  EXPECT_TRUE(any_contains(lockdep::report(), "blocking::Holder"));
+}
+
+TEST_F(LockdepTest, ChannelReceiveAloneIsSilent) {
+  Channel<int> ch;
+  ASSERT_TRUE(ch.try_send(7));
+  EXPECT_EQ(ch.receive(), 7);
+  ch.close();
+  EXPECT_EQ(ch.receive(), std::nullopt);
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, RecursiveRelockRecordsNothing) {
+  TrackedRecursiveMutex r("recursive::R");
+  std::lock_guard outer(r);
+  std::lock_guard inner(r);
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, SameClassNestingOnDistinctInstancesIsFlagged) {
+  TrackedMutex a("sameclass::M");
+  TrackedMutex b("sameclass::M");
+  std::lock_guard la(a);
+  std::lock_guard lb(b);
+  EXPECT_TRUE(any_contains(lockdep::report(), "same-class nesting"));
+}
+
+TEST_F(LockdepTest, MultiGuardAllowsSameClassPairs) {
+  TrackedMutex a("multiguard::M");
+  TrackedMutex b("multiguard::M");
+  {
+    MultiGuard g(a, b);
+  }
+  {
+    MultiGuard g(b, a);  // either argument order: locks by address
+  }
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, ScopedLockRotationHasNoFalseCycle) {
+  TrackedMutex a("scoped::A");
+  TrackedMutex b("scoped::B");
+  {
+    std::scoped_lock l(a, b);
+  }
+  {
+    std::scoped_lock l(b, a);  // deadlock-avoidance handles the order
+  }
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, CvWaitDropsTheWaitedMutexFromHeldSet) {
+  // Waiting on a CondVar releases its own mutex: no blocking violation,
+  // and locks taken by the notifying thread gain no edge from it.
+  TrackedMutex m("cv::M");
+  impress::common::CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return ready; });
+  });
+  {
+    std::unique_lock lock(m);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+TEST_F(LockdepTest, ViolationsAreDeduplicated) {
+  TrackedMutex m("dedup::M");
+  for (int i = 0; i < 5; ++i) {
+    std::lock_guard lock(m);
+    lockdep::check_blocking("RepeatOp");
+  }
+  EXPECT_EQ(lockdep::violation_count(), 1u);
+}
+
+TEST_F(LockdepTest, ClearResetsViolationsAndGraph) {
+  TrackedMutex a("clear::A");
+  TrackedMutex b("clear::B");
+  {
+    std::lock_guard la(a);
+    std::lock_guard lb(b);
+  }
+  {
+    std::lock_guard lb(b);
+    std::lock_guard la(a);
+  }
+  ASSERT_GE(lockdep::violation_count(), 1u);
+  lockdep::clear();
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+  // The consistent order alone does not re-trigger after the reset.
+  {
+    std::lock_guard la(a);
+    std::lock_guard lb(b);
+  }
+  EXPECT_EQ(lockdep::violation_count(), 0u);
+}
+
+#endif  // IMPRESS_LOCKDEP_COMPILED_IN

@@ -84,6 +84,20 @@ TEST(SessionDump, AnalysisWorksOnRestoredResults) {
   EXPECT_EQ(restored.total_trajectories(), original.total_trajectories());
 }
 
+TEST(SessionDump, LockdepSectionRoundTripsAndOmitsWhenEmpty) {
+  auto result = real_result();
+  // No violations (the overwhelmingly common case): the key must be
+  // absent so dumps stay byte-identical to pre-lockdep schema v1 output.
+  ASSERT_TRUE(result.lockdep.empty());
+  EXPECT_FALSE(to_json(result).contains("lockdep"));
+  // With violations recorded, the lines survive a text round trip.
+  result.lockdep = {"lock-order cycle: A -> B -> A",
+                    "blocking call X while holding Y"};
+  const auto restored =
+      campaign_result_from_json(common::Json::parse(to_json(result).dump(2)));
+  EXPECT_EQ(restored.lockdep, result.lockdep);
+}
+
 TEST(SessionDump, RejectsWrongDocuments) {
   EXPECT_THROW((void)campaign_result_from_json(common::Json::parse("[]")),
                std::invalid_argument);

@@ -1,0 +1,21 @@
+// Fixture: blocking-under-lock fires on every blocking call made while a
+// lock guard is active. Not compiled — scanned by impress_lint only.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+struct Channel;
+struct ThreadPool;
+
+void blocking_under_guard(std::mutex& m, Channel& ch, ThreadPool& pool) {
+  std::lock_guard<std::mutex> lk(m);
+  ch.send(1);
+  int v = ch.receive();
+  pool.wait_idle();
+  std::this_thread::sleep_for(std::chrono::seconds(v));
+}
+
+void join_under_guard(std::mutex& m, std::thread& t) {
+  std::unique_lock<std::mutex> lk(m);
+  t.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: detached-thread fires on any thread.detach() call.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,27 @@
+// Fixture: parity check for the rules ported from the v1 regex linter —
+// every one must still fire after the tokenizer rewrite. (The missing
+// include guard at the top of this header IS one of the violations.)
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+using namespace std;
+
+class LegacyParity {
+ public:
+  bool try_claim(int id);
+
+  void wait_done(std::unique_lock<std::mutex>& lk) { cv_.wait(lk); }
+
+ private:
+  std::vector<int> items_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+class TrackedParity {
+ private:
+  std::vector<int> queue_;
+  // v1 never saw brace-initialised members; v2 must flag this one.
+  common::TrackedMutex mutex_{"TrackedParity::mutex_"};
+};

@@ -1,0 +1,10 @@
+// Fixture: manual-double-lock fires when a second single-mutex guard
+// opens in a scope that already holds one — textual acquisition order.
+#include <mutex>
+
+void transfer(std::mutex& a, std::mutex& b, int& from, int& to) {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+  to += from;
+  from = 0;
+}

@@ -1,0 +1,10 @@
+// Support header for the unordered_iteration fixture: the member lives
+// here so the rule has to resolve it through the include graph.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+struct State {
+  std::unordered_map<std::string, int> counters_;
+};

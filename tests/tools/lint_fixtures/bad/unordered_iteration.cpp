@@ -1,0 +1,19 @@
+// Fixture: unordered-iteration-in-serialization fires on range-for over
+// unordered containers inside checkpoint/serialize-named functions. The
+// member case only works if the include graph resolved state.hpp.
+#include <unordered_set>
+
+#include "state.hpp"
+
+struct Writer {
+  void field(const char* k, int v);
+  void value(int v);
+};
+
+void checkpoint_counters(const State& s, Writer& w) {
+  for (const auto& [k, v] : s.counters_) w.field(k.c_str(), v);
+}
+
+void serialize_ids(const std::unordered_set<int>& live_ids, Writer& w) {
+  for (int id : live_ids) w.value(id);
+}

@@ -1,0 +1,19 @@
+// Fixture: wall-clock-in-deterministic-path fires on every
+// nondeterministic time/randomness source.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double sample_jitter() {
+  std::srand(42);
+  return std::rand() / 32768.0;
+}
+
+long stamp_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,37 @@
+// Fixture: the good twin of blocking_under_lock — every blocking call
+// here happens after the guard is gone, or inside a deferred lambda, or
+// is a cv wait (which releases its mutex while parked). Must stay silent.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+struct Channel;
+void prepare();
+
+void blocking_after_scope(std::mutex& m, Channel& ch) {
+  {
+    std::lock_guard<std::mutex> lk(m);
+    prepare();
+  }
+  ch.send(1);
+}
+
+void blocking_after_unlock(std::mutex& m, Channel& ch) {
+  std::unique_lock<std::mutex> lk(m);
+  prepare();
+  lk.unlock();
+  ch.send(2);
+}
+
+void lambda_body_is_deferred(std::mutex& m, std::vector<std::thread>& workers,
+                             Channel& ch) {
+  std::lock_guard<std::mutex> lk(m);
+  workers.emplace_back([&ch] { ch.send(3); });
+}
+
+void cv_wait_is_exempt(std::mutex& m, std::condition_variable& cv,
+                       bool& ready) {
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&ready] { return ready; });
+}

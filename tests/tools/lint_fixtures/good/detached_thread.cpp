@@ -1,0 +1,8 @@
+// Fixture: the good twin of detached_thread — the handle is kept and
+// joined, so teardown ordering stays provable.
+#include <thread>
+
+void run_and_join() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,28 @@
+// Fixture: the good twin of legacy_rules — header hygiene, predicate
+// waits, nodiscard try_* and mutex-before-data all in order.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+class LegacyParity {
+ public:
+  [[nodiscard]] bool try_claim(int id);
+
+  void wait_done(std::unique_lock<std::mutex>& lk) {
+    cv_.wait(lk, [this] { return done_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+class TrackedParity {
+ private:
+  common::TrackedMutex mutex_{"TrackedParity::mutex_"};  // guards queue_
+  std::vector<int> queue_;
+};

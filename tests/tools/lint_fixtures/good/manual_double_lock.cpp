@@ -1,0 +1,20 @@
+// Fixture: the good twin of manual_double_lock. std::scoped_lock (and
+// the project's MultiGuard) acquire in address order and are exempt; a
+// guard in a deliberately nested scope is the explicit-ordering idiom and
+// is policed by the runtime lockdep instead.
+#include <mutex>
+
+void transfer(std::mutex& a, std::mutex& b, int& from, int& to) {
+  std::scoped_lock both(a, b);
+  to += from;
+  from = 0;
+}
+
+void nested_scope_is_explicit(std::mutex& outer, std::mutex& inner, int& x) {
+  std::lock_guard<std::mutex> lo(outer);
+  x += 1;
+  {
+    std::lock_guard<std::mutex> li(inner);
+    x += 2;
+  }
+}

@@ -1,0 +1,20 @@
+// Fixture: the good twin of unordered_iteration — ordered containers in
+// serialization paths, and unordered iteration outside them, are both
+// legitimate. Must stay silent.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Writer {
+  void field(const char* k, int v);
+};
+
+void touch(int k, int v);
+
+void checkpoint_sorted(const std::map<std::string, int>& counters, Writer& w) {
+  for (const auto& [k, v] : counters) w.field(k.c_str(), v);
+}
+
+void warm_cache(const std::unordered_map<int, int>& cache) {
+  for (const auto& [k, v] : cache) touch(k, v);
+}

@@ -1,0 +1,25 @@
+// Fixture: the good twin of wall_clock — steady_clock is the sanctioned
+// profiling clock, project RNG methods are fine, and a deliberate
+// wall-clock read carries the lint:allow escape with its reason.
+#include <chrono>
+
+struct Rng {
+  double uniform();
+};
+
+void work();
+
+double profile_block() {
+  const auto t0 = std::chrono::steady_clock::now();
+  work();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double sample(Rng& rng) { return rng.uniform(); }
+
+long log_timestamp() {
+  return std::chrono::system_clock::now()  // lint:allow wall-clock-in-deterministic-path — log timestamps never reach persisted state
+      .time_since_epoch()
+      .count();
+}

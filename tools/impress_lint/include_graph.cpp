@@ -1,0 +1,127 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+
+namespace lint {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> parse_includes(const std::string& raw) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    const std::size_t eol = raw.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? raw.size() : eol;
+    // Directive lines only; tolerate leading whitespace and `#  include`.
+    std::size_t p = pos;
+    while (p < end && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+    if (p < end && raw[p] == '#') {
+      ++p;
+      while (p < end && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+      if (raw.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < end && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+        if (p < end && raw[p] == '"') {
+          const std::size_t close = raw.find('"', p + 1);
+          if (close != std::string::npos && close < end)
+            out.push_back(raw.substr(p + 1, close - p - 1));
+        }
+      }
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> collect_unordered_decls(
+    const std::vector<Token>& tokens) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kIdent ||
+        (t.text != "unordered_map" && t.text != "unordered_set"))
+      continue;
+    // Must open a template argument list; a bare mention (e.g. in a
+    // concept or comment survivor) declares nothing.
+    std::size_t j = i + 1;
+    if (j >= tokens.size() || tokens[j].text != "<") continue;
+    int depth = 0;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].text == "<")
+        ++depth;
+      else if (tokens[j].text == ">" && --depth == 0) {
+        ++j;
+        break;
+      }
+    }
+    if (depth != 0) continue;  // unclosed (macro soup) — skip
+    // Skip ref/pointer/cv decoration between the type and the name.
+    while (j < tokens.size() &&
+           (tokens[j].text == "&" || tokens[j].text == "*" ||
+            tokens[j].text == "const"))
+      ++j;
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent) {
+      // `unordered_map<K,V> name` followed by ; = { ( ) , — i.e. a
+      // variable/member/param, not a function return type (next would
+      // be the parameter list's '(' — which we accept too: a param IS
+      // a binding the rules may see iterated).
+      out.emplace(tokens[j].text, t.text);
+    }
+  }
+  return out;
+}
+
+std::size_t IncludeGraph::add(SourceFile file) {
+  const std::size_t index = files_.size();
+  by_abs_.emplace(file.abs.generic_string(), index);
+  files_.push_back(std::move(file));
+  return index;
+}
+
+void IncludeGraph::resolve(const std::vector<fs::path>& include_dirs) {
+  edges_.assign(files_.size(), {});
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    for (const auto& spelling : files_[i].includes) {
+      // Project layout: quoted includes are spelled relative to a root
+      // (src/) first, falling back to the including file's directory.
+      std::vector<fs::path> candidates;
+      for (const auto& dir : include_dirs) candidates.push_back(dir / spelling);
+      candidates.push_back(files_[i].abs.parent_path() / spelling);
+      for (const auto& cand : candidates) {
+        const auto it =
+            by_abs_.find(fs::weakly_canonical(cand).generic_string());
+        if (it != by_abs_.end()) {
+          edges_[i].push_back(it->second);
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::map<std::string, std::string> IncludeGraph::visible_unordered(
+    std::size_t index) const {
+  std::map<std::string, std::string> out;
+  std::vector<char> seen(files_.size(), 0);
+  std::vector<std::size_t> stack = {index};
+  while (!stack.empty()) {
+    const std::size_t cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = 1;
+    for (const auto& [name, type] : files_[cur].unordered_decls)
+      out.emplace(name, type);
+    if (cur < edges_.size())
+      for (const std::size_t next : edges_[cur]) stack.push_back(next);
+  }
+  return out;
+}
+
+std::size_t IncludeGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& e : edges_) n += e.size();
+  return n;
+}
+
+}  // namespace lint

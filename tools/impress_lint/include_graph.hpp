@@ -1,0 +1,73 @@
+// impress_lint include graph: quoted-include resolution across the scanned
+// roots, plus the symbol table the determinism rules need.
+//
+// The v2 rules have to answer "what type is `pipeline_spans_`?" while
+// linting a .cpp whose members are declared in the matching header. A full
+// C++ front end is out of scope for a dependency-free tool, so we settle
+// for the projection that matters: every declaration whose type spells
+// std::unordered_map / std::unordered_set, keyed by declared name, made
+// visible to each file through its transitive quoted includes.
+
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace lint {
+
+struct SourceFile {
+  std::filesystem::path abs;  ///< weakly_canonical absolute path
+  std::string rel;            ///< baseline-stable path, e.g. "src/core/x.cpp"
+  std::string raw;            ///< original bytes
+  std::string code;           ///< comments/strings blanked
+  std::vector<std::string> lines;   ///< raw source lines (for escapes/--explain)
+  std::vector<Token> tokens;        ///< token stream of `code`
+  std::vector<std::string> includes;  ///< quoted include spellings, in order
+  /// declared-name -> "unordered_map" | "unordered_set" for every
+  /// declaration in this file (members, locals, params alike).
+  std::map<std::string, std::string> unordered_decls;
+  bool is_header = false;
+};
+
+/// Quoted `#include "..."` spellings in `raw` (angle includes are system
+/// headers and carry no project symbols).
+std::vector<std::string> parse_includes(const std::string& raw);
+
+/// Scan a token stream for declarations of std::unordered_map /
+/// std::unordered_set variables: `unordered_map < ... > name`.
+std::map<std::string, std::string> collect_unordered_decls(
+    const std::vector<Token>& tokens);
+
+class IncludeGraph {
+ public:
+  /// Returns the index of the added file.
+  std::size_t add(SourceFile file);
+
+  /// Resolve each file's quoted includes against `include_dirs` (the
+  /// scanned roots, mirroring the build's -I layout) and the including
+  /// file's own directory. Unresolvable spellings (system or generated
+  /// headers) are dropped silently.
+  void resolve(const std::vector<std::filesystem::path>& include_dirs);
+
+  [[nodiscard]] const std::vector<SourceFile>& files() const { return files_; }
+
+  /// Unordered-container declarations visible from files_[index]: its own
+  /// plus everything reachable through resolved includes.
+  [[nodiscard]] std::map<std::string, std::string> visible_unordered(
+      std::size_t index) const;
+
+  /// Resolved edge count (for --explain diagnostics).
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t> by_abs_;
+  std::vector<std::vector<std::size_t>> edges_;  ///< includer -> included
+};
+
+}  // namespace lint

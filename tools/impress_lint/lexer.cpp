@@ -1,0 +1,159 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace lint {
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // raw string literal R"delim( ... )delim"
+          std::size_t p = i + 2;
+          while (p < src.size() && src[p] != '(') ++p;
+          raw_delim = ")" + src.substr(i + 2, p - (i + 2)) + "\"";
+          state = State::kRawString;
+          for (std::size_t j = i; j <= p && j < src.size(); ++j) out[j] = ' ';
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[j])) ||
+              code[j] == '_'))
+        ++j;
+      tokens.push_back({Token::Kind::kIdent, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[j])) ||
+              code[j] == '.' || code[j] == '\''))
+        ++j;
+      tokens.push_back({Token::Kind::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    if ((c == '-' && next == '>') || (c == ':' && next == ':')) {
+      tokens.push_back({Token::Kind::kPunct, code.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_lines(const std::string& raw) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : raw) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace lint

@@ -1,0 +1,37 @@
+// impress_lint lexer: comment/string stripping + a real token stream.
+//
+// The v1 linter matched regexes against flat text; v2 rules walk tokens,
+// which makes scope tracking, argument counting and lambda skipping exact
+// instead of approximate. The stripper stays the front end: tokens are
+// produced from code with comments and literals blanked (newlines kept),
+// so every token knows its 1-based source line.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lint {
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure so offsets still map to line numbers.
+std::string strip_comments_and_strings(const std::string& src);
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based source line
+};
+
+/// Tokenize stripped code. Identifiers and numbers are single tokens;
+/// punctuation is one token per character except the multi-char operators
+/// the rules care about ("->", "::").
+std::vector<Token> tokenize(const std::string& code);
+
+/// Source lines of the *raw* file (1-based via lines[i-1]); used for
+/// `lint:allow` / `guards` comment escapes and --explain output.
+std::vector<std::string> split_lines(const std::string& raw);
+
+}  // namespace lint

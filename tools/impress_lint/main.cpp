@@ -1,401 +1,40 @@
 // impress_lint: project-invariant linter for the IMPRESS sources.
 //
-// A deliberately small, dependency-free "AST-lite" scanner that enforces
-// concurrency and header hygiene rules that clang-tidy does not know
-// about but that this codebase relies on:
-//
-//   naked-cv-wait        condition_variable wait()/wait_for()/wait_until()
-//                        must take a predicate; a naked wait is a lost-
-//                        wakeup / spurious-wakeup bug waiting to happen.
-//   mutex-member-order   a mutex member must be declared before the
-//                        container members it guards, so reviewers can
-//                        read lock discipline top-down and destruction
-//                        order never kills a mutex before its data.
-//   missing-pragma-once  every header starts with #pragma once.
-//   using-namespace      headers must not contain using-namespace
-//                        directives (they leak into every includer).
-//   nodiscard-try        try_* member functions report success through
-//                        their return value; callers must not silently
-//                        drop it, so the declaration carries
-//                        [[nodiscard]].
-//   hot-string-key       in the designated hot-path files, map lookups
-//                        must not build a fresh std::string (to_string /
-//                        string(...) temporaries) as the key — the
-//                        allocation dominates the lookup. Hoist the key
-//                        or use a numeric/content-addressed one.
+// v2: a real tokenizer (lexer.cpp) plus a quoted-include graph
+// (include_graph.cpp) drive the rules in rules.cpp — see the rule
+// catalogue at the top of rules.hpp. The v1 regex scanner's rules were
+// ported 1:1, so baseline keys are unchanged.
 //
 // Violations are keyed as "<relative-path>:<rule>:<token>" (no line
 // numbers, so unrelated edits do not churn the baseline). Keys listed in
 // the baseline file are tolerated; anything new fails the run, which is
-// how the ctest target keeps CI honest.
+// how the ctest target keeps CI honest. `--explain` additionally prints
+// the offending source line under each finding — output meant for humans,
+// while the default format (and the key format) stays byte-stable for
+// scripts that parse it.
 //
 // Usage:
 //   impress_lint --root <dir> [--root <dir>...] --baseline <file>
-//                [--update-baseline]
+//                [--update-baseline] [--explain]
 
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <optional>
-#include <regex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include "include_graph.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
-
-struct Violation {
-  std::string file;  // relative path
-  std::size_t line = 0;
-  std::string rule;
-  std::string token;    // stable identifier for the baseline key
-  std::string message;
-
-  [[nodiscard]] std::string key() const { return file + ":" + rule + ":" + token; }
-};
-
-// --- source preprocessing ---------------------------------------------------
-
-// Replace comments and string/char literals with spaces, preserving line
-// structure so offsets still map to line numbers.
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out = src;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"') {
-          // raw string literal R"delim( ... )delim"
-          std::size_t p = i + 2;
-          while (p < src.size() && src[p] != '(') ++p;
-          raw_delim = ")" + src.substr(i + 2, p - (i + 2)) + "\"";
-          state = State::kRawString;
-          for (std::size_t j = i; j <= p && j < src.size(); ++j) out[j] = ' ';
-          i = p;
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n')
-          state = State::kCode;
-        else
-          out[i] = ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::size_t line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
-}
-
-// Count top-level arguments of a call whose '(' is at `open`. Returns
-// nullopt if the parenthesis never closes (macro soup); `close_out`
-// receives the index of the matching ')'.
-std::optional<int> count_call_args(const std::string& text, std::size_t open,
-                                   std::size_t* close_out) {
-  int depth = 0;
-  int args = 0;
-  bool saw_token = false;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '(' || c == '[' || c == '{') {
-      ++depth;
-    } else if (c == ')' || c == ']' || c == '}') {
-      --depth;
-      if (depth == 0) {
-        if (close_out) *close_out = i;
-        return saw_token ? args + 1 : 0;
-      }
-    } else if (c == ',' && depth == 1) {
-      ++args;
-    } else if (depth == 1 && !std::isspace(static_cast<unsigned char>(c))) {
-      saw_token = true;
-    }
-  }
-  return std::nullopt;
-}
-
-// --- rules ------------------------------------------------------------------
-
-void check_naked_cv_wait(const std::string& rel, const std::string& code,
-                         std::vector<Violation>& out) {
-  static const std::regex re(R"((\.|->)\s*(wait|wait_for|wait_until)\s*\()");
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
-       it != std::sregex_iterator(); ++it) {
-    const std::string fn = (*it)[2].str();
-    const std::size_t open = static_cast<std::size_t>(it->position()) +
-                             static_cast<std::size_t>(it->length()) - 1;
-    const auto args = count_call_args(code, open, nullptr);
-    if (!args) continue;
-    // wait(lock, pred) is fine; wait(lock) is naked. wait_for/wait_until
-    // need (lock, time, pred); two args means no predicate. Zero-arg
-    // wait() is std::future / std::thread territory — not a cv.
-    const bool naked = (fn == "wait" && *args == 1) ||
-                       ((fn == "wait_for" || fn == "wait_until") && *args == 2);
-    if (!naked) continue;
-    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
-                   "naked-cv-wait", fn,
-                   "condition-variable " + fn +
-                       " without predicate: spurious wakeups and lost "
-                       "notifications slip through; use the predicate overload"});
-  }
-}
-
-// Extract line `n` (1-based) from `text`.
-std::string get_line(const std::string& text, std::size_t n) {
-  std::istringstream in(text);
-  std::string line;
-  for (std::size_t i = 0; i < n && std::getline(in, line); ++i) {
-  }
-  return line;
-}
-
-// Scope tracking: we only inspect member declarations at the direct depth
-// of a class/struct body (not inside member function bodies).
-void check_class_members(const std::string& rel, const std::string& raw,
-                         const std::string& code,
-                         std::vector<Violation>& out) {
-  enum class Scope { kClass, kOther };
-  std::vector<Scope> scopes;
-  std::string decl;  // accumulating declaration text at class depth
-  std::string first_guarded;  // first container member seen in current class
-  std::vector<std::pair<std::string, std::string>> class_stack;  // name, first_guarded
-
-  static const std::regex mutex_re(
-      R"((^|[\s,])(mutable\s+)?(std::)?(recursive_)?(shared_|timed_)?mutex\s+(\w+))");
-  static const std::regex container_re(
-      R"((^|[\s,])(mutable\s+)?std::(vector|deque|queue|priority_queue|unordered_map|unordered_set|map|set|list)\s*<)");
-  static const std::regex container_name_re(R"(>\s+(\w+)\s*(=[^;]*)?$)");
-  static const std::regex try_decl_re(R"(\b(try_\w+)\s*\($)");
-
-  auto flush_decl = [&](std::size_t pos) {
-    if (scopes.empty() || scopes.back() != Scope::kClass) {
-      decl.clear();
-      return;
-    }
-    // Trim access specifiers off the front.
-    static const std::regex access_re(R"(^\s*(public|private|protected)\s*:\s*)");
-    std::string d = std::regex_replace(decl, access_re, "");
-    decl.clear();
-
-    std::smatch m;
-    if (std::regex_search(d, m, mutex_re)) {
-      const std::string name = m[6].str();
-      // Escape hatch: a declaration-line comment `guards <member>` names
-      // what the mutex protects, which satisfies the rule's real goal
-      // (readable lock discipline) even when unrelated containers precede
-      // the mutex in the class layout.
-      static const std::regex guards_re(R"(//.*\bguards\s+\w+)");
-      const std::size_t ln = line_of(code, pos);
-      if (std::regex_search(get_line(raw, ln), guards_re)) return;
-      if (!class_stack.empty() && !class_stack.back().second.empty()) {
-        out.push_back({rel, ln, "mutex-member-order", name,
-                       "mutex member '" + name + "' declared after data member '" +
-                           class_stack.back().second +
-                           "' it may guard; declare mutexes before the data "
-                           "they protect"});
-      }
-      return;
-    }
-    // A data-member declaration (no parameter list ⇒ not a function).
-    if (d.find('(') == std::string::npos && std::regex_search(d, m, container_re)) {
-      std::smatch nm;
-      std::string name = "<member>";
-      if (std::regex_search(d, nm, container_name_re)) name = nm[1].str();
-      if (!class_stack.empty() && class_stack.back().second.empty())
-        class_stack.back().second = name;
-      return;
-    }
-    // Member function declaration: enforce [[nodiscard]] on try_*.
-    const std::size_t paren = d.find('(');
-    if (paren != std::string::npos) {
-      std::string head = d.substr(0, paren + 1);
-      // Collapse whitespace for matching.
-      std::smatch tm;
-      std::string head_trim = std::regex_replace(head, std::regex(R"(\s+)"), " ");
-      if (std::regex_search(head_trim, tm, try_decl_re)) {
-        const std::string fn = tm[1].str();
-        const bool is_decl =
-            head.find("return") == std::string::npos &&
-            head.find('.') == std::string::npos &&
-            head.find("->") == std::string::npos &&
-            head.find('=') == std::string::npos &&
-            head_trim.find(' ') != std::string::npos;  // has a return type
-        if (is_decl && d.find("[[nodiscard]]") == std::string::npos) {
-          out.push_back({rel, line_of(code, pos), "nodiscard-try", fn,
-                         "try_* API '" + fn +
-                             "' reports success via its return value; mark it "
-                             "[[nodiscard]] so callers cannot drop it"});
-        }
-      }
-    }
-  };
-
-  std::string pending;  // text since last ; { } at any depth (for scope kind)
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '{') {
-      static const std::regex class_re(R"(\b(class|struct)\s+(\w+)[^;=()]*$)");
-      static const std::regex enum_re(R"(\benum\b)");
-      std::smatch m;
-      const bool is_class = std::regex_search(pending, m, class_re) &&
-                            !std::regex_search(pending, enum_re);
-      scopes.push_back(is_class ? Scope::kClass : Scope::kOther);
-      if (is_class) class_stack.emplace_back(m[2].str(), "");
-      pending.clear();
-      decl.clear();
-    } else if (c == '}') {
-      if (!scopes.empty()) {
-        if (scopes.back() == Scope::kClass && !class_stack.empty())
-          class_stack.pop_back();
-        scopes.pop_back();
-      }
-      pending.clear();
-      decl.clear();
-    } else if (c == ';') {
-      flush_decl(i);
-      pending.clear();
-    } else {
-      pending += c;
-      if (!scopes.empty() && scopes.back() == Scope::kClass) decl += c;
-    }
-  }
-}
-
-// Files on the campaign's per-proposal / per-record hot paths, where a
-// heap-allocating lookup key is a measured regression (see
-// docs/performance.md). Kept as an explicit list: elsewhere readability
-// wins and the rule stays silent.
-bool is_hot_path_file(const std::string& rel) {
-  static const std::vector<std::string> hot = {
-      "src/protein/landscape.cpp",  "src/protein/kernel_tables.cpp",
-      "src/protein/sequence.cpp",   "src/mpnn/mpnn.cpp",
-      "src/fold/fold_cache.cpp",    "src/hpc/profiler.cpp",
-      "src/core/crossover_generator.cpp",
-  };
-  for (const auto& suffix : hot)
-    if (rel.size() >= suffix.size() &&
-        rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) == 0)
-      return true;
-  return false;
-}
-
-void check_hot_string_key(const std::string& rel, const std::string& code,
-                          std::vector<Violation>& out) {
-  if (!is_hot_path_file(rel)) return;
-  // A freshly built string used directly as an associative-container key:
-  // accessor call or subscript whose argument opens with std::to_string(
-  // or std::string(. (String literals are already blanked out by the
-  // preprocessing, so quoted keys cannot false-positive here.)
-  static const std::regex accessor_re(
-      R"((\.|->)(find|at|count|contains|erase)\s*\(\s*std::(to_string|string)\s*\()");
-  static const std::regex subscript_re(
-      R"(\[\s*std::(to_string|string)\s*\()");
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), accessor_re);
-       it != std::sregex_iterator(); ++it)
-    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
-                   "hot-string-key", (*it)[3].str(),
-                   "hot-path map lookup builds a temporary std::" +
-                       (*it)[3].str() +
-                       " key; hoist the key out of the loop or switch to a "
-                       "numeric/content-addressed key"});
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), subscript_re);
-       it != std::sregex_iterator(); ++it)
-    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
-                   "hot-string-key", (*it)[1].str(),
-                   "hot-path subscript builds a temporary std::" +
-                       (*it)[1].str() +
-                       " key; hoist the key out of the loop or switch to a "
-                       "numeric/content-addressed key"});
-}
-
-void check_header_rules(const std::string& rel, const std::string& raw,
-                        const std::string& code, std::vector<Violation>& out) {
-  if (raw.find("#pragma once") == std::string::npos)
-    out.push_back({rel, 1, "missing-pragma-once", "header",
-                   "header lacks #pragma once include guard"});
-  static const std::regex using_ns(R"(\busing\s+namespace\s+([\w:]+))");
-  for (auto it = std::sregex_iterator(code.begin(), code.end(), using_ns);
-       it != std::sregex_iterator(); ++it) {
-    out.push_back({rel, line_of(code, static_cast<std::size_t>(it->position())),
-                   "using-namespace", (*it)[1].str(),
-                   "'using namespace " + (*it)[1].str() +
-                       "' in a header leaks into every includer"});
-  }
-}
-
-// --- driver -----------------------------------------------------------------
 
 std::set<std::string> load_baseline(const fs::path& path) {
   std::set<std::string> keys;
@@ -411,12 +50,20 @@ std::set<std::string> load_baseline(const fs::path& path) {
   return keys;
 }
 
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<fs::path> roots;
   fs::path baseline_path;
   bool update_baseline = false;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -425,9 +72,11 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--update-baseline") {
       update_baseline = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else {
       std::cerr << "usage: impress_lint --root <dir> [--root <dir>...] "
-                   "--baseline <file> [--update-baseline]\n";
+                   "--baseline <file> [--update-baseline] [--explain]\n";
       return 2;
     }
   }
@@ -436,8 +85,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Violation> violations;
-  std::size_t files_scanned = 0;
+  // Pass 1: load every file under every root into the include graph.
+  lint::IncludeGraph graph;
+  std::vector<fs::path> include_dirs;
   for (const auto& root : roots) {
     if (!fs::exists(root)) {
       std::cerr << "impress_lint: root does not exist: " << root << "\n";
@@ -446,29 +96,44 @@ int main(int argc, char** argv) {
     // Canonicalize so `--root src` and `--root /abs/path/src` produce the
     // same "src/..." baseline keys.
     const fs::path canon = fs::weakly_canonical(root);
+    include_dirs.push_back(canon);
     const fs::path base = canon.has_parent_path() ? canon.parent_path() : canon;
+    std::vector<fs::path> paths;
     for (const auto& entry : fs::recursive_directory_iterator(canon)) {
       if (!entry.is_regular_file()) continue;
       const auto ext = entry.path().extension().string();
       if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
-      ++files_scanned;
-      std::ifstream in(entry.path(), std::ios::binary);
+      paths.push_back(entry.path());
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // report (and any tie in it) is stable across machines.
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      std::ifstream in(path, std::ios::binary);
       std::stringstream ss;
       ss << in.rdbuf();
-      const std::string raw = ss.str();
-      const std::string code = strip_comments_and_strings(raw);
-      const std::string rel =
-          fs::relative(entry.path(), base).generic_string();
-      check_naked_cv_wait(rel, code, violations);
-      check_class_members(rel, raw, code, violations);
-      check_hot_string_key(rel, code, violations);
-      if (ext == ".hpp" || ext == ".h")
-        check_header_rules(rel, raw, code, violations);
+      lint::SourceFile file;
+      file.abs = fs::weakly_canonical(path);
+      file.rel = fs::relative(path, base).generic_string();
+      file.raw = ss.str();
+      file.code = lint::strip_comments_and_strings(file.raw);
+      file.lines = lint::split_lines(file.raw);
+      file.tokens = lint::tokenize(file.code);
+      file.includes = lint::parse_includes(file.raw);
+      file.unordered_decls = lint::collect_unordered_decls(file.tokens);
+      const auto e = path.extension().string();
+      file.is_header = (e == ".hpp" || e == ".h");
+      graph.add(std::move(file));
     }
   }
+  graph.resolve(include_dirs);
+
+  // Pass 2: rules.
+  std::vector<lint::Violation> violations;
+  run_rules(graph, violations);
 
   std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
+            [](const lint::Violation& a, const lint::Violation& b) {
               return std::tie(a.file, a.line, a.rule) <
                      std::tie(b.file, b.line, b.rule);
             });
@@ -493,6 +158,15 @@ int main(int argc, char** argv) {
   const std::set<std::string> baseline =
       baseline_path.empty() ? std::set<std::string>{} : load_baseline(baseline_path);
 
+  // For --explain, index files by relative path to pull source lines.
+  std::size_t files_scanned = graph.files().size();
+  auto source_line = [&](const std::string& rel, std::size_t ln) -> std::string {
+    for (const auto& f : graph.files())
+      if (f.rel == rel && ln >= 1 && ln <= f.lines.size())
+        return trim(f.lines[ln - 1]);
+    return "";
+  };
+
   std::set<std::string> seen_keys;
   std::size_t fresh = 0, tolerated = 0;
   for (const auto& v : violations) {
@@ -504,12 +178,19 @@ int main(int argc, char** argv) {
     ++fresh;
     std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
               << "\n    key: " << v.key() << "\n";
+    if (explain) {
+      const std::string src = source_line(v.file, v.line);
+      if (!src.empty()) std::cout << "    > " << src << "\n";
+    }
   }
   for (const auto& k : baseline)
     if (!seen_keys.count(k))
       std::cout << "note: stale baseline entry (violation fixed — remove it): "
                 << k << "\n";
 
+  if (explain)
+    std::cout << "impress_lint: include graph resolved " << graph.edge_count()
+              << " edge(s) across " << files_scanned << " file(s)\n";
   std::cout << "impress_lint: " << files_scanned << " file(s), " << fresh
             << " new violation(s), " << tolerated << " baselined\n";
   return fresh == 0 ? 0 : 1;
