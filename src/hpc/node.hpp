@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace impress::hpc {
 
@@ -26,6 +27,49 @@ struct NodeSpec {
                   .gpus = 4,
                   .mem_gb = 128.0,
                   .gpu_mem_gb = 12.0};
+}
+
+/// Deterministic heterogeneous cluster for scale studies: cycles through
+/// four node shapes (GPU-dense, the paper's Amarel node, CPU-fat, thin)
+/// so an O(10k)-node pool mixes core/GPU/memory ratios the way a real
+/// machine does. Pure function of `n` — campaigns over it stay seeded.
+[[nodiscard]] inline std::vector<NodeSpec> make_cluster(std::size_t n) {
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string suffix = std::to_string(i);
+    switch (i % 4) {
+      case 0:
+        nodes.push_back(NodeSpec{.name = "gpu-" + suffix,
+                                 .cores = 64,
+                                 .gpus = 8,
+                                 .mem_gb = 256.0,
+                                 .gpu_mem_gb = 40.0});
+        break;
+      case 1:
+        nodes.push_back(NodeSpec{.name = "amarel-" + suffix,
+                                 .cores = 28,
+                                 .gpus = 4,
+                                 .mem_gb = 128.0,
+                                 .gpu_mem_gb = 12.0});
+        break;
+      case 2:
+        nodes.push_back(NodeSpec{.name = "cpu-" + suffix,
+                                 .cores = 128,
+                                 .gpus = 0,
+                                 .mem_gb = 512.0,
+                                 .gpu_mem_gb = 0.0});
+        break;
+      default:
+        nodes.push_back(NodeSpec{.name = "thin-" + suffix,
+                                 .cores = 16,
+                                 .gpus = 0,
+                                 .mem_gb = 64.0,
+                                 .gpu_mem_gb = 0.0});
+        break;
+    }
+  }
+  return nodes;
 }
 
 }  // namespace impress::hpc

@@ -48,10 +48,13 @@ void Profiler::record(double time, std::string_view entity,
                       std::string_view event, std::string_view info) {
   Buffer& buf = local_buffer();
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Build the entry (three string allocations) before taking the lock:
+  // the writer/reader critical section covers only the push itself.
+  Entry entry{seq,
+              ProfileEvent{time, std::string(entity), std::string(event),
+                           std::string(info)}};
   std::lock_guard lock(buf.mutex);
-  buf.entries.push_back(Entry{
-      seq, ProfileEvent{time, std::string(entity), std::string(event),
-                        std::string(info)}});
+  buf.entries.push_back(std::move(entry));
 }
 
 std::vector<Profiler::Entry> Profiler::merged() const {

@@ -1,17 +1,48 @@
 #include "hpc/resource_pool.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace impress::hpc {
+namespace {
+
+constexpr std::uint32_t kWordBits = 64;
+
+void set_all_free(std::vector<std::uint64_t>& words, std::uint32_t n) {
+  words.assign((n + kWordBits - 1) / kWordBits, 0);
+  for (std::uint32_t i = 0; i < n; ++i)
+    words[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+/// Claim the `want` lowest free (set) bits, appending their global ids to
+/// `out`. Precondition (guaranteed by the segment-tree lookup): at least
+/// `want` bits are set.
+void take_lowest(std::vector<std::uint64_t>& words, std::uint32_t want,
+                 std::uint32_t base, std::vector<std::uint32_t>& out) {
+  for (std::uint32_t w = 0; want > 0; ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0 && want > 0) {
+      const auto bit = static_cast<std::uint32_t>(std::countr_zero(word));
+      out.push_back(base + w * kWordBits + bit);
+      word &= word - 1;  // clear lowest set bit
+      --want;
+    }
+    words[w] = word;  // only the claimed bits were cleared
+  }
+}
+
+}  // namespace
 
 ResourcePool::ResourcePool(std::vector<NodeSpec> nodes)
     : nodes_(std::move(nodes)) {
   states_.reserve(nodes_.size());
   for (const auto& n : nodes_) {
     NodeState st;
-    st.core_busy.assign(n.cores, false);
-    st.gpu_busy.assign(n.gpus, false);
+    set_all_free(st.core_free, n.cores);
+    set_all_free(st.gpu_free, n.gpus);
+    st.cores_free = n.cores;
+    st.gpus_free = n.gpus;
     st.mem_free_gb = n.mem_gb;
     st.core_base = total_cores_;
     st.gpu_base = total_gpus_;
@@ -19,79 +50,120 @@ ResourcePool::ResourcePool(std::vector<NodeSpec> nodes)
     total_gpus_ += n.gpus;
     states_.push_back(std::move(st));
   }
+  free_cores_ = total_cores_;
+  free_gpus_ = total_gpus_;
+
+  cap_ = std::bit_ceil(std::max<std::size_t>(nodes_.size(), 1));
+  free_seg_.assign(2 * cap_, SegNode{});
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    free_seg_[cap_ + i] =
+        SegNode{nodes_[i].cores, nodes_[i].gpus, nodes_[i].mem_gb};
+  for (std::size_t i = cap_ - 1; i >= 1; --i) {
+    free_seg_[i].cores =
+        std::max(free_seg_[2 * i].cores, free_seg_[2 * i + 1].cores);
+    free_seg_[i].gpus =
+        std::max(free_seg_[2 * i].gpus, free_seg_[2 * i + 1].gpus);
+    free_seg_[i].mem =
+        std::max(free_seg_[2 * i].mem, free_seg_[2 * i + 1].mem);
+  }
+  // Capacity never changes, so fits_ever reuses the freshly-built
+  // all-free tree verbatim.
+  capacity_seg_ = free_seg_;
+}
+
+std::size_t ResourcePool::find_node(const std::vector<SegNode>& seg,
+                                    std::size_t i,
+                                    const ResourceRequest& req)
+    const noexcept {
+  const SegNode& s = seg[i];
+  if (s.cores < req.cores || s.gpus < req.gpus || s.mem < req.mem_gb)
+    return nodes_.size();
+  if (i >= cap_) return i - cap_;  // leaf maxima are exact: it fits
+  const std::size_t left = find_node(seg, 2 * i, req);
+  if (left != nodes_.size()) return left;
+  return find_node(seg, 2 * i + 1, req);
+}
+
+void ResourcePool::update_leaf(std::size_t ni) {
+  const auto& st = states_[ni];
+  free_seg_[cap_ + ni] = SegNode{st.cores_free, st.gpus_free, st.mem_free_gb};
+  for (std::size_t i = (cap_ + ni) / 2; i >= 1; i /= 2) {
+    free_seg_[i].cores =
+        std::max(free_seg_[2 * i].cores, free_seg_[2 * i + 1].cores);
+    free_seg_[i].gpus =
+        std::max(free_seg_[2 * i].gpus, free_seg_[2 * i + 1].gpus);
+    free_seg_[i].mem =
+        std::max(free_seg_[2 * i].mem, free_seg_[2 * i + 1].mem);
+    if (i == 1) break;
+  }
 }
 
 std::optional<Allocation> ResourcePool::allocate(const ResourceRequest& req) {
   std::lock_guard lock(mutex_);
-  for (std::size_t ni = 0; ni < states_.size(); ++ni) {
-    auto& st = states_[ni];
-    if (st.mem_free_gb < req.mem_gb) continue;
+  if (nodes_.empty()) return std::nullopt;
+  const std::size_t ni = find_node(free_seg_, 1, req);
+  if (ni >= nodes_.size()) return std::nullopt;
+  auto& st = states_[ni];
 
-    std::vector<std::uint32_t> cores;
-    for (std::uint32_t c = 0; c < st.core_busy.size() && cores.size() < req.cores; ++c)
-      if (!st.core_busy[c]) cores.push_back(c);
-    if (cores.size() < req.cores) continue;
-
-    std::vector<std::uint32_t> gpus;
-    for (std::uint32_t g = 0; g < st.gpu_busy.size() && gpus.size() < req.gpus; ++g)
-      if (!st.gpu_busy[g]) gpus.push_back(g);
-    if (gpus.size() < req.gpus) continue;
-
-    for (auto c : cores) st.core_busy[c] = true;
-    for (auto g : gpus) st.gpu_busy[g] = true;
-    st.mem_free_gb -= req.mem_gb;
-
-    Allocation alloc;
-    alloc.node = static_cast<std::uint32_t>(ni);
-    alloc.mem_gb = req.mem_gb;
-    for (auto c : cores) alloc.cores.push_back(st.core_base + c);
-    for (auto g : gpus) alloc.gpus.push_back(st.gpu_base + g);
-    return alloc;
-  }
-  return std::nullopt;
+  Allocation alloc;
+  alloc.node = static_cast<std::uint32_t>(ni);
+  alloc.mem_gb = req.mem_gb;
+  alloc.cores.reserve(req.cores);
+  alloc.gpus.reserve(req.gpus);
+  take_lowest(st.core_free, req.cores, st.core_base, alloc.cores);
+  take_lowest(st.gpu_free, req.gpus, st.gpu_base, alloc.gpus);
+  st.cores_free -= req.cores;
+  st.gpus_free -= req.gpus;
+  st.mem_free_gb -= req.mem_gb;
+  free_cores_ -= req.cores;
+  free_gpus_ -= req.gpus;
+  update_leaf(ni);
+  return alloc;
 }
 
 void ResourcePool::release(const Allocation& alloc) {
   std::lock_guard lock(mutex_);
   auto& st = states_.at(alloc.node);
   for (auto c : alloc.cores) {
-    const auto local = c - st.core_base;
-    if (local >= st.core_busy.size() || !st.core_busy[local])
+    const std::uint32_t local = c - st.core_base;
+    const std::uint64_t bit = std::uint64_t{1} << (local % kWordBits);
+    if (local >= nodes_[alloc.node].cores ||
+        (st.core_free[local / kWordBits] & bit) != 0)
       throw std::logic_error("ResourcePool::release: core not allocated");
-    st.core_busy[local] = false;
+    st.core_free[local / kWordBits] |= bit;
   }
   for (auto g : alloc.gpus) {
-    const auto local = g - st.gpu_base;
-    if (local >= st.gpu_busy.size() || !st.gpu_busy[local])
+    const std::uint32_t local = g - st.gpu_base;
+    const std::uint64_t bit = std::uint64_t{1} << (local % kWordBits);
+    if (local >= nodes_[alloc.node].gpus ||
+        (st.gpu_free[local / kWordBits] & bit) != 0)
       throw std::logic_error("ResourcePool::release: gpu not allocated");
-    st.gpu_busy[local] = false;
+    st.gpu_free[local / kWordBits] |= bit;
   }
-  st.mem_free_gb = std::min(st.mem_free_gb + alloc.mem_gb, nodes_[alloc.node].mem_gb);
+  st.cores_free += static_cast<std::uint32_t>(alloc.cores.size());
+  st.gpus_free += static_cast<std::uint32_t>(alloc.gpus.size());
+  st.mem_free_gb =
+      std::min(st.mem_free_gb + alloc.mem_gb, nodes_[alloc.node].mem_gb);
+  free_cores_ += static_cast<std::uint32_t>(alloc.cores.size());
+  free_gpus_ += static_cast<std::uint32_t>(alloc.gpus.size());
+  update_leaf(alloc.node);
 }
 
 bool ResourcePool::fits_ever(const ResourceRequest& req) const noexcept {
-  for (const auto& n : nodes_)
-    if (req.cores <= n.cores && req.gpus <= n.gpus && req.mem_gb <= n.mem_gb)
-      return true;
-  return false;
+  // The capacity tree is immutable, so no lock; same leftmost search as
+  // allocate, against full-node capacities.
+  if (nodes_.empty()) return false;
+  return find_node(capacity_seg_, 1, req) < nodes_.size();
 }
 
 std::uint32_t ResourcePool::free_cores() const {
   std::lock_guard lock(mutex_);
-  std::uint32_t n = 0;
-  for (const auto& st : states_)
-    n += static_cast<std::uint32_t>(
-        std::count(st.core_busy.begin(), st.core_busy.end(), false));
-  return n;
+  return free_cores_;
 }
 
 std::uint32_t ResourcePool::free_gpus() const {
   std::lock_guard lock(mutex_);
-  std::uint32_t n = 0;
-  for (const auto& st : states_)
-    n += static_cast<std::uint32_t>(
-        std::count(st.gpu_busy.begin(), st.gpu_busy.end(), false));
-  return n;
+  return free_gpus_;
 }
 
 }  // namespace impress::hpc

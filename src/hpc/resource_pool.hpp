@@ -5,6 +5,13 @@
 // satisfied right now. First-fit within a node; a single allocation never
 // spans nodes (matching how RP's agent scheduler places non-MPI tasks).
 // Thread-safe so the threaded executor can free slots from worker threads.
+//
+// Scale: the pool is built for O(10k) heterogeneous nodes. Node selection
+// walks a segment tree of per-subtree free-resource maxima (leftmost-
+// first, so placement order is identical to the naive linear first-fit),
+// per-node core/GPU occupancy is a bitmask (lowest-id-first extraction
+// via countr_zero), and free totals are running counters — allocate and
+// release are O(log n + slots), free_cores()/free_gpus() are O(1).
 
 #pragma once
 
@@ -66,18 +73,45 @@ class ResourcePool {
 
  private:
   struct NodeState {
-    std::vector<bool> core_busy;
-    std::vector<bool> gpu_busy;
+    std::vector<std::uint64_t> core_free;  ///< bit set = core is free
+    std::vector<std::uint64_t> gpu_free;
+    std::uint32_t cores_free = 0;
+    std::uint32_t gpus_free = 0;
     double mem_free_gb = 0.0;
     std::uint32_t core_base = 0;  ///< global id of this node's core 0
     std::uint32_t gpu_base = 0;
   };
 
+  /// Per-subtree maxima over (free cores, free gpus, free mem). A subtree
+  /// whose maxima fail the request on any axis cannot contain a fitting
+  /// node; the converse does not hold (the maxima may come from different
+  /// nodes), so lookup backtracks — leftmost-first, preserving first-fit.
+  struct SegNode {
+    std::uint32_t cores = 0;
+    std::uint32_t gpus = 0;
+    double mem = -1.0;  ///< padding leaves: below any legal request
+  };
+
+  /// Leftmost leaf under seg[i] satisfying the request on all three axes,
+  /// or node_count() if none. `seg` is either the live free-resource tree
+  /// or the immutable capacity tree (fits_ever).
+  [[nodiscard]] std::size_t find_node(const std::vector<SegNode>& seg,
+                                      std::size_t i,
+                                      const ResourceRequest& req)
+      const noexcept;
+  /// Recompute the leaf for node `ni` from states_[ni] and fix its path.
+  void update_leaf(std::size_t ni);
+
   std::vector<NodeSpec> nodes_;  ///< immutable after construction
   std::uint32_t total_cores_ = 0;
   std::uint32_t total_gpus_ = 0;
+  std::size_t cap_ = 1;  ///< leaf span (bit_ceil(node count)); root at seg[1]
+  std::vector<SegNode> capacity_seg_;  ///< immutable; answers fits_ever
   mutable common::TrackedMutex mutex_{"ResourcePool::mutex_"};  ///< guards states_
   std::vector<NodeState> states_;
+  std::vector<SegNode> free_seg_;  ///< guarded by mutex_
+  std::uint32_t free_cores_ = 0;   ///< guarded by mutex_
+  std::uint32_t free_gpus_ = 0;    ///< guarded by mutex_
 };
 
 }  // namespace impress::hpc

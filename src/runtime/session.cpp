@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -12,6 +13,7 @@ namespace impress::rp {
 
 Session::Session(SessionConfig config)
     : config_(config),
+      engine_(sim::EngineConfig{.scheduler = config.scheduler}),
       obs_(obs::Observability::Config{.tracing = config.enable_tracing,
                                       .metrics = config.enable_metrics}),
       rng_(common::Rng(config.seed)),
@@ -35,7 +37,14 @@ Session::Session(SessionConfig config, const SessionRestore& restore)
   // Clock first: preloaded trace/profiler events carry pre-cut times, and
   // everything recorded from here on must stamp post-cut times.
   if (config_.mode == ExecutionMode::kSimulated) {
-    engine_.warp_to(restore.now);
+    // A fresh engine has no live events and now() == 0, so this can only
+    // fail on a corrupt checkpoint (negative clock) or a restore sequenced
+    // after work was scheduled — both are bugs that must not be absorbed
+    // into a silently-wrong clock.
+    if (!engine_.warp_to(restore.now))
+      throw std::logic_error(
+          "Session restore: illegal clock warp (events pending or clock "
+          "would move backwards)");
   } else {
     clock_offset_ = restore.now;
   }

@@ -4,11 +4,14 @@
 
 namespace impress::sim {
 
+Engine::Engine(const EngineConfig& config)
+    : scheduler_(make_scheduler(config.scheduler)) {}
+
 EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(t, now_), next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  ++live_events_;
+  const SimTime at = std::max(t, now_);
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = pool_.acquire(at, seq, std::move(fn));
+  scheduler_->insert(SchedEvent{at, seq, id});
   return id;
 }
 
@@ -17,28 +20,43 @@ EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
 }
 
 bool Engine::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_events_;
+  EventPool::Slot* slot = pool_.find_live(id);
+  if (slot == nullptr) return false;
+  const SchedEvent ev{slot->time, slot->seq, id};
+  pool_.release(id);
+  // Eager-removal schedulers take the entry out now; the heap leaves a
+  // tombstone behind, bounded by compaction.
+  if (!scheduler_->remove(ev)) maybe_compact();
   return true;
 }
 
+void Engine::maybe_compact() {
+  const std::size_t entries = scheduler_->size();
+  if (entries < 64) return;
+  std::size_t live_in_batch = 0;
+  for (std::size_t i = batch_pos_; i < batch_.size(); ++i)
+    if (pool_.is_live(batch_[i].id)) ++live_in_batch;
+  const std::size_t live_in_scheduler = pool_.live_count() - live_in_batch;
+  if (entries > 2 * live_in_scheduler)
+    scheduler_->compact([this](EventId id) { return pool_.is_live(id); });
+}
+
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    const auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    --live_events_;
-    now_ = ev.time;
-    ++fired_;
-    fn();
-    return true;
+  for (;;) {
+    while (batch_pos_ < batch_.size()) {
+      const SchedEvent ev = batch_[batch_pos_++];
+      if (!pool_.is_live(ev.id)) continue;  // cancelled mid-batch
+      std::function<void()> fn = pool_.release(ev.id);
+      now_ = ev.time;
+      ++fired_;
+      fn();
+      return true;
+    }
+    batch_.clear();
+    batch_pos_ = 0;
+    if (scheduler_->empty()) return false;
+    scheduler_->pop_batch(batch_);
   }
-  return false;
 }
 
 std::size_t Engine::run() {
@@ -48,20 +66,31 @@ std::size_t Engine::run() {
   return n;
 }
 
+bool Engine::peek_next_live(SimTime& t) {
+  while (batch_pos_ < batch_.size()) {
+    if (pool_.is_live(batch_[batch_pos_].id)) {
+      t = batch_[batch_pos_].time;
+      return true;
+    }
+    ++batch_pos_;  // tombstone: skipping it here is free
+  }
+  while (!scheduler_->empty()) {
+    const SchedEvent& top = scheduler_->peek();
+    if (pool_.is_live(top.id)) {
+      t = top.time;
+      return true;
+    }
+    scheduler_->pop();  // discard tombstone
+  }
+  return false;
+}
+
 std::size_t Engine::run_until(SimTime t_end) {
   stopped_ = false;
   std::size_t n = 0;
   while (!stopped_) {
-    // Peek past cancelled entries to find the next live event time.
-    bool found = false;
-    while (!queue_.empty()) {
-      if (callbacks_.contains(queue_.top().id)) {
-        found = true;
-        break;
-      }
-      queue_.pop();
-    }
-    if (!found || queue_.top().time > t_end) break;
+    SimTime t_next = 0.0;
+    if (!peek_next_live(t_next) || t_next > t_end) break;
     step();
     ++n;
   }
@@ -69,6 +98,17 @@ std::size_t Engine::run_until(SimTime t_end) {
   // event called stop(), in which case the clock stays where it halted.
   if (!stopped_) now_ = std::max(now_, t_end);
   return n;
+}
+
+bool Engine::warp_to(SimTime t) noexcept {
+  if (pool_.live_count() != 0 || t < now_) return false;
+  now_ = t;
+  // Any entries still queued are tombstones of cancelled events; a warp
+  // is a clean restore point, so drop them outright.
+  scheduler_->clear();
+  batch_.clear();
+  batch_pos_ = 0;
+  return true;
 }
 
 }  // namespace impress::sim

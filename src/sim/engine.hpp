@@ -10,28 +10,38 @@
 //
 // Determinism contract: events at equal timestamps fire in insertion
 // order (a monotonically increasing sequence number breaks ties), so a
-// campaign is a pure function of its seed.
+// campaign is a pure function of its seed — regardless of which
+// EventScheduler structure backs the queue (sim/event_scheduler.hpp).
+//
+// Hot-path structure: callbacks live in a slab EventPool (O(1)
+// schedule/cancel, no per-event hashing — sim/event_pool.hpp); the
+// scheduler holds only (time, seq, id) triples; and the engine dequeues
+// all events sharing a timestamp in one batch, so a burst of same-time
+// completions costs one queue visit.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "sim/event_pool.hpp"
+#include "sim/event_scheduler.hpp"
+
 namespace impress::sim {
 
-/// Simulated time in seconds since engine start.
-using SimTime = double;
-
-/// Handle for cancelling a scheduled event.
-using EventId = std::uint64_t;
+struct EngineConfig {
+  /// Event-queue structure. All choices are bit-identical by the
+  /// determinism contract; see event_scheduler.hpp for when each wins.
+  SchedulerKind scheduler = SchedulerKind::kHeap;
+};
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() : Engine(EngineConfig{}) {}
+  explicit Engine(const EngineConfig& config);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -47,7 +57,10 @@ class Engine {
   EventId schedule_after(SimTime delay, std::function<void()> fn);
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// already cancelled. O(1) against the pool; queue entries are removed
+  /// eagerly where the scheduler supports it and compacted away otherwise
+  /// (cancel churn never grows the queue unboundedly — see
+  /// Engine.CancelChurnBoundedMemory).
   bool cancel(EventId id);
 
   /// Fire the next event; returns false when the queue is empty.
@@ -66,37 +79,48 @@ class Engine {
 
   /// Jump the clock forward to `t` (checkpoint restore). Only legal while
   /// no events are pending — restored work is rescheduled relative to the
-  /// warped clock afterwards. Times before now() are ignored.
-  void warp_to(SimTime t) noexcept {
-    if (live_events_ == 0 && t > now_) now_ = t;
+  /// warped clock afterwards. Returns false (and leaves the clock
+  /// untouched) on an illegal call: live events pending, or `t` behind
+  /// now(). Callers must treat false as a checkpoint-restore bug, not a
+  /// soft no-op.
+  [[nodiscard]] bool warp_to(SimTime t) noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return pool_.live_count() == 0; }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return pool_.live_count();
+  }
+  [[nodiscard]] std::uint64_t fired_events() const noexcept { return fired_; }
+  [[nodiscard]] SchedulerKind scheduler_kind() const noexcept {
+    return scheduler_->kind();
   }
 
-  [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
-  [[nodiscard]] std::size_t pending_events() const noexcept { return live_events_; }
-  [[nodiscard]] std::uint64_t fired_events() const noexcept { return fired_; }
+  /// Queue entries currently held (live events + not-yet-compacted
+  /// tombstones + the in-flight batch). Exposed so tests can assert the
+  /// tombstone bound under schedule/cancel churn.
+  [[nodiscard]] std::size_t scheduler_entries() const noexcept {
+    return scheduler_->size() + (batch_.size() - batch_pos_);
+  }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    EventId id;
-    // Ordered as a min-heap on (time, seq).
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
+  /// Advance past cancelled entries to the next live event's time.
+  /// Consumes tombstones as a side effect; returns false when drained.
+  bool peek_next_live(SimTime& t);
+  /// Compact the queue when lazily-cancelled tombstones outnumber live
+  /// entries (amortized O(1) per cancel: a compaction of k entries
+  /// reclaims >= k/2 tombstones, each paid for by one cancel).
+  void maybe_compact();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
-  std::size_t live_events_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // Callbacks live out-of-band so cancel() is O(1): a cancelled id simply
-  // loses its callback and the heap entry is skipped when popped.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  EventPool pool_;
+  std::unique_ptr<EventScheduler> scheduler_;
+  /// Same-timestamp batch popped from the scheduler, consumed in (time,
+  /// seq) order by step(). Entries cancelled mid-batch are skipped via a
+  /// pool liveness check.
+  std::vector<SchedEvent> batch_;
+  std::size_t batch_pos_ = 0;
 };
 
 }  // namespace impress::sim

@@ -1,0 +1,354 @@
+#include "sim/event_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace impress::sim {
+
+std::string_view to_string(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kHeap: return "heap";
+    case SchedulerKind::kMap: return "map";
+    case SchedulerKind::kCalendar: return "calendar";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct SchedEventGreater {
+  bool operator()(const SchedEvent& a, const SchedEvent& b) const noexcept {
+    return b.before(a);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Binary heap (the original engine queue). Cancellation is lazy: the heap
+// cannot locate an arbitrary entry cheaply, so remove() declines and the
+// engine compacts when tombstones dominate live events.
+class HeapScheduler final : public EventScheduler {
+ public:
+  void insert(const SchedEvent& ev) override {
+    entries_.push_back(ev);
+    std::push_heap(entries_.begin(), entries_.end(), SchedEventGreater{});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return entries_.size();
+  }
+
+  [[nodiscard]] const SchedEvent& peek() const override {
+    return entries_.front();
+  }
+
+  SchedEvent pop() override {
+    std::pop_heap(entries_.begin(), entries_.end(), SchedEventGreater{});
+    const SchedEvent ev = entries_.back();
+    entries_.pop_back();
+    return ev;
+  }
+
+  void pop_batch(std::vector<SchedEvent>& out) override {
+    const SimTime t = peek().time;
+    do {
+      out.push_back(pop());
+    } while (!entries_.empty() && entries_.front().time == t);
+  }
+
+  bool remove(const SchedEvent&) override { return false; }
+
+  void compact(const std::function<bool(EventId)>& live) override {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const SchedEvent& ev) {
+                                    return !live(ev.id);
+                                  }),
+                   entries_.end());
+    std::make_heap(entries_.begin(), entries_.end(), SchedEventGreater{});
+  }
+
+  void clear() override { entries_.clear(); }
+
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kHeap;
+  }
+
+ private:
+  std::vector<SchedEvent> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Ordered-container scheduler: a sorted vector-of-nodes std::map keyed on
+// (time, seq). Strong O(log n) worst case on every operation including
+// eager removal — the reference implementation the others are property-
+// tested against.
+class MapScheduler final : public EventScheduler {
+ public:
+  void insert(const SchedEvent& ev) override {
+    entries_.emplace_hint(entries_.end(), Key{ev.time, ev.seq}, ev.id);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return entries_.size();
+  }
+
+  [[nodiscard]] const SchedEvent& peek() const override {
+    const auto& [key, id] = *entries_.begin();
+    peeked_ = SchedEvent{key.first, key.second, id};
+    return peeked_;
+  }
+
+  SchedEvent pop() override {
+    const auto it = entries_.begin();
+    const SchedEvent ev{it->first.first, it->first.second, it->second};
+    entries_.erase(it);
+    return ev;
+  }
+
+  void pop_batch(std::vector<SchedEvent>& out) override {
+    const SimTime t = entries_.begin()->first.first;
+    auto it = entries_.begin();
+    while (it != entries_.end() && it->first.first == t) {
+      out.push_back(SchedEvent{it->first.first, it->first.second, it->second});
+      ++it;
+    }
+    entries_.erase(entries_.begin(), it);
+  }
+
+  bool remove(const SchedEvent& ev) override {
+    entries_.erase(Key{ev.time, ev.seq});
+    return true;
+  }
+
+  void compact(const std::function<bool(EventId)>&) override {}
+
+  void clear() override { entries_.clear(); }
+
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kMap;
+  }
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;
+  std::map<Key, EventId> entries_;
+  mutable SchedEvent peeked_;
+};
+
+// ---------------------------------------------------------------------------
+// Calendar queue (Brown 1988, the ns-3 CalendarScheduler shape): events
+// hash into `buckets_.size()` day-buckets of `width_` simulated seconds;
+// one sweep over all buckets is a "year". Dequeue walks the calendar from
+// the current day, taking events that fall inside the current year;
+// enqueue appends/insertion-sorts into the destination bucket (events
+// arrive mostly in near-sorted order, so the expected insert cost is
+// O(1)). The queue resizes — doubling or halving the bucket count and
+// re-deriving the width from the observed inter-event gap near the head —
+// whenever the population crosses 2x/0.5x the bucket count, keeping ~1
+// event per bucket: amortized O(1) enqueue/dequeue.
+class CalendarScheduler final : public EventScheduler {
+ public:
+  CalendarScheduler() { rebuild(kMinBuckets, 1.0); }
+
+  void insert(const SchedEvent& ev) override {
+    insert_no_resize(ev);
+    ++count_;
+    // An insert behind the dequeue cursor's window (legal for a generic
+    // priority queue, even though the engine's clock never rewinds) must
+    // pull the scan back, or the one-year window walk could hand out a
+    // later event first. Everything already pending sits at or after the
+    // last dequeue, so rewinding to the new event's own window is safe.
+    if (ev.time < year_top_ - width_) advance_to(ev.time, bucket_of(ev.time));
+    if (count_ > 2 * buckets_.size()) resize(2 * buckets_.size());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept override { return count_; }
+
+  [[nodiscard]] const SchedEvent& peek() const override {
+    const auto [bucket, index] = locate_next();
+    return buckets_[bucket][index];
+  }
+
+  SchedEvent pop() override {
+    const auto [bucket, index] = locate_next();
+    auto& day = buckets_[bucket];
+    const SchedEvent ev = day[index];
+    day.erase(day.begin() + static_cast<std::ptrdiff_t>(index));
+    --count_;
+    advance_to(ev.time, bucket);
+    maybe_shrink();
+    return ev;
+  }
+
+  void pop_batch(std::vector<SchedEvent>& out) override {
+    out.push_back(pop());
+    const SimTime t = out.back().time;
+    // Same-timestamp events all live in the current bucket (same day of
+    // the same year), sorted, starting at the front.
+    auto& day = buckets_[current_];
+    std::size_t n = 0;
+    while (n < day.size() && day[n].time == t) ++n;
+    if (n > 0) {
+      out.insert(out.end(), day.begin(),
+                 day.begin() + static_cast<std::ptrdiff_t>(n));
+      day.erase(day.begin(), day.begin() + static_cast<std::ptrdiff_t>(n));
+      count_ -= n;
+      maybe_shrink();
+    }
+  }
+
+  bool remove(const SchedEvent& ev) override {
+    auto& day = buckets_[bucket_of(ev.time)];
+    const auto it = std::lower_bound(
+        day.begin(), day.end(), ev,
+        [](const SchedEvent& a, const SchedEvent& b) { return a.before(b); });
+    if (it != day.end() && it->id == ev.id) {
+      day.erase(it);
+      --count_;
+      maybe_shrink();
+    }
+    return true;  // eager either way: nothing is ever left behind
+  }
+
+  void compact(const std::function<bool(EventId)>&) override {}
+
+  void clear() override {
+    count_ = 0;
+    rebuild(kMinBuckets, 1.0);
+  }
+
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kCalendar;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 2;
+
+  [[nodiscard]] std::size_t bucket_of(SimTime t) const noexcept {
+    // Guard against t far below the calendar start (cancel of an already-
+    // popped event re-deriving a stale bucket): clamp into day 0 of the
+    // first year rather than taking fmod of a negative.
+    const double rel = (t - origin_) / width_;
+    if (!(rel > 0.0)) return 0;
+    const double day = std::fmod(rel, static_cast<double>(buckets_.size()));
+    auto b = static_cast<std::size_t>(day);
+    return b < buckets_.size() ? b : buckets_.size() - 1;
+  }
+
+  void insert_no_resize(const SchedEvent& ev) {
+    auto& day = buckets_[bucket_of(ev.time)];
+    if (day.empty() || day.back().before(ev)) {
+      day.push_back(ev);  // the common, near-sorted-arrival case
+      return;
+    }
+    const auto it = std::upper_bound(
+        day.begin(), day.end(), ev,
+        [](const SchedEvent& a, const SchedEvent& b) { return a.before(b); });
+    day.insert(it, ev);
+  }
+
+  /// (bucket, index) of the earliest entry. Precondition: count_ > 0.
+  /// Walks at most one full year from the current day; if no event falls
+  /// within its own year-window (sparse calendar), falls back to a direct
+  /// min scan — the classic Brown two-phase dequeue.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> locate_next() const {
+    const std::size_t n = buckets_.size();
+    std::size_t b = current_;
+    SimTime top = year_top_;
+    for (std::size_t visited = 0; visited < n; ++visited) {
+      const auto& day = buckets_[b];
+      if (!day.empty() && day.front().time < top)
+        return {b, 0};
+      b = (b + 1) % n;
+      top += width_;
+    }
+    // Sparse: every event is at least a year out. Take the global min.
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buckets_[i].empty()) continue;
+      if (best == n || buckets_[i].front().before(buckets_[best].front()))
+        best = i;
+    }
+    return {best, 0};
+  }
+
+  /// After dequeuing an event at time `t` from `bucket`, move the
+  /// calendar's cursor there so the next dequeue resumes scanning from
+  /// the same day.
+  void advance_to(SimTime t, std::size_t bucket) noexcept {
+    current_ = bucket;
+    const double rel = std::max(0.0, (t - origin_) / width_);
+    const auto day_index = static_cast<std::uint64_t>(rel);
+    year_top_ = origin_ + static_cast<double>(day_index + 1) * width_;
+  }
+
+  void maybe_shrink() {
+    if (buckets_.size() > kMinBuckets && count_ < buckets_.size() / 2)
+      resize(buckets_.size() / 2);
+  }
+
+  /// Re-bucket everything into `n` buckets with a width derived from the
+  /// average gap between events near the head of the queue (Brown's
+  /// sampling rule, simplified: sample up to 32 earliest events).
+  void resize(std::size_t n) {
+    n = std::max(n, kMinBuckets);
+    std::vector<SchedEvent> all;
+    all.reserve(count_);
+    for (auto& day : buckets_)
+      all.insert(all.end(), day.begin(), day.end());
+    std::sort(all.begin(), all.end(),
+              [](const SchedEvent& a, const SchedEvent& b) {
+                return a.before(b);
+              });
+
+    double width = 1.0;
+    if (all.size() >= 2) {
+      const std::size_t sample = std::min<std::size_t>(all.size(), 32);
+      const double span = all[sample - 1].time - all[0].time;
+      const double gap = span / static_cast<double>(sample - 1);
+      // 3x the mean gap keeps ~1/3 of a bucket per event (Brown's
+      // recommendation); degenerate spans (all equal timestamps) keep the
+      // previous width so bucket_of stays finite.
+      width = gap > 0.0 ? 3.0 * gap : width_;
+    } else if (!all.empty()) {
+      width = width_;
+    }
+    if (!(width > 0.0) || !std::isfinite(width)) width = 1.0;
+
+    const SimTime resume_from =
+        all.empty() ? year_top_ - width_ : all.front().time;
+    rebuild(n, width);
+    for (const auto& ev : all) insert_no_resize(ev);
+    // Resume the dequeue scan at the window holding the earliest event, so
+    // the next locate_next() finds it on the first bucket it visits.
+    advance_to(resume_from, bucket_of(resume_from));
+  }
+
+  void rebuild(std::size_t n, double width) {
+    buckets_.assign(n, {});
+    width_ = width;
+    origin_ = 0.0;
+    current_ = 0;
+    year_top_ = width_;
+  }
+
+  std::vector<std::vector<SchedEvent>> buckets_;
+  std::size_t count_ = 0;
+  double width_ = 1.0;
+  double origin_ = 0.0;       ///< time of day 0, year 0
+  std::size_t current_ = 0;   ///< day the dequeue scan resumes from
+  SimTime year_top_ = 1.0;    ///< upper time bound of current_'s window
+};
+
+}  // namespace
+
+std::unique_ptr<EventScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kMap: return std::make_unique<MapScheduler>();
+    case SchedulerKind::kCalendar: return std::make_unique<CalendarScheduler>();
+    case SchedulerKind::kHeap: break;
+  }
+  return std::make_unique<HeapScheduler>();
+}
+
+}  // namespace impress::sim

@@ -1,0 +1,115 @@
+// Pluggable event-queue schedulers for the simulation engine.
+//
+// ns-3 proved the shape: the simulator's main loop talks to one small
+// scheduler interface and the concrete priority-queue structure — binary
+// heap, balanced tree, calendar queue — is swapped behind it. Which
+// structure wins depends on the pending-set size and the event-time
+// distribution, so the engine takes the choice as configuration and the
+// determinism contract guarantees the choice is unobservable in results:
+// every implementation dequeues in strict (time, seq) order, so a
+// campaign replays bit-identically under any of them (pinned by
+// tests/integration/test_scheduler_interchange.cpp).
+//
+// Complexity summary (n = pending events):
+//
+//   scheduler  insert         pop-next       eager remove
+//   heap       O(log n)       O(log n)       no (tombstone; engine compacts)
+//   map        O(log n)       O(log n)       yes, O(log n)
+//   calendar   O(1) amortized O(1) amortized yes, O(bucket)
+//
+// The calendar queue (Brown, CACM 1988) buckets events by time modulo a
+// "year" and dynamically resizes bucket count and width to track the
+// pending-set size and density, giving amortized O(1) holds — the regime
+// a 10k-node campaign with millions of timer events lives in.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace impress::sim {
+
+/// Simulated time in seconds since engine start.
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event (slot index + generation,
+/// packed by the EventPool).
+using EventId = std::uint64_t;
+
+/// Which event-queue structure the engine uses. All three satisfy the
+/// same (time, seq) determinism contract; see the table above for when
+/// each wins.
+enum class SchedulerKind {
+  kHeap,      ///< binary heap (the original engine queue); lazy cancel
+  kMap,       ///< std::map-backed; eager cancel, strong worst-case bounds
+  kCalendar,  ///< calendar queue with dynamic bucket resizing
+};
+
+[[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;
+
+/// One queue entry. Ordering is lexicographic on (time, seq): seq is the
+/// engine's global insertion counter, so equal-timestamp events fire in
+/// insertion order.
+struct SchedEvent {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  EventId id = 0;
+
+  [[nodiscard]] bool before(const SchedEvent& other) const noexcept {
+    if (time != other.time) return time < other.time;
+    return seq < other.seq;
+  }
+};
+
+/// The scheduler owns only (time, seq, id) triples; callbacks live in the
+/// engine's EventPool. Not thread-safe — the engine is single-threaded by
+/// construction (the determinism contract forbids concurrent mutation).
+class EventScheduler {
+ public:
+  virtual ~EventScheduler() = default;
+
+  virtual void insert(const SchedEvent& ev) = 0;
+
+  /// Entries currently stored, *including* any lazily-cancelled
+  /// tombstones (heap). The engine compares this against its live-event
+  /// count to decide when to compact.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Earliest entry. Precondition: !empty().
+  [[nodiscard]] virtual const SchedEvent& peek() const = 0;
+
+  /// Remove and return the earliest entry. Precondition: !empty().
+  virtual SchedEvent pop() = 0;
+
+  /// Pop *every* entry sharing the earliest timestamp, appended to `out`
+  /// in (time, seq) order — same-timestamp batching, so the engine pays
+  /// one queue visit per distinct timestamp instead of one per event.
+  virtual void pop_batch(std::vector<SchedEvent>& out) = 0;
+
+  /// Try to remove `ev` eagerly. Returns true when this implementation
+  /// removes eagerly (entry gone, or was not present — e.g. already
+  /// popped into a batch); false when removal is deferred and a tombstone
+  /// stays behind (heap), in which case the engine schedules compaction.
+  virtual bool remove(const SchedEvent& ev) = 0;
+
+  /// Drop every entry whose id fails `live` (tombstone compaction). Only
+  /// meaningful for lazy-remove implementations; others may no-op.
+  virtual void compact(const std::function<bool(EventId)>& live) = 0;
+
+  /// Drop all entries unconditionally (checkpoint-restore warp).
+  virtual void clear() = 0;
+
+  [[nodiscard]] virtual SchedulerKind kind() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return to_string(kind());
+  }
+};
+
+[[nodiscard]] std::unique_ptr<EventScheduler> make_scheduler(
+    SchedulerKind kind);
+
+}  // namespace impress::sim

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <random>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 namespace impress::hpc {
 namespace {
@@ -155,6 +158,189 @@ INSTANTIATE_TEST_SUITE_P(RequestShapes, PoolConservation,
                                            PoolParam{2, 1}, PoolParam{7, 1},
                                            PoolParam{28, 4}, PoolParam{0, 1},
                                            PoolParam{5, 2}));
+
+// ---------------------------------------------------------------------------
+// Scale-up coverage: the segment-tree + bitmask pool must place exactly
+// like the naive linear first-fit it replaced (placement order feeds the
+// determinism contract), and must stay fast at 10k heterogeneous nodes.
+
+/// The pre-scale-up allocator, kept verbatim as the reference model.
+class NaivePool {
+ public:
+  explicit NaivePool(const std::vector<NodeSpec>& nodes) : nodes_(nodes) {
+    for (const auto& n : nodes_) {
+      State st;
+      st.core_busy.assign(n.cores, false);
+      st.gpu_busy.assign(n.gpus, false);
+      st.mem_free_gb = n.mem_gb;
+      st.core_base = total_cores_;
+      st.gpu_base = total_gpus_;
+      total_cores_ += n.cores;
+      total_gpus_ += n.gpus;
+      states_.push_back(std::move(st));
+    }
+  }
+
+  std::optional<Allocation> allocate(const ResourceRequest& req) {
+    for (std::size_t ni = 0; ni < states_.size(); ++ni) {
+      auto& st = states_[ni];
+      if (st.mem_free_gb < req.mem_gb) continue;
+      std::vector<std::uint32_t> cores;
+      for (std::uint32_t c = 0;
+           c < st.core_busy.size() && cores.size() < req.cores; ++c)
+        if (!st.core_busy[c]) cores.push_back(c);
+      if (cores.size() < req.cores) continue;
+      std::vector<std::uint32_t> gpus;
+      for (std::uint32_t g = 0;
+           g < st.gpu_busy.size() && gpus.size() < req.gpus; ++g)
+        if (!st.gpu_busy[g]) gpus.push_back(g);
+      if (gpus.size() < req.gpus) continue;
+      for (auto c : cores) st.core_busy[c] = true;
+      for (auto g : gpus) st.gpu_busy[g] = true;
+      st.mem_free_gb -= req.mem_gb;
+      Allocation alloc;
+      alloc.node = static_cast<std::uint32_t>(ni);
+      alloc.mem_gb = req.mem_gb;
+      for (auto c : cores) alloc.cores.push_back(st.core_base + c);
+      for (auto g : gpus) alloc.gpus.push_back(st.gpu_base + g);
+      return alloc;
+    }
+    return std::nullopt;
+  }
+
+  void release(const Allocation& alloc) {
+    auto& st = states_.at(alloc.node);
+    for (auto c : alloc.cores) st.core_busy[c - st.core_base] = false;
+    for (auto g : alloc.gpus) st.gpu_busy[g - st.gpu_base] = false;
+    st.mem_free_gb =
+        std::min(st.mem_free_gb + alloc.mem_gb, nodes_[alloc.node].mem_gb);
+  }
+
+ private:
+  struct State {
+    std::vector<bool> core_busy;
+    std::vector<bool> gpu_busy;
+    double mem_free_gb = 0.0;
+    std::uint32_t core_base = 0;
+    std::uint32_t gpu_base = 0;
+  };
+  std::vector<NodeSpec> nodes_;
+  std::uint32_t total_cores_ = 0;
+  std::uint32_t total_gpus_ = 0;
+  std::vector<State> states_;
+};
+
+void expect_same_allocation(const std::optional<Allocation>& a,
+                            const std::optional<Allocation>& b) {
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (!a) return;
+  EXPECT_EQ(a->node, b->node);
+  EXPECT_EQ(a->cores, b->cores);
+  EXPECT_EQ(a->gpus, b->gpus);
+  EXPECT_EQ(a->mem_gb, b->mem_gb);
+}
+
+TEST(ResourcePoolScale, PlacementMatchesNaiveFirstFitUnderChurn) {
+  const auto nodes = make_cluster(37);  // odd count: exercises tree padding
+  ResourcePool pool(nodes);
+  NaivePool naive(nodes);
+  std::mt19937_64 rng(2024);
+  std::vector<Allocation> held;
+  for (int op = 0; op < 5000; ++op) {
+    if (held.empty() || rng() % 3 != 0) {
+      const ResourceRequest req{
+          .cores = static_cast<std::uint32_t>(rng() % 32),
+          .gpus = static_cast<std::uint32_t>(rng() % 5),
+          .mem_gb = static_cast<double>(rng() % 200)};
+      const auto a = pool.allocate(req);
+      const auto b = naive.allocate(req);
+      expect_same_allocation(a, b);
+      if (a) held.push_back(*a);
+    } else {
+      const std::size_t pick = rng() % held.size();
+      pool.release(held[pick]);
+      naive.release(held[pick]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+}
+
+TEST(ResourcePoolScale, TenThousandNodesAllocateReleaseChurn) {
+  const std::size_t kNodes = 10'000;
+  ResourcePool pool(make_cluster(kNodes));
+  EXPECT_EQ(pool.node_count(), kNodes);
+  const auto total = pool.free_cores();
+
+  // Fill every GPU node's GPUs (2500 gpu-dense * 8 + 2500 amarel * 4).
+  std::vector<Allocation> gpu_allocs;
+  while (auto a = pool.allocate({.cores = 1, .gpus = 4, .mem_gb = 16.0}))
+    gpu_allocs.push_back(*a);
+  EXPECT_EQ(gpu_allocs.size(), 2500u * 2 + 2500u);  // 8/4 gpus per shape
+  EXPECT_EQ(pool.free_gpus(), 0u);
+
+  // CPU-heavy requests skip the exhausted GPU nodes without scanning them.
+  std::mt19937_64 rng(7);
+  std::vector<Allocation> held;
+  for (int op = 0; op < 20'000; ++op) {
+    if (held.empty() || rng() % 2 == 0) {
+      if (auto a = pool.allocate({.cores = 16, .mem_gb = 8.0}))
+        held.push_back(*a);
+    } else {
+      const std::size_t pick = rng() % held.size();
+      pool.release(held[pick]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  for (const auto& a : held) pool.release(a);
+  for (const auto& a : gpu_allocs) pool.release(a);
+  EXPECT_EQ(pool.free_cores(), total);
+  EXPECT_EQ(pool.free_gpus(), pool.total_gpus());
+}
+
+TEST(ResourcePoolScale, FitsEverRequiresOneNodeSatisfyingAllAxes) {
+  // Node 0 has the cores, node 1 has the gpus — no single node has both,
+  // and fits_ever must not combine maxima across nodes.
+  ResourcePool pool({small_node(8, 0, 32.0), small_node(2, 2, 16.0)});
+  EXPECT_TRUE(pool.fits_ever({.cores = 8}));
+  EXPECT_TRUE(pool.fits_ever({.gpus = 2}));
+  EXPECT_FALSE(pool.fits_ever({.cores = 4, .gpus = 1}));
+  EXPECT_FALSE(pool.fits_ever({.cores = 8, .mem_gb = 33.0}));
+  EXPECT_TRUE(pool.fits_ever({.cores = 2, .gpus = 1, .mem_gb = 16.0}));
+}
+
+TEST(ResourcePoolScale, MakeClusterIsDeterministicAndHeterogeneous) {
+  const auto a = make_cluster(8);
+  const auto b = make_cluster(8);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].cores, b[i].cores);
+    EXPECT_EQ(a[i].gpus, b[i].gpus);
+  }
+  // All four shapes present.
+  std::set<std::uint32_t> core_counts;
+  for (const auto& n : a) core_counts.insert(n.cores);
+  EXPECT_EQ(core_counts.size(), 4u);
+}
+
+TEST(ResourcePoolScale, WideNodeCrossesBitmaskWordBoundary) {
+  // 128 cores = two 64-bit occupancy words; ids must stay contiguous and
+  // lowest-first across the word seam.
+  ResourcePool pool(small_node(128, 0, 512.0));
+  const auto a = pool.allocate({.cores = 100});
+  ASSERT_TRUE(a);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(a->cores[i], i);
+  const auto b = pool.allocate({.cores = 28});
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->cores.front(), 100u);
+  EXPECT_EQ(b->cores.back(), 127u);
+  EXPECT_FALSE(pool.allocate({.cores = 1}));
+  pool.release(*a);
+  // After the low block frees, allocation resumes from the lowest ids.
+  const auto c = pool.allocate({.cores = 1});
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->cores.front(), 0u);
+}
 
 }  // namespace
 }  // namespace impress::hpc

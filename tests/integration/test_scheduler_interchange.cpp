@@ -1,0 +1,157 @@
+// Scheduler interchangeability at campaign scale: the engine's event-queue
+// structure (heap / map / calendar) is pure configuration, so a seeded
+// campaign — with faults, retries and checkpointing all enabled — must
+// produce bit-identical CampaignResults under every SchedulerKind, and a
+// kill/resume cycle may even switch schedulers across the cut.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "protein/datasets.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace impress::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<protein::DesignTarget> targets2() {
+  std::vector<protein::DesignTarget> out;
+  out.push_back(
+      protein::make_target("SI-A", 84, protein::alpha_synuclein().tail(10)));
+  out.push_back(
+      protein::make_target("SI-B", 90, protein::alpha_synuclein().tail(10)));
+  return out;
+}
+
+/// IM-RP with 10% task failures and a 3-attempt retry policy — the same
+/// shape the fault-tolerance suite pins, so retries/backoff timers (the
+/// cancel-heavy engine workload) are all exercised.
+CampaignConfig faulty_campaign(std::uint64_t seed, sim::SchedulerKind kind) {
+  auto cfg = im_rp_campaign(seed);
+  cfg.protocol.spawn_subpipelines = false;
+  cfg.session.scheduler = kind;
+  cfg.session.faults.task_failure_rate = 0.10;
+  cfg.coordinator.task_retry = rp::RetryPolicy{.max_attempts = 3,
+                                               .backoff_initial_s = 30.0,
+                                               .backoff_multiplier = 2.0,
+                                               .backoff_jitter = 0.25,
+                                               .attempt_timeout_s = 0.0};
+  return cfg;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    const auto& ta = a.trajectories[i];
+    const auto& tb = b.trajectories[i];
+    EXPECT_EQ(ta.pipeline_id, tb.pipeline_id);
+    EXPECT_EQ(ta.terminated_early, tb.terminated_early);
+    ASSERT_EQ(ta.history.size(), tb.history.size());
+    for (std::size_t j = 0; j < ta.history.size(); ++j) {
+      EXPECT_EQ(ta.history[j].sequence, tb.history[j].sequence);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.plddt,
+                       tb.history[j].metrics.plddt);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.ptm, tb.history[j].metrics.ptm);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.ipae, tb.history[j].metrics.ipae);
+      EXPECT_DOUBLE_EQ(ta.history[j].true_fitness, tb.history[j].true_fitness);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_h, b.makespan_h);
+  EXPECT_DOUBLE_EQ(a.energy_kwh, b.energy_kwh);
+  EXPECT_DOUBLE_EQ(a.utilization.cpu_active, b.utilization.cpu_active);
+  EXPECT_DOUBLE_EQ(a.utilization.gpu_active, b.utilization.gpu_active);
+  EXPECT_EQ(a.cpu_series, b.cpu_series);
+  EXPECT_EQ(a.gpu_series, b.gpu_series);
+  EXPECT_EQ(a.phase_hours, b.phase_hours);
+  EXPECT_EQ(a.gantt, b.gantt);
+  EXPECT_EQ(a.root_pipelines, b.root_pipelines);
+  EXPECT_EQ(a.subpipelines, b.subpipelines);
+  EXPECT_EQ(a.generator_tasks, b.generator_tasks);
+  EXPECT_EQ(a.refine_tasks, b.refine_tasks);
+  EXPECT_EQ(a.fold_tasks, b.fold_tasks);
+  EXPECT_EQ(a.fold_retries, b.fold_retries);
+  EXPECT_EQ(a.failed_tasks, b.failed_tasks);
+  EXPECT_EQ(a.task_retries, b.task_retries);
+  EXPECT_EQ(a.task_timeouts, b.task_timeouts);
+  EXPECT_EQ(a.task_requeues, b.task_requeues);
+  EXPECT_EQ(a.pilot_failures, b.pilot_failures);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.fold_cache.hits, b.fold_cache.hits);
+  EXPECT_EQ(a.fold_cache.misses, b.fold_cache.misses);
+  EXPECT_EQ(a.fold_cache.evictions, b.fold_cache.evictions);
+}
+
+class SchedulerInterchange : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("impress_sched_interchange_" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+  std::string dir(const std::string& name) {
+    const auto d = base_ / name;
+    fs::create_directories(d);
+    return d.string();
+  }
+  fs::path base_;
+};
+
+TEST_F(SchedulerInterchange, FaultyCheckpointedCampaignBitIdentical) {
+  // Faults + retries + a checkpoint cadence, so the run exercises timer
+  // cancellation, same-timestamp completion bursts and quiesce cuts —
+  // then the full CampaignResult must not depend on the queue structure.
+  const auto targets = targets2();
+  auto run_with = [&](sim::SchedulerKind kind) {
+    auto cfg = faulty_campaign(42, kind);
+    cfg.checkpoint.directory = dir(std::string(sim::to_string(kind)));
+    cfg.checkpoint.every_n_completions = 4;
+    return Campaign(cfg).run(targets);
+  };
+  const auto heap = run_with(sim::SchedulerKind::kHeap);
+  const auto map = run_with(sim::SchedulerKind::kMap);
+  const auto calendar = run_with(sim::SchedulerKind::kCalendar);
+  // The workload really drew on the fault/retry machinery.
+  EXPECT_GT(heap.task_retries, 0u);
+  expect_identical(heap, map);
+  expect_identical(heap, calendar);
+}
+
+TEST_F(SchedulerInterchange, KillResumeMaySwitchSchedulersAcrossTheCut) {
+  // Reference: uninterrupted heap run. Twin: killed after the first
+  // checkpoint under the calendar queue, resumed under the map scheduler.
+  // Checkpoints carry no queue state (cut at quiesce), so the structure
+  // is swappable even mid-campaign.
+  const auto targets = targets2();
+
+  auto cfg_ref = faulty_campaign(7, sim::SchedulerKind::kHeap);
+  cfg_ref.checkpoint.directory = dir("ref");
+  cfg_ref.checkpoint.every_n_completions = 4;
+  const auto reference = Campaign(cfg_ref).run(targets);
+
+  auto cfg_kill = faulty_campaign(7, sim::SchedulerKind::kCalendar);
+  cfg_kill.checkpoint.directory = dir("kill");
+  cfg_kill.checkpoint.every_n_completions = 4;
+  cfg_kill.checkpoint.halt_after = 1;
+  (void)Campaign(cfg_kill).run(targets);  // models the crash: discard
+
+  const auto checkpoint = load_checkpoint(dir("kill") + "/checkpoint.json");
+  EXPECT_GE(checkpoint.ordinal, 1u);
+
+  auto cfg_resume = faulty_campaign(7, sim::SchedulerKind::kMap);
+  cfg_resume.checkpoint.directory = dir("kill");
+  cfg_resume.checkpoint.every_n_completions = 4;
+  const auto resumed = Campaign(cfg_resume).resume(targets, checkpoint);
+
+  expect_identical(reference, resumed);
+}
+
+}  // namespace
+}  // namespace impress::core

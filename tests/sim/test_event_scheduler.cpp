@@ -1,0 +1,384 @@
+// Scheduler interchangeability: every EventScheduler implementation must
+// honor the same (time, seq) determinism contract, so the whole suite is
+// parameterized over SchedulerKind and every property holds verbatim for
+// heap, map and calendar. Includes the tombstone-compaction regression
+// (bounded memory under 1e6 schedule/cancel cycles) and the warp_to
+// bool contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace impress::sim {
+namespace {
+
+constexpr SchedulerKind kAllKinds[] = {SchedulerKind::kHeap,
+                                       SchedulerKind::kMap,
+                                       SchedulerKind::kCalendar};
+
+std::string kind_name(const ::testing::TestParamInfo<SchedulerKind>& info) {
+  return std::string(to_string(info.param));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-level properties, exercised directly against make_scheduler().
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  std::unique_ptr<EventScheduler> sched_ = make_scheduler(GetParam());
+
+  /// Pop the next entry that is not a lazily-removed tombstone. Eager
+  /// schedulers never leave tombstones, so this is a plain pop for them.
+  SchedEvent pop_live(std::vector<EventId>& dead) {
+    for (;;) {
+      const SchedEvent ev = sched_->pop();
+      const auto it = std::find(dead.begin(), dead.end(), ev.id);
+      if (it == dead.end()) return ev;
+      dead.erase(it);
+    }
+  }
+};
+
+TEST_P(SchedulerProperty, ReportsKind) {
+  EXPECT_EQ(sched_->kind(), GetParam());
+  EXPECT_EQ(sched_->name(), to_string(GetParam()));
+}
+
+TEST_P(SchedulerProperty, PopsInTimeThenSeqOrder) {
+  // Deliberately adversarial times: out of order, duplicates, long gaps
+  // and sub-width clusters (stresses calendar bucket mapping + resize).
+  const double times[] = {5.0, 1.0, 5.0, 0.0,  3.25, 1.0,   1e6,
+                          1.0, 0.5, 3.25, 1e-9, 0.0,  1e6,   7.5,
+                          2.0, 2.0, 2.0,  42.0, 0.25, 1e6 + 1e-6};
+  std::uint64_t seq = 0;
+  for (double t : times) sched_->insert(SchedEvent{t, seq, seq + 1}), ++seq;
+
+  SchedEvent prev{-1.0, 0, 0};
+  for (std::size_t i = 0; i < std::size(times); ++i) {
+    ASSERT_FALSE(sched_->empty());
+    const SchedEvent ev = sched_->pop();
+    if (i > 0) EXPECT_TRUE(prev.before(ev)) << "at pop " << i;
+    prev = ev;
+  }
+  EXPECT_TRUE(sched_->empty());
+}
+
+TEST_P(SchedulerProperty, EqualTimestampsPopInInsertionOrder) {
+  for (std::uint64_t s = 0; s < 100; ++s)
+    sched_->insert(SchedEvent{1.5, s, s + 1});
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    const SchedEvent ev = sched_->pop();
+    EXPECT_EQ(ev.seq, s);
+    EXPECT_EQ(ev.id, s + 1);
+  }
+}
+
+TEST_P(SchedulerProperty, PopBatchTakesExactlyTheEarliestTimestamp) {
+  std::uint64_t seq = 0;
+  for (double t : {2.0, 1.0, 1.0, 3.0, 1.0, 2.0})
+    sched_->insert(SchedEvent{t, seq, seq + 1}), ++seq;
+
+  std::vector<SchedEvent> batch;
+  sched_->pop_batch(batch);
+  ASSERT_EQ(batch.size(), 3u);
+  for (const auto& ev : batch) EXPECT_EQ(ev.time, 1.0);
+  // Insertion (seq) order within the batch.
+  EXPECT_EQ(batch[0].seq, 1u);
+  EXPECT_EQ(batch[1].seq, 2u);
+  EXPECT_EQ(batch[2].seq, 4u);
+  EXPECT_EQ(sched_->size(), 3u);
+
+  batch.clear();
+  sched_->pop_batch(batch);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& ev : batch) EXPECT_EQ(ev.time, 2.0);
+  EXPECT_EQ(batch[0].seq, 0u);
+  EXPECT_EQ(batch[1].seq, 5u);
+
+  batch.clear();
+  sched_->pop_batch(batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].time, 3.0);
+  EXPECT_TRUE(sched_->empty());
+}
+
+TEST_P(SchedulerProperty, RandomInsertPopRemoveMatchesReferenceModel) {
+  std::mt19937_64 rng(0xC0FFEEu);
+  std::vector<SchedEvent> reference;  // live events, kept sorted on demand
+  std::vector<EventId> dead;          // lazily-removed tombstone ids
+  std::uint64_t seq = 0;
+  EventId next_id = 1;
+
+  const auto ref_sorted = [&] {
+    std::sort(reference.begin(), reference.end(),
+              [](const SchedEvent& a, const SchedEvent& b) {
+                return a.before(b);
+              });
+  };
+
+  for (int op = 0; op < 20000; ++op) {
+    const auto roll = rng() % 10;
+    if (roll < 5 || reference.empty()) {
+      // Coarse time grid => plenty of equal-timestamp collisions.
+      const double t = static_cast<double>(rng() % 64) * 0.25;
+      const SchedEvent ev{t, seq++, next_id++};
+      sched_->insert(ev);
+      reference.push_back(ev);
+    } else if (roll < 7) {
+      const std::size_t pick = rng() % reference.size();
+      const SchedEvent victim = reference[pick];
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+      if (!sched_->remove(victim)) dead.push_back(victim.id);
+    } else {
+      ref_sorted();
+      const SchedEvent got = pop_live(dead);
+      EXPECT_EQ(got.time, reference.front().time);
+      EXPECT_EQ(got.seq, reference.front().seq);
+      EXPECT_EQ(got.id, reference.front().id);
+      reference.erase(reference.begin());
+    }
+    EXPECT_EQ(sched_->size(), reference.size() + dead.size());
+  }
+
+  // Drain: what remains must come out exactly in reference order.
+  ref_sorted();
+  for (const auto& expected : reference) {
+    const SchedEvent got = pop_live(dead);
+    EXPECT_EQ(got.seq, expected.seq);
+    EXPECT_EQ(got.id, expected.id);
+  }
+}
+
+TEST_P(SchedulerProperty, CompactDropsOnlyDeadEntries) {
+  for (std::uint64_t s = 0; s < 200; ++s)
+    sched_->insert(SchedEvent{static_cast<double>(s % 7), s, s + 1});
+  // Keep odd ids only.
+  const std::size_t before = sched_->size();
+  sched_->compact([](EventId id) { return id % 2 == 1; });
+  // Lazy schedulers drop the evens; eager ones had nothing dead, so
+  // compact() must not lose anything either way.
+  EXPECT_LE(sched_->size(), before);
+  std::size_t odd = 0;
+  while (!sched_->empty()) {
+    const SchedEvent ev = sched_->pop();
+    if (ev.id % 2 == 1) ++odd;
+  }
+  EXPECT_EQ(odd, 100u);
+}
+
+TEST_P(SchedulerProperty, ClearEmptiesAndStaysUsable) {
+  for (std::uint64_t s = 0; s < 50; ++s)
+    sched_->insert(SchedEvent{static_cast<double>(s), s, s + 1});
+  sched_->clear();
+  EXPECT_TRUE(sched_->empty());
+  EXPECT_EQ(sched_->size(), 0u);
+  sched_->insert(SchedEvent{3.0, 100, 101});
+  sched_->insert(SchedEvent{1.0, 101, 102});
+  EXPECT_EQ(sched_->pop().id, 102u);
+  EXPECT_EQ(sched_->pop().id, 101u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SchedulerProperty,
+                         ::testing::ValuesIn(kAllKinds), kind_name);
+
+// ---------------------------------------------------------------------------
+// Engine-level contract, parameterized over the backing scheduler.
+
+class EngineWithScheduler : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  Engine make() { return Engine(EngineConfig{.scheduler = GetParam()}); }
+};
+
+TEST_P(EngineWithScheduler, ReportsConfiguredKind) {
+  Engine e = make();
+  EXPECT_EQ(e.scheduler_kind(), GetParam());
+}
+
+TEST_P(EngineWithScheduler, EqualTimestampFifoOrdering) {
+  Engine e = make();
+  std::vector<int> fired;
+  for (int i = 0; i < 32; ++i)
+    e.schedule_at(10.0, [i, &fired] { fired.push_back(i); });
+  // Interleave an earlier and a later event around the tie pile-up.
+  e.schedule_at(5.0, [&fired] { fired.push_back(-1); });
+  e.schedule_at(20.0, [&fired] { fired.push_back(-2); });
+  e.run();
+  ASSERT_EQ(fired.size(), 34u);
+  EXPECT_EQ(fired.front(), -1);
+  EXPECT_EQ(fired.back(), -2);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i) + 1], i);
+}
+
+TEST_P(EngineWithScheduler, CancelDuringRunSkipsSameBatchAndFutureEvents) {
+  Engine e = make();
+  std::vector<std::string> fired;
+  // Three events share t=1.0; the first cancels the third (same batch)
+  // and a future event at t=2.0.
+  EventId same_batch = 0;
+  EventId future = 0;
+  e.schedule_at(1.0, [&] {
+    fired.push_back("a");
+    EXPECT_TRUE(e.cancel(same_batch));
+    EXPECT_TRUE(e.cancel(future));
+  });
+  e.schedule_at(1.0, [&] { fired.push_back("b"); });
+  same_batch = e.schedule_at(1.0, [&] { fired.push_back("CANCELLED"); });
+  future = e.schedule_at(2.0, [&] { fired.push_back("CANCELLED"); });
+  e.schedule_at(3.0, [&] { fired.push_back("c"); });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST_P(EngineWithScheduler, CancelReturnsFalseOnceFiredOrCancelled) {
+  Engine e = make();
+  const EventId a = e.schedule_at(1.0, [] {});
+  const EventId b = e.schedule_at(2.0, [] {});
+  EXPECT_TRUE(e.cancel(b));
+  EXPECT_FALSE(e.cancel(b));  // double cancel
+  e.run();
+  EXPECT_FALSE(e.cancel(a));  // already fired
+}
+
+TEST_P(EngineWithScheduler, StaleHandleNeverCancelsARecycledSlot) {
+  Engine e = make();
+  const EventId old_id = e.schedule_at(1.0, [] {});
+  ASSERT_TRUE(e.cancel(old_id));
+  // The pool slot is recycled for the next event; the stale handle's
+  // generation no longer matches, so it must not cancel the newcomer.
+  bool fired = false;
+  const EventId new_id = e.schedule_at(1.0, [&fired] { fired = true; });
+  EXPECT_FALSE(e.cancel(old_id));
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(e.cancel(new_id));
+}
+
+// The tombstone-leak regression (satellite fix): 1e6 schedule/cancel
+// cycles around one long-lived event must not grow the queue — lazy
+// schedulers compact, eager ones remove in place.
+TEST_P(EngineWithScheduler, CancelChurnBoundedMemory) {
+  Engine e = make();
+  bool fired = false;
+  e.schedule_at(1e9, [&fired] { fired = true; });
+  std::size_t high_water = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const EventId id =
+        e.schedule_at(static_cast<double>(i % 1000), [] { FAIL(); });
+    ASSERT_TRUE(e.cancel(id));
+    high_water = std::max(high_water, e.scheduler_entries());
+  }
+  EXPECT_EQ(e.pending_events(), 1u);
+  // Compaction triggers at entries > 2x live (live == 1 here) once past
+  // the 64-entry floor, so the queue never exceeds a small constant.
+  EXPECT_LE(high_water, 256u);
+  EXPECT_LE(e.scheduler_entries(), 256u);
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST_P(EngineWithScheduler, WarpToRefusesLiveEventsAndBackwardClock) {
+  Engine e = make();
+  const EventId pending = e.schedule_at(5.0, [] {});
+  EXPECT_FALSE(e.warp_to(100.0));  // live event pending
+  EXPECT_EQ(e.now(), 0.0);
+  ASSERT_TRUE(e.cancel(pending));
+  ASSERT_TRUE(e.warp_to(100.0));
+  EXPECT_EQ(e.now(), 100.0);
+  EXPECT_FALSE(e.warp_to(50.0));  // backwards
+  EXPECT_EQ(e.now(), 100.0);
+  EXPECT_TRUE(e.warp_to(100.0));  // warp-in-place is a legal no-op
+}
+
+TEST_P(EngineWithScheduler, WarpToClearsLeftoverTombstones) {
+  Engine e = make();
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = e.schedule_at(static_cast<double>(i), [] {});
+    ASSERT_TRUE(e.cancel(id));
+  }
+  // Only tombstones (if any) remain; the warp must succeed and leave a
+  // pristine queue behind.
+  ASSERT_TRUE(e.warp_to(1000.0));
+  EXPECT_EQ(e.scheduler_entries(), 0u);
+  bool fired = false;
+  e.schedule_after(1.0, [&fired, &e] {
+    fired = true;
+    EXPECT_EQ(e.now(), 1001.0);
+  });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EngineWithScheduler,
+                         ::testing::ValuesIn(kAllKinds), kind_name);
+
+// ---------------------------------------------------------------------------
+// Cross-scheduler equivalence: one seeded, cancel-heavy, self-scheduling
+// workload must produce the identical firing sequence under every kind.
+
+struct FiringRecord {
+  double time;
+  int tag;
+  bool operator==(const FiringRecord& o) const {
+    return time == o.time && tag == o.tag;
+  }
+};
+
+std::vector<FiringRecord> run_seeded_workload(SchedulerKind kind,
+                                              std::uint64_t seed) {
+  Engine e{EngineConfig{.scheduler = kind}};
+  std::mt19937_64 rng(seed);
+  std::vector<FiringRecord> log;
+  std::vector<EventId> cancellable;
+  int next_tag = 0;
+
+  // Each firing may schedule follow-ups (coarse delays => timestamp
+  // collisions) and may cancel a previously scheduled event — the same
+  // decisions replay on every scheduler because the rng only advances
+  // inside callbacks, whose order is the contract under test.
+  std::function<void(int)> fire = [&](int tag) {
+    log.push_back({e.now(), tag});
+    const auto children = rng() % 3;
+    for (std::uint64_t c = 0; c < children; ++c) {
+      const double delay = static_cast<double>(rng() % 8) * 0.5;
+      const int child_tag = next_tag++;
+      cancellable.push_back(
+          e.schedule_after(delay, [&fire, child_tag] { fire(child_tag); }));
+    }
+    if (!cancellable.empty() && rng() % 4 == 0) {
+      const std::size_t pick = rng() % cancellable.size();
+      e.cancel(cancellable[pick]);  // may already have fired: fine
+      cancellable.erase(cancellable.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+    }
+  };
+
+  for (int i = 0; i < 40; ++i) {
+    const int tag = next_tag++;
+    e.schedule_at(static_cast<double>(i % 5), [&fire, tag] { fire(tag); });
+  }
+  e.run_until(50.0);  // self-scheduling workload: cap the horizon
+  return log;
+}
+
+TEST(SchedulerInterchange, SeededWorkloadFiresIdenticallyUnderAllKinds) {
+  for (const std::uint64_t seed : {1u, 42u, 1234u}) {
+    const auto heap = run_seeded_workload(SchedulerKind::kHeap, seed);
+    const auto map = run_seeded_workload(SchedulerKind::kMap, seed);
+    const auto calendar = run_seeded_workload(SchedulerKind::kCalendar, seed);
+    ASSERT_GT(heap.size(), 40u) << "seed " << seed;
+    EXPECT_EQ(heap, map) << "seed " << seed;
+    EXPECT_EQ(heap, calendar) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace impress::sim
