@@ -1,7 +1,9 @@
 #include "common/histogram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/stats.hpp"
@@ -65,6 +67,82 @@ std::string Histogram::render(std::size_t width, const std::string& unit) const 
   if (overflow_ > 0)
     out += pad_left(">= range", 22) + " | " + std::to_string(overflow_) + "\n";
   return out;
+}
+
+// --- HdrHistogram -----------------------------------------------------------
+
+HdrHistogram::HdrHistogram(unsigned precision_bits) : p_(precision_bits) {
+  if (p_ < 1 || p_ > 16)
+    throw std::invalid_argument("HdrHistogram: precision_bits must be in [1,16]");
+  // One linear segment of 2^p width-1 buckets for values < 2^p, then one
+  // 2^p-sub-bucket segment per power of two up to 2^64.
+  const std::size_t sub = std::size_t{1} << p_;
+  counts_.assign(sub * (65 - p_), 0);
+  min_ = std::numeric_limits<std::uint64_t>::max();
+}
+
+std::size_t HdrHistogram::index_of(std::uint64_t v) const noexcept {
+  const std::uint64_t sub = std::uint64_t{1} << p_;
+  if (v < sub) return static_cast<std::size_t>(v);
+  // msb index e >= p; the top p bits after the msb select the sub-bucket.
+  const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned seg = e - p_;
+  const std::uint64_t offset = (v >> seg) - sub;  // in [0, 2^p)
+  return static_cast<std::size_t>(sub + seg * sub + offset);
+}
+
+std::uint64_t HdrHistogram::highest_of(std::size_t idx) const noexcept {
+  const std::uint64_t sub = std::uint64_t{1} << p_;
+  if (idx < sub) return idx;  // width-1 buckets: the value itself
+  const std::size_t seg = (idx - sub) / static_cast<std::size_t>(sub);
+  const std::uint64_t offset = (idx - sub) % sub;
+  // Bucket covers [(sub+offset) << seg, (sub+offset+1) << seg).
+  return ((sub + offset + 1) << seg) - 1;
+}
+
+void HdrHistogram::record_n(std::uint64_t value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  counts_[index_of(value)] += n;
+  total_ += n;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+std::uint64_t HdrHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double exact = q * static_cast<double>(total_);
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(exact));
+  if (target == 0) target = 1;
+  if (target > total_) target = total_;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) return std::min(highest_of(i), max_);
+  }
+  return max_;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.p_ != p_)
+    throw std::invalid_argument("HdrHistogram::merge: precision mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  if (other.total_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+}
+
+void HdrHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  min_ = std::numeric_limits<std::uint64_t>::max();
+  max_ = 0;
+  sum_ = 0.0;
 }
 
 }  // namespace impress::common

@@ -1,0 +1,143 @@
+// Slab/freelist object pools and an intrusive MPSC inbox — the
+// allocation-free building blocks of steady-state request paths (the
+// service submit path recycles its submission records through these, in
+// the style of memec's chunk/packet pools).
+//
+// Contract: after a warm-up phase in which slabs are carved, acquire()/
+// release() and push()/drain() never touch the heap. The counting-
+// allocator regression test in tests/service/test_alloc_free.cpp pins
+// this for the whole service hot path.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/lockdep.hpp"
+
+namespace impress::common {
+
+/// Objects allocated in fixed-size slabs and recycled through a freelist.
+/// Thread-safe; the lock is a leaf (the critical section is a pointer
+/// push/pop, and grow() only runs when the freelist is empty).
+///
+/// T must be default-constructible. Released objects are handed back
+/// as-is — the next acquirer resets whatever fields it cares about —
+/// which is what keeps the steady-state path free of destructor/
+/// constructor churn.
+template <typename T>
+class SlabPool {
+ public:
+  struct Stats {
+    std::size_t capacity = 0;    ///< objects carved so far
+    std::size_t in_use = 0;      ///< acquired and not yet released
+    std::size_t high_water = 0;  ///< max in_use observed
+    std::size_t slabs = 0;
+  };
+
+  /// `slab_size` objects are carved per growth step. With `allow_growth`
+  /// false the pool is fixed at whatever reserve() carved and acquire()
+  /// returns nullptr on exhaustion (the caller's admission path treats
+  /// that as capacity rejection).
+  explicit SlabPool(std::size_t slab_size = 1024, bool allow_growth = true)
+      : slab_size_(slab_size == 0 ? 1 : slab_size),
+        allow_growth_(allow_growth) {}
+
+  /// Pre-carve slabs until at least `n` objects exist (warm-up; the only
+  /// place a fixed pool allocates).
+  void reserve(std::size_t n) {
+    std::lock_guard<TrackedMutex> lock(mutex_);
+    while (capacity_ < n) grow();
+  }
+
+  /// Pop a recycled object, or carve a new slab when the freelist is dry
+  /// (nullptr if the pool is fixed and exhausted).
+  [[nodiscard]] T* acquire() {
+    std::lock_guard<TrackedMutex> lock(mutex_);
+    if (free_.empty()) {
+      if (!allow_growth_) return nullptr;
+      grow();
+    }
+    T* obj = free_.back();
+    free_.pop_back();
+    ++in_use_;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    return obj;
+  }
+
+  /// Return an object to the freelist (must have come from acquire()).
+  void release(T* obj) {
+    std::lock_guard<TrackedMutex> lock(mutex_);
+    free_.push_back(obj);
+    --in_use_;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<TrackedMutex> lock(mutex_);
+    return {capacity_, in_use_, high_water_, slabs_.size()};
+  }
+
+ private:
+  // Requires mutex_. Reserves freelist headroom for the new capacity up
+  // front so release() can never reallocate the freelist vector.
+  void grow() {
+    slabs_.push_back(std::make_unique<T[]>(slab_size_));
+    capacity_ += slab_size_;
+    free_.reserve(capacity_);
+    T* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < slab_size_; ++i)
+      free_.push_back(slab + (slab_size_ - 1 - i));
+  }
+
+  mutable TrackedMutex mutex_{"SlabPool::mutex_"};  // guards free_
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<T*> free_;
+  std::size_t slab_size_;
+  std::size_t capacity_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  bool allow_growth_;
+};
+
+/// Intrusive multi-producer/single-consumer inbox. Producers push
+/// lock-free (an exchange onto a LIFO head); the single consumer drains
+/// the whole batch at once and receives it in FIFO push order. No nodes,
+/// no allocation — the pushed objects themselves carry the link via the
+/// `Next` member pointer, which the inbox owns while the object is
+/// enqueued.
+template <typename T, T* T::* Next = &T::next>
+class MpscInbox {
+ public:
+  void push(T* obj) noexcept {
+    T* old = head_.load(std::memory_order_relaxed);
+    do {
+      obj->*Next = old;
+    } while (!head_.compare_exchange_weak(old, obj, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Detach everything pushed so far and return it as a singly-linked
+  /// FIFO list (walk via ->*Next; the last element links to nullptr).
+  [[nodiscard]] T* drain() noexcept {
+    T* lifo = head_.exchange(nullptr, std::memory_order_acquire);
+    T* fifo = nullptr;
+    while (lifo != nullptr) {
+      T* next = lifo->*Next;
+      lifo->*Next = fifo;
+      fifo = lifo;
+      lifo = next;
+    }
+    return fifo;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<T*> head_{nullptr};
+};
+
+}  // namespace impress::common

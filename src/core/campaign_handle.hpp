@@ -1,0 +1,69 @@
+// Campaign execution handles for the multi-tenant service layer
+// (src/service): what the front-end drives when it dispatches an admitted
+// submission.
+//
+// Two forms, one contract (deterministic in the seed):
+//  * CampaignExecutionModel — the closed-form cost/quality model of one
+//    campaign execution, distilled from the calibration duration models
+//    (core/calibration.hpp). The service's simulated backend and the
+//    bench_service load generator sample thousands of campaign handles
+//    per second through this without paying for full pipelines.
+//  * run_service_campaign — the real thing: builds and runs an actual
+//    core::Campaign from a service submission spec. The integration test
+//    drives one service submission end-to-end through it to prove the
+//    model and the campaign agree on the interface.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/campaign.hpp"
+
+namespace impress::core {
+
+/// Workload shape of one service-submitted campaign (the knobs tenants
+/// are billed by: how many targets, how many design cycles).
+struct CampaignShape {
+  std::size_t targets = 1;
+  int cycles = 4;
+  std::size_t sequences_per_structure = 10;
+};
+
+class CampaignExecutionModel {
+ public:
+  struct Sample {
+    /// Submit-side service time until the first scored design lands
+    /// (pilot bootstrap + one MPNN + one full AlphaFold pass).
+    double first_result_s = 0.0;
+    /// Full campaign duration.
+    double total_s = 0.0;
+    /// End-of-campaign composite-quality proxy in [0, 1].
+    double quality = 0.0;
+  };
+
+  explicit CampaignExecutionModel(CampaignShape shape = {}) noexcept;
+
+  /// Deterministic, allocation-free: the same (shape, seed) pair yields
+  /// the same sample on every machine.
+  [[nodiscard]] Sample sample(std::uint64_t seed) const noexcept;
+
+  [[nodiscard]] const CampaignShape& shape() const noexcept { return shape_; }
+
+ private:
+  CampaignShape shape_;
+  double first_base_s_;  ///< bootstrap + MPNN + AF features + AF inference
+  double step_base_s_;   ///< one cycle-step (MPNN + full AlphaFold)
+};
+
+/// Spec for running a real campaign on behalf of a service submission.
+struct ServiceCampaignSpec {
+  std::uint64_t seed = 42;
+  CampaignShape shape{.targets = 1, .cycles = 1, .sequences_per_structure = 4};
+};
+
+/// Build and run an actual IM-RP campaign for `spec` (simulated runtime,
+/// virtual clock — milliseconds of wall time). Deterministic in the seed.
+[[nodiscard]] CampaignResult run_service_campaign(
+    const ServiceCampaignSpec& spec);
+
+}  // namespace impress::core

@@ -66,6 +66,26 @@ inline constexpr std::string_view kFoldCacheMisses =
 // part of the pre-registered RuntimeMetrics bundle)
 inline constexpr std::string_view kCheckpointsWritten =
     "impress_checkpoints_written";
+// campaign service front door (src/service; docs/service.md)
+inline constexpr std::string_view kServiceSubmitted =
+    "impress_service_submitted";
+inline constexpr std::string_view kServiceAdmitted = "impress_service_admitted";
+inline constexpr std::string_view kServiceRejectedQuota =
+    "impress_service_rejected_quota";
+inline constexpr std::string_view kServiceRejectedRate =
+    "impress_service_rejected_rate";
+inline constexpr std::string_view kServiceRejectedCapacity =
+    "impress_service_rejected_capacity";
+inline constexpr std::string_view kServiceShed = "impress_service_shed";
+inline constexpr std::string_view kServiceDispatched =
+    "impress_service_dispatched";
+inline constexpr std::string_view kServiceCompleted =
+    "impress_service_completed";
+inline constexpr std::string_view kServiceQueued = "impress_service_queued";
+inline constexpr std::string_view kServiceInFlight =
+    "impress_service_in_flight";
+inline constexpr std::string_view kServiceFirstResultSeconds =
+    "impress_service_first_result_seconds";
 }  // namespace names
 
 /// Pre-registered handles for every runtime metric: built once at session
@@ -103,6 +123,26 @@ struct RuntimeMetrics {
   Counter* fold_cache_misses = nullptr;
 
   [[nodiscard]] static RuntimeMetrics registered(MetricsRegistry& registry);
+};
+
+/// Pre-registered handles for the campaign-service front door
+/// (src/service). Same contract as RuntimeMetrics: registered once, then
+/// only atomics on the hot path — the service submit path never does a
+/// string lookup.
+struct ServiceMetrics {
+  Counter* submitted = nullptr;
+  Counter* admitted = nullptr;
+  Counter* rejected_quota = nullptr;
+  Counter* rejected_rate = nullptr;
+  Counter* rejected_capacity = nullptr;
+  Counter* shed = nullptr;
+  Counter* dispatched = nullptr;
+  Counter* completed = nullptr;
+  Gauge* queued = nullptr;
+  Gauge* in_flight = nullptr;
+  Histogram* first_result_seconds = nullptr;
+
+  [[nodiscard]] static ServiceMetrics registered(MetricsRegistry& registry);
 };
 
 /// One tracer + one registry + the runtime handle bundle. Disabled by

@@ -1,0 +1,67 @@
+#include "service/backpressure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impress::service {
+
+RateController::RateController(const BackpressureConfig& config,
+                               double initial_rate)
+    : config_(config),
+      rate_(std::clamp(initial_rate, config.min_rate, config.max_rate)) {}
+
+double RateController::applied_rate() const noexcept {
+  const double factor = phase_ == Phase::kProbeUp ? 1.0 + config_.epsilon
+                                                  : 1.0 - config_.epsilon;
+  return rate_ * factor;
+}
+
+double RateController::utility(const IntervalStats& stats,
+                               const BackpressureConfig& config) noexcept {
+  const double delay_term = config.latency_ref_s > 0.0
+                                ? stats.mean_first_result_s / config.latency_ref_s
+                                : 0.0;
+  return stats.goodput * stats.mean_quality -
+         config.delay_penalty * stats.goodput * delay_term -
+         config.loss_penalty * stats.drop_rate;
+}
+
+double RateController::on_interval(const IntervalStats& stats) noexcept {
+  const double u = utility(stats, config_);
+  if (phase_ == Phase::kProbeUp) {
+    utility_up_ = u;
+    phase_ = Phase::kProbeDown;
+    return applied_rate();
+  }
+
+  // Down-probe just finished: form the paired gradient and move.
+  const double span = 2.0 * config_.epsilon * rate_;
+  const double gradient = span > 0.0 ? (utility_up_ - u) / span : 0.0;
+  int direction = 0;
+  if (gradient > 0.0) direction = 1;
+  else if (gradient < 0.0) direction = -1;
+
+  if (direction != 0 && direction == last_direction_)
+    confidence_ = std::min(confidence_ + 1, config_.max_confidence);
+  else
+    confidence_ = 1;
+  last_direction_ = direction;
+
+  // Step proportionally to the normalized gradient, amplified by streak
+  // confidence, capped to a fraction of the current rate. Normalizing by
+  // |U|/r keeps the step scale-free across tenants with very different
+  // goodput magnitudes.
+  const double scale = std::max({std::abs(utility_up_), std::abs(u),
+                                 config_.min_rate});
+  const double normalized = gradient * rate_ / scale;
+  double step = config_.step_gain * config_.epsilon * rate_ * normalized *
+                static_cast<double>(confidence_);
+  const double cap = config_.max_step_frac * rate_;
+  step = std::clamp(step, -cap, cap);
+  rate_ = std::clamp(rate_ + step, config_.min_rate, config_.max_rate);
+
+  phase_ = Phase::kProbeUp;
+  return applied_rate();
+}
+
+}  // namespace impress::service

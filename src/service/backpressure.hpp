@@ -1,0 +1,89 @@
+// PCC-style per-tenant admission-rate control.
+//
+// The service treats each tenant's admission rate the way PCC/Aurora
+// treats a sending rate: time is sliced into monitoring intervals, each
+// interval measures a utility
+//
+//   U(r) = goodput * quality
+//          - delay_penalty * goodput * (first_result_delay / latency_ref)
+//          - loss_penalty  * drop_rate
+//
+// and the controller performs paired probe trials at rate*(1+eps) and
+// rate*(1-eps), then steps the base rate along the empirical utility
+// gradient with confidence amplification on consecutive same-direction
+// moves. Everything here is pure arithmetic on caller-supplied stats —
+// deterministic, allocation-free, and unit-testable without a service.
+
+#pragma once
+
+#include <cstdint>
+
+namespace impress::service {
+
+struct BackpressureConfig {
+  /// Monitoring-interval length (service-clock seconds). Should cover at
+  /// least a few campaign first-result times or the gradient is noise.
+  double interval_s = 4.0;
+  /// Probe amplitude: trials run at rate*(1 +/- epsilon).
+  double epsilon = 0.05;
+  /// Gradient step gain (fraction of the probe span moved per unit of
+  /// normalized utility gradient).
+  double step_gain = 0.5;
+  /// Per-move cap as a fraction of the current rate, after confidence
+  /// amplification (keeps a lucky gradient from tripling the rate).
+  double max_step_frac = 0.5;
+  /// Consecutive same-direction moves multiply the step up to this factor.
+  std::uint32_t max_confidence = 4;
+  /// Admission-rate clamp (submissions/second).
+  double min_rate = 0.05;
+  double max_rate = 1e9;
+  /// Utility weights. latency_ref_s normalizes the queue-delay term so
+  /// the penalty is O(goodput) when first-result latency reaches it.
+  double delay_penalty = 0.7;
+  double loss_penalty = 0.5;
+  double latency_ref_s = 3600.0;
+};
+
+/// What one monitoring interval measured for one tenant.
+struct IntervalStats {
+  double goodput = 0.0;       ///< completed campaigns per second
+  double mean_quality = 0.0;  ///< mean end-of-campaign quality in [0, 1]
+  double mean_first_result_s = 0.0;  ///< mean submit -> first-result delay
+  /// Sheds per second: admitted work discarded before execution (true
+  /// loss). Pacing rejections are deliberately excluded — see
+  /// CampaignService::roll_interval.
+  double drop_rate = 0.0;
+};
+
+class RateController {
+ public:
+  RateController() = default;
+  RateController(const BackpressureConfig& config, double initial_rate);
+
+  /// The rate the service should enforce right now: the base rate scaled
+  /// by the current probe direction.
+  [[nodiscard]] double applied_rate() const noexcept;
+  /// The base (unprobed) rate.
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  /// Close the current monitoring interval with its measured stats and
+  /// advance the probe/move state machine. Returns applied_rate() for the
+  /// next interval.
+  double on_interval(const IntervalStats& stats) noexcept;
+
+  /// The PCC utility function (exposed for tests and the bench report).
+  [[nodiscard]] static double utility(const IntervalStats& stats,
+                                      const BackpressureConfig& config) noexcept;
+
+ private:
+  enum class Phase : std::uint8_t { kProbeUp, kProbeDown };
+
+  BackpressureConfig config_{};
+  double rate_ = 1.0;
+  Phase phase_ = Phase::kProbeUp;
+  double utility_up_ = 0.0;
+  int last_direction_ = 0;
+  std::uint32_t confidence_ = 1;
+};
+
+}  // namespace impress::service

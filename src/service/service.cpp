@@ -1,0 +1,356 @@
+// CampaignService hot path: submit / tick / completion callbacks.
+//
+// This translation unit is on the impress_lint hot-path list — no fresh
+// std::string temporaries, no per-request container construction, no
+// naked `new`. All string rendering lives in service_report.cpp.
+
+#include "service/service.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "service/tenant_state.hpp"
+
+namespace impress::service {
+
+CampaignService::CampaignService(ServiceConfig config,
+                                 ExecutionBackend& backend)
+    : config_(std::move(config)),
+      metrics_(obs::ServiceMetrics::registered(config_.registry != nullptr
+                                                   ? *config_.registry
+                                                   : fallback_registry_)),
+      pool_(config_.global_max_open, /*allow_growth=*/false),
+      backend_(&backend) {
+  if (config_.global_max_open == 0) config_.global_max_open = 1;
+  if (config_.max_dispatch_per_tick == 0) config_.max_dispatch_per_tick = 1;
+  if (config_.max_dispatched == 0) config_.max_dispatched = 1;
+  // All records this service will ever use are carved here; the fixed
+  // pool plus the open cap make steady-state exhaustion impossible (the
+  // cap admits at most global_max_open concurrent holders and every
+  // terminal path releases the record before releasing its cap slot).
+  pool_.reserve(config_.global_max_open);
+  tenants_.reserve(config_.tenants.size());
+  for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
+    // Construction-time only; the steady-state paths never re-enter here.
+    auto ts = std::make_unique<TenantState>();  // lint:allow hot-path-alloc
+    ts->cfg = config_.tenants[i];
+    if (ts->cfg.weight == 0) ts->cfg.weight = 1;
+    if (ts->cfg.max_open == 0) ts->cfg.max_open = 1;
+    ts->controller = RateController(config_.backpressure, ts->cfg.initial_rate);
+    ts->applied_rate = config_.backpressure_enabled
+                           ? ts->controller.applied_rate()
+                           : ts->cfg.initial_rate;
+    ts->tokens.store(ts->burst_tokens(), std::memory_order_relaxed);
+    tier_members_[static_cast<std::size_t>(ts->cfg.tier)].push_back(
+        static_cast<std::uint32_t>(i));
+    tenants_.push_back(std::move(ts));
+  }
+  last_refill_ns_ = config_.start_ns;
+  interval_start_ns_ = config_.start_ns;
+}
+
+CampaignService::~CampaignService() = default;
+
+SubmitResult CampaignService::submit(TenantId tenant, std::uint64_t seed,
+                                     std::uint32_t cost,
+                                     std::uint64_t now_ns) {
+  metrics_.submitted->inc();
+  if (tenant >= tenants_.size()) return {Admission::kRejectedBadTenant, 0};
+  TenantState& ts = *tenants_[tenant];
+  if (cost == 0) cost = 1;
+  if (cost > kMaxCost) cost = kMaxCost;
+
+  // 1) Token bucket — the backpressure controller's admission rate.
+  const std::int64_t need = static_cast<std::int64_t>(cost) * kTokenScale;
+  if (ts.tokens.fetch_sub(need, std::memory_order_relaxed) < need) {
+    ts.tokens.fetch_add(need, std::memory_order_relaxed);
+    ts.rejected_rate.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected_rate->inc();
+    return {Admission::kRejectedRate, 0};
+  }
+
+  // 2) Tenant quota on open submissions (queued + in flight).
+  if (ts.open.fetch_add(1, std::memory_order_relaxed) >= ts.cfg.max_open) {
+    ts.open.fetch_sub(1, std::memory_order_relaxed);
+    ts.tokens.fetch_add(need, std::memory_order_relaxed);
+    ts.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected_quota->inc();
+    return {Admission::kRejectedQuota, 0};
+  }
+
+  // 3) Global open cap.
+  if (global_open_.fetch_add(1, std::memory_order_relaxed) >=
+      static_cast<std::int64_t>(config_.global_max_open)) {
+    global_open_.fetch_sub(1, std::memory_order_relaxed);
+    ts.open.fetch_sub(1, std::memory_order_relaxed);
+    ts.tokens.fetch_add(need, std::memory_order_relaxed);
+    ts.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected_capacity->inc();
+    return {Admission::kRejectedCapacity, 0};
+  }
+
+  SubmissionRecord* rec = pool_.acquire();
+  if (rec == nullptr) {
+    // Unreachable given the cap/pool invariant above; kept as a safe
+    // degradation path rather than an assert.
+    global_open_.fetch_sub(1, std::memory_order_relaxed);
+    ts.open.fetch_sub(1, std::memory_order_relaxed);
+    ts.tokens.fetch_add(need, std::memory_order_relaxed);
+    ts.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected_capacity->inc();
+    return {Admission::kRejectedCapacity, 0};
+  }
+
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  rec->next = nullptr;
+  rec->tenant = tenant;
+  rec->tier = ts.cfg.tier;
+  rec->state = SubmissionState::kInbox;
+  rec->cost = cost;
+  rec->seq = seq;
+  rec->seed = seed;
+  rec->submit_ns = now_ns;
+  rec->dispatch_ns = 0;
+  rec->first_result_ns = 0;
+  rec->complete_ns = 0;
+  rec->quality = 0.0;
+  // push() publishes the record: the pump may dispatch, complete and
+  // recycle it immediately, so `rec` must not be touched after this line
+  // (return the local seq, not rec->seq).
+  inbox_.push(rec);
+  ts.admitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.admitted->inc();
+  return {Admission::kAdmitted, seq};
+}
+
+void CampaignService::tick(std::uint64_t now_ns) {
+  drain_inbox();
+  if (config_.backpressure_enabled) roll_interval(now_ns);
+  refill_tokens(now_ns);
+  dispatch(now_ns);
+  metrics_.queued->set(static_cast<double>(queued_total_));
+  metrics_.in_flight->set(
+      static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+}
+
+void CampaignService::drain_inbox() {
+  SubmissionRecord* rec = inbox_.drain();
+  while (rec != nullptr) {
+    SubmissionRecord* next = rec->next;
+    rec->next = nullptr;
+    rec->state = SubmissionState::kQueued;
+    TenantState& ts = *tenants_[rec->tenant];
+    if (ts.queue_tail == nullptr) {
+      ts.queue_head = rec;
+    } else {
+      ts.queue_tail->next = rec;
+    }
+    ts.queue_tail = rec;
+    ++ts.queued;
+    ++queued_total_;
+    rec = next;
+  }
+}
+
+void CampaignService::refill_tokens(std::uint64_t now_ns) {
+  if (now_ns <= last_refill_ns_) return;
+  const double dt_s =
+      static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+  last_refill_ns_ = now_ns;
+  for (auto& tp : tenants_) {
+    TenantState& ts = *tp;
+    const std::int64_t burst = ts.burst_tokens();
+    const std::int64_t cur = ts.tokens.load(std::memory_order_relaxed);
+    if (cur >= burst) continue;
+    const double room = static_cast<double>(burst - cur);
+    double add = ts.applied_rate * dt_s * static_cast<double>(kTokenScale);
+    if (add > room) add = room;
+    const auto add_i = static_cast<std::int64_t>(add);
+    if (add_i > 0) ts.tokens.fetch_add(add_i, std::memory_order_relaxed);
+  }
+}
+
+void CampaignService::roll_interval(std::uint64_t now_ns) {
+  const auto interval_ns =
+      static_cast<std::uint64_t>(config_.backpressure.interval_s * 1e9);
+  if (interval_ns == 0) return;
+  if (now_ns < interval_start_ns_ + interval_ns) return;
+  const double span_s =
+      static_cast<double>(now_ns - interval_start_ns_) * 1e-9;
+  interval_start_ns_ = now_ns;
+  // Leaf lock: the controller step is pure arithmetic, no calls out.
+  std::lock_guard<common::TrackedMutex> lock(completion_mutex_);
+  for (auto& tp : tenants_) {
+    TenantState& ts = *tp;
+    const std::uint64_t d_completed = ts.completed - ts.prev_completed;
+    const std::uint64_t d_first = ts.first_results - ts.prev_first_results;
+    const std::uint64_t d_latency =
+        ts.first_latency_sum_ns - ts.prev_first_latency_sum_ns;
+    const double d_quality = ts.quality_sum - ts.prev_quality_sum;
+    // Loss = sheds only: work admitted and then discarded. Pacing
+    // rejections (token bucket, quota) are the controller's own choice —
+    // counting them as loss would reward raising the rate just to
+    // reclassify rejections, the opposite of backpressure.
+    const std::uint64_t d_drop = ts.shed - ts.prev_shed;
+    ts.prev_completed = ts.completed;
+    ts.prev_first_results = ts.first_results;
+    ts.prev_first_latency_sum_ns = ts.first_latency_sum_ns;
+    ts.prev_quality_sum = ts.quality_sum;
+    ts.prev_shed = ts.shed;
+
+    IntervalStats stats;
+    stats.goodput = static_cast<double>(d_completed) / span_s;
+    stats.mean_quality =
+        d_completed > 0 ? d_quality / static_cast<double>(d_completed) : 0.0;
+    stats.mean_first_result_s =
+        d_first > 0
+            ? static_cast<double>(d_latency) / static_cast<double>(d_first) *
+                  1e-9
+            : 0.0;
+    stats.drop_rate = static_cast<double>(d_drop) / span_s;
+    ts.controller.on_interval(stats);
+    ts.applied_rate = ts.controller.applied_rate();
+  }
+}
+
+bool CampaignService::shed_if_stale(TenantState& ts, SubmissionRecord& rec,
+                                    std::uint64_t now_ns) {
+  if (config_.shed_age_ns == 0) return false;
+  if (now_ns - rec.submit_ns <= config_.shed_age_ns) return false;
+  ts.queue_head = rec.next;
+  if (ts.queue_head == nullptr) ts.queue_tail = nullptr;
+  rec.next = nullptr;
+  --ts.queued;
+  --queued_total_;
+  ++ts.shed;
+  ++shed_total_;
+  metrics_.shed->inc();
+  rec.state = SubmissionState::kFree;
+  pool_.release(&rec);
+  release_open(ts);
+  return true;
+}
+
+void CampaignService::dispatch(std::uint64_t now_ns) {
+  std::size_t budget = config_.max_dispatch_per_tick;
+  const auto dispatch_cap = static_cast<std::int64_t>(config_.max_dispatched);
+  // Strict priority across tiers; work-conserving DRR within a tier:
+  // keep cycling the rotation while anything dispatches or a non-empty
+  // queue is still accumulating deficit (kMaxCost bounds the rounds a
+  // head-of-line submission can stay deficit-blocked).
+  for (std::size_t tier = 0; tier < kTierCount; ++tier) {
+    auto& members = tier_members_[tier];
+    if (members.empty()) continue;
+    std::size_t& cursor = tier_cursor_[tier];
+    while (true) {
+      bool progress = false;
+      bool deficit_blocked = false;
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const std::size_t pos = (cursor + k) % members.size();
+        if (budget == 0 ||
+            in_flight_.load(std::memory_order_relaxed) >= dispatch_cap) {
+          // Resume this rotation at the starved tenant next tick.
+          cursor = pos;
+          return;
+        }
+        TenantState& ts = *tenants_[members[pos]];
+        if (ts.queue_head == nullptr) {
+          ts.deficit = 0;
+          continue;
+        }
+        ts.deficit +=
+            static_cast<std::uint64_t>(config_.drr_quantum) * ts.cfg.weight;
+        while (ts.queue_head != nullptr && budget > 0 &&
+               in_flight_.load(std::memory_order_relaxed) < dispatch_cap) {
+          SubmissionRecord* rec = ts.queue_head;
+          if (shed_if_stale(ts, *rec, now_ns)) {
+            progress = true;
+            continue;
+          }
+          if (ts.deficit < rec->cost) break;
+          ts.queue_head = rec->next;
+          if (ts.queue_head == nullptr) ts.queue_tail = nullptr;
+          rec->next = nullptr;
+          --ts.queued;
+          --queued_total_;
+          ts.deficit -= rec->cost;
+          rec->state = SubmissionState::kInFlight;
+          rec->dispatch_ns = now_ns;
+          ++ts.dispatched;
+          ++dispatched_total_;
+          in_flight_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.dispatched->inc();
+          --budget;
+          progress = true;
+          // May call back into on_first_result/on_complete synchronously
+          // (virtual-time backends); the record is already off every
+          // pump list and no pump lock is held.
+          backend_->start(*rec, now_ns);
+        }
+        if (ts.queue_head == nullptr)
+          ts.deficit = 0;
+        else if (ts.deficit < ts.queue_head->cost)
+          deficit_blocked = true;
+      }
+      cursor = (cursor + 1) % members.size();
+      if (!progress && !deficit_blocked) break;
+    }
+  }
+}
+
+void CampaignService::on_first_result(SubmissionRecord& rec,
+                                      std::uint64_t now_ns) {
+  rec.first_result_ns = now_ns;
+  const std::uint64_t latency = now_ns - rec.submit_ns;
+  TenantState& ts = *tenants_[rec.tenant];
+  {
+    std::lock_guard<common::TrackedMutex> lock(completion_mutex_);
+    first_result_ns_.record(latency);
+    ++ts.first_results;
+    ts.first_latency_sum_ns += latency;
+  }
+  metrics_.first_result_seconds->observe(static_cast<double>(latency) * 1e-9);
+}
+
+void CampaignService::on_complete(SubmissionRecord& rec, std::uint64_t now_ns,
+                                  double quality) {
+  // A completion with no prior first result counts as both (the service
+  // treats first_result_ns == 0 as unset).
+  if (rec.first_result_ns == 0) on_first_result(rec, now_ns);
+  rec.complete_ns = now_ns;
+  rec.quality = quality;
+  TenantState& ts = *tenants_[rec.tenant];
+  {
+    std::lock_guard<common::TrackedMutex> lock(completion_mutex_);
+    ++ts.completed;
+    ts.quality_sum += quality;
+  }
+  metrics_.completed->inc();
+  rec.state = SubmissionState::kFree;
+  // Release the record BEFORE the cap slots: a submit that passes the cap
+  // must always find a free record (see the ctor invariant).
+  pool_.release(&rec);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  release_open(ts);
+}
+
+void CampaignService::release_open(TenantState& ts) {
+  ts.open.fetch_sub(1, std::memory_order_relaxed);
+  global_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t CampaignService::open_now() const noexcept {
+  const std::int64_t v = global_open_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+std::size_t CampaignService::in_flight_now() const noexcept {
+  const std::int64_t v = in_flight_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+double CampaignService::admission_rate(TenantId tenant) const {
+  return tenant < tenants_.size() ? tenants_[tenant]->applied_rate : 0.0;
+}
+
+}  // namespace impress::service

@@ -1,0 +1,112 @@
+// CampaignService cold path: snapshotting and rendering. Every string
+// and container built per call lives here, deliberately OFF the
+// impress_lint hot-path list — the hot TU (service.cpp) stays free of
+// string/allocation churn.
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "service/service.hpp"
+#include "service/tenant_state.hpp"
+
+namespace impress::service {
+
+ServiceReport CampaignService::report() const {
+  ServiceReport r;
+  r.tenants.reserve(tenants_.size());
+  {
+    std::lock_guard<common::TrackedMutex> lock(completion_mutex_);
+    for (const auto& tp : tenants_) {
+      const TenantState& ts = *tp;
+      TenantReport t;
+      t.name = ts.cfg.name;
+      t.tier = ts.cfg.tier;
+      t.weight = ts.cfg.weight;
+      t.admitted = ts.admitted.load(std::memory_order_relaxed);
+      t.rejected_rate = ts.rejected_rate.load(std::memory_order_relaxed);
+      t.rejected_quota = ts.rejected_quota.load(std::memory_order_relaxed);
+      t.rejected_capacity =
+          ts.rejected_capacity.load(std::memory_order_relaxed);
+      t.submitted =
+          t.admitted + t.rejected_rate + t.rejected_quota + t.rejected_capacity;
+      t.shed = ts.shed;
+      t.dispatched = ts.dispatched;
+      t.completed = ts.completed;
+      t.first_results = ts.first_results;
+      t.queued_now = ts.queued;
+      t.admission_rate = ts.applied_rate;
+      t.mean_first_result_s =
+          ts.first_results > 0
+              ? static_cast<double>(ts.first_latency_sum_ns) /
+                    static_cast<double>(ts.first_results) * 1e-9
+              : 0.0;
+      t.mean_quality = ts.completed > 0
+                           ? ts.quality_sum / static_cast<double>(ts.completed)
+                           : 0.0;
+      r.tenants.push_back(std::move(t));
+    }
+    r.first_result_p50_ns = first_result_ns_.quantile(0.50);
+    r.first_result_p99_ns = first_result_ns_.quantile(0.99);
+    r.first_result_p999_ns = first_result_ns_.quantile(0.999);
+  }
+
+  for (const TenantReport& t : r.tenants) {
+    r.submitted += t.submitted;
+    r.admitted += t.admitted;
+    r.rejected += t.rejected_rate + t.rejected_quota + t.rejected_capacity;
+    r.shed += t.shed;
+    r.dispatched += t.dispatched;
+    r.completed += t.completed;
+  }
+  r.queued_now = queued_total_;
+  r.in_flight_now = in_flight_now();
+  r.pool = pool_.stats();
+
+  // Jain fairness over weight-normalized completions, active tenants only.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t active = 0;
+  for (const TenantReport& t : r.tenants) {
+    if (t.submitted == 0) continue;
+    ++active;
+    const double x =
+        static_cast<double>(t.completed) / static_cast<double>(t.weight);
+    sum += x;
+    sum_sq += x * x;
+  }
+  r.fairness_jain =
+      active > 0 && sum_sq > 0.0
+          ? (sum * sum) / (static_cast<double>(active) * sum_sq)
+          : 1.0;
+  return r;
+}
+
+std::string render(const ServiceReport& report) {
+  std::ostringstream out;
+  out << "campaign service: " << report.submitted << " submitted, "
+      << report.admitted << " admitted, " << report.rejected << " rejected, "
+      << report.shed << " shed, " << report.completed << " completed\n"
+      << "  first-result latency p50/p99/p999: "
+      << static_cast<double>(report.first_result_p50_ns) * 1e-9 << " / "
+      << static_cast<double>(report.first_result_p99_ns) * 1e-9 << " / "
+      << static_cast<double>(report.first_result_p999_ns) * 1e-9 << " s\n"
+      << "  fairness (Jain): " << std::fixed << std::setprecision(4)
+      << report.fairness_jain << std::defaultfloat << "  queued "
+      << report.queued_now << "  in-flight " << report.in_flight_now
+      << "  pool " << report.pool.in_use << "/" << report.pool.capacity
+      << " (hw " << report.pool.high_water << ")\n";
+  for (const TenantReport& t : report.tenants) {
+    out << "  " << std::left << std::setw(16) << t.name << std::right << " ["
+        << to_string(t.tier) << " w" << t.weight << "] adm " << t.admitted
+        << "/" << t.submitted << " rej r/q/c " << t.rejected_rate << "/"
+        << t.rejected_quota << "/" << t.rejected_capacity << " done "
+        << t.completed << " rate " << std::fixed << std::setprecision(2)
+        << t.admission_rate << std::defaultfloat << "/s q " << std::fixed
+        << std::setprecision(3) << t.mean_quality << std::defaultfloat
+        << "\n";
+  }
+  return std::move(out).str();
+}
+
+}  // namespace impress::service

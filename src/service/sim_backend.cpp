@@ -1,0 +1,94 @@
+#include "service/sim_backend.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace impress::service {
+
+SimulatedBackend::SimulatedBackend(SimulatedBackendConfig config)
+    : config_(config), model_(config.shape) {
+  if (config_.slots == 0) config_.slots = 1;
+  if (config_.duration_scale <= 0.0) config_.duration_scale = 1.0;
+  events_.reserve(config_.reserve_events);
+  // All slots start free at t=0. A vector of identical keys is already a
+  // valid min-heap under EventAfter-style greater-than ordering.
+  slots_.assign(config_.slots, 0);
+}
+
+std::uint64_t SimulatedBackend::scaled_ns(double seconds) const noexcept {
+  double ns = seconds * config_.duration_scale * 1e9;
+  if (ns < 0.0) ns = 0.0;
+  return static_cast<std::uint64_t>(ns);
+}
+
+void SimulatedBackend::push_event(const Event& e) {
+  events_.push_back(e);
+  std::push_heap(events_.begin(), events_.end(), EventAfter{});
+}
+
+void SimulatedBackend::start(SubmissionRecord& rec, std::uint64_t now_ns) {
+  if (service_ == nullptr)
+    throw std::logic_error("SimulatedBackend::start before attach()");
+  // Claim the earliest-free slot; the campaign begins when it frees up.
+  std::pop_heap(slots_.begin(), slots_.end(), std::greater<>{});
+  const std::uint64_t slot_free = slots_.back();
+  const std::uint64_t begin = std::max(now_ns, slot_free);
+
+  const core::CampaignExecutionModel::Sample s = model_.sample(rec.seed);
+  const std::uint64_t first = begin + scaled_ns(s.first_result_s);
+  const std::uint64_t done = begin + scaled_ns(s.total_s);
+  rec.quality = s.quality;  // carried to the completion event
+
+  slots_.back() = done;
+  std::push_heap(slots_.begin(), slots_.end(), std::greater<>{});
+
+  ++started_;
+  ++waiting_;
+  push_event({begin, rec.seq, EventKind::kBegin, &rec});
+  push_event({first, rec.seq, EventKind::kFirstResult, &rec});
+  push_event({done, rec.seq, EventKind::kComplete, &rec});
+}
+
+std::size_t SimulatedBackend::advance_to(std::uint64_t now_ns) {
+  std::size_t fired = 0;
+  while (!events_.empty() && events_.front().at_ns <= now_ns) {
+    std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+    const Event e = events_.back();
+    events_.pop_back();
+    ++fired;
+    switch (e.kind) {
+      case EventKind::kBegin:
+        --waiting_;
+        ++running_;
+        break;
+      case EventKind::kFirstResult:
+        service_->on_first_result(*e.rec, e.at_ns);
+        break;
+      case EventKind::kComplete: {
+        --running_;
+        ++completed_;
+        const double quality = e.rec->quality;
+        service_->on_complete(*e.rec, e.at_ns, quality);
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
+std::uint64_t SimulatedBackend::next_event_ns() const noexcept {
+  return events_.empty() ? std::numeric_limits<std::uint64_t>::max()
+                         : events_.front().at_ns;
+}
+
+rp::LoadSnapshot SimulatedBackend::load() const {
+  rp::LoadSnapshot s;
+  s.queued = waiting_;
+  s.running = running_;
+  s.capacity = config_.slots;
+  return s;
+}
+
+}  // namespace impress::service

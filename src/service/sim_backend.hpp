@@ -1,0 +1,95 @@
+// SimulatedBackend: a virtual-time ExecutionBackend over the campaign
+// execution model (core/campaign_handle.hpp).
+//
+// Models a fixed-width execution fleet: `slots` campaigns run
+// concurrently; a dispatched record begins on the earliest-free slot (or
+// immediately if one is idle), takes first-result/completion times from
+// CampaignExecutionModel::sample(record.seed), and reports back to the
+// owning service at those virtual timestamps when the driver calls
+// advance_to(). Fully deterministic: events fire in (time, admission
+// seq) order, and all heap storage is reserved up front so the steady
+// state is allocation-free.
+//
+// Single-threaded by contract: start() is only called from the service
+// pump, advance_to() from the same driver loop. The threaded stress
+// suite uses its own thread-pool backend instead.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/campaign_handle.hpp"
+#include "service/service.hpp"
+
+namespace impress::service {
+
+struct SimulatedBackendConfig {
+  /// Concurrent campaign executions (the fleet width).
+  std::size_t slots = 64;
+  /// Multiplier on model durations — < 1 compresses campaigns so service
+  /// studies run many lifecycles per virtual hour (see docs/service.md).
+  double duration_scale = 1.0;
+  /// Shape of every executed campaign (per-record shapes would come from
+  /// the submission spec in a richer backend).
+  core::CampaignShape shape{};
+  /// Event-heap reservation; sized from the service's open cap so pushes
+  /// never reallocate in steady state.
+  std::size_t reserve_events = 16384;
+};
+
+class SimulatedBackend final : public ExecutionBackend {
+ public:
+  explicit SimulatedBackend(SimulatedBackendConfig config = {});
+
+  /// Must be called once before the service dispatches anything.
+  void attach(CampaignService& service) noexcept { service_ = &service; }
+
+  // ExecutionBackend
+  void start(SubmissionRecord& rec, std::uint64_t now_ns) override;
+  [[nodiscard]] rp::LoadSnapshot load() const override;
+
+  /// Fire every pending begin/first-result/completion event with
+  /// timestamp <= now_ns, in (time, seq) order, invoking the service
+  /// callbacks. Returns the number of events fired.
+  std::size_t advance_to(std::uint64_t now_ns);
+
+  /// Timestamp of the next pending event, or UINT64_MAX when idle.
+  [[nodiscard]] std::uint64_t next_event_ns() const noexcept;
+
+  [[nodiscard]] std::size_t started() const noexcept { return started_; }
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+
+ private:
+  enum class EventKind : std::uint8_t { kBegin, kFirstResult, kComplete };
+
+  struct Event {
+    std::uint64_t at_ns = 0;
+    std::uint64_t seq = 0;  ///< record seq: deterministic tie-break
+    EventKind kind = EventKind::kBegin;
+    SubmissionRecord* rec = nullptr;
+  };
+  /// Min-heap comparator via std::push_heap's max-heap convention.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
+      if (a.seq != b.seq) return a.seq > b.seq;
+      return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+    }
+  };
+
+  void push_event(const Event& e);
+  [[nodiscard]] std::uint64_t scaled_ns(double seconds) const noexcept;
+
+  SimulatedBackendConfig config_;
+  core::CampaignExecutionModel model_;
+  CampaignService* service_ = nullptr;
+  std::vector<Event> events_;          ///< heap (EventAfter)
+  std::vector<std::uint64_t> slots_;   ///< heap of slot free times (min on top)
+  std::size_t waiting_ = 0;  ///< dispatched, begin event still in the future
+  std::size_t running_ = 0;
+  std::size_t started_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace impress::service

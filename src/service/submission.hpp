@@ -1,0 +1,102 @@
+// The pooled submission record at the heart of the service hot path.
+//
+// One record represents one tenant campaign submission from admission to
+// completion. Records are carved from a common::SlabPool at service
+// construction and recycled forever after — the steady-state submit path
+// performs zero heap allocations (pinned by the counting-allocator test).
+//
+// The single intrusive `next` link is reused across the record's life:
+// MPSC inbox -> per-tenant DRR queue -> (floating while in flight) ->
+// pool freelist. A record is in at most one list at any time, so one link
+// suffices; whoever holds the list owns the link.
+
+#pragma once
+
+#include <cstdint>
+
+namespace impress::service {
+
+using TenantId = std::uint32_t;
+
+/// Priority tiers: strict priority across tiers, deficit-round-robin
+/// fair-share within a tier.
+enum class Tier : std::uint8_t {
+  kInteractive = 0,  ///< steered/interactive campaigns
+  kStandard = 1,     ///< the default production tier
+  kBatch = 2,        ///< sweep/backfill campaigns; first to be shed
+};
+inline constexpr std::size_t kTierCount = 3;
+
+[[nodiscard]] constexpr const char* to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::kInteractive: return "interactive";
+    case Tier::kStandard: return "standard";
+    case Tier::kBatch: return "batch";
+  }
+  return "?";
+}
+
+/// DRR costs are clamped to this at submit: it bounds how many silent
+/// rounds a head-of-line submission can spend accumulating deficit.
+inline constexpr std::uint32_t kMaxCost = 1024;
+
+enum class SubmissionState : std::uint8_t {
+  kFree,      ///< on the pool freelist
+  kInbox,     ///< pushed by a producer, not yet drained by the pump
+  kQueued,    ///< in its tenant's DRR queue
+  kInFlight,  ///< dispatched to the execution backend
+};
+
+struct SubmissionRecord {
+  SubmissionRecord* next = nullptr;  ///< intrusive link (owner = current list)
+
+  TenantId tenant = 0;
+  Tier tier = Tier::kStandard;
+  SubmissionState state = SubmissionState::kFree;
+  /// DRR cost units (how much of the tenant's share this campaign bills;
+  /// scale with the campaign shape).
+  std::uint32_t cost = 1;
+
+  std::uint64_t seq = 0;   ///< global admission sequence number
+  std::uint64_t seed = 0;  ///< campaign payload seed (drives the backend)
+
+  // Lifecycle timestamps (service clock, nanoseconds). Written by the
+  // submit path / pump / backend in sequence; the pool release/acquire
+  // and inbox push/drain edges order the cross-thread hand-offs.
+  std::uint64_t submit_ns = 0;
+  std::uint64_t dispatch_ns = 0;
+  std::uint64_t first_result_ns = 0;
+  std::uint64_t complete_ns = 0;
+  double quality = 0.0;  ///< backend-reported end-of-campaign quality
+};
+
+/// Fast-path admission outcome.
+enum class Admission : std::uint8_t {
+  kAdmitted = 0,
+  kRejectedRate,      ///< tenant token bucket empty (backpressure)
+  kRejectedQuota,     ///< tenant open-submission quota reached
+  kRejectedCapacity,  ///< global open cap or record pool exhausted
+  kRejectedBadTenant,
+};
+
+[[nodiscard]] constexpr const char* to_string(Admission a) noexcept {
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kRejectedRate: return "rejected-rate";
+    case Admission::kRejectedQuota: return "rejected-quota";
+    case Admission::kRejectedCapacity: return "rejected-capacity";
+    case Admission::kRejectedBadTenant: return "rejected-bad-tenant";
+  }
+  return "?";
+}
+
+struct SubmitResult {
+  Admission admission = Admission::kRejectedBadTenant;
+  std::uint64_t seq = 0;  ///< valid when admitted
+
+  [[nodiscard]] bool admitted() const noexcept {
+    return admission == Admission::kAdmitted;
+  }
+};
+
+}  // namespace impress::service

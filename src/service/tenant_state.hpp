@@ -1,0 +1,71 @@
+// Internal: the per-tenant state block behind CampaignService. Shared by
+// service.cpp (hot path) and service_report.cpp (cold path) only — not
+// part of the public service API.
+//
+// Field groups mirror the service threading model (service.hpp):
+//   * submit fast path — relaxed atomics, any thread;
+//   * pump-owned       — plain fields, exactly one tick() thread;
+//   * completion side  — guarded by CampaignService::completion_mutex_.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "service/backpressure.hpp"
+#include "service/service.hpp"
+#include "service/submission.hpp"
+
+namespace impress::service {
+
+/// Token-bucket fixed point: one admission token = kTokenScale units
+/// (integer atomics keep the submit path free of double CAS loops).
+inline constexpr std::int64_t kTokenScale = std::int64_t{1} << 20;
+
+/// Bucket depth floor in tokens, so multi-cost submissions can always be
+/// admitted eventually even at very low adapted rates.
+inline constexpr double kMinBurstTokens = 4.0;
+
+struct CampaignService::TenantState {
+  TenantConfig cfg;
+
+  // --- submit fast path (any thread, relaxed atomics)
+  std::atomic<std::int64_t> tokens{0};
+  std::atomic<std::uint32_t> open{0};  ///< queued + in flight (quota)
+  // (total submitted is derived: admitted + the three rejection classes)
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected_rate{0};
+  std::atomic<std::uint64_t> rejected_quota{0};
+  std::atomic<std::uint64_t> rejected_capacity{0};
+
+  // --- pump-owned (the single tick() thread)
+  SubmissionRecord* queue_head = nullptr;  ///< intrusive FIFO (DRR queue)
+  SubmissionRecord* queue_tail = nullptr;
+  std::uint32_t queued = 0;
+  std::uint64_t deficit = 0;  ///< DRR deficit counter (cost units)
+  std::uint64_t dispatched = 0;
+  std::uint64_t shed = 0;
+  double applied_rate = 0.0;  ///< controller rate incl. probe direction
+  RateController controller;
+  // Previous-interval cumulative snapshots (monitoring-interval deltas).
+  std::uint64_t prev_completed = 0;
+  std::uint64_t prev_first_results = 0;
+  std::uint64_t prev_first_latency_sum_ns = 0;
+  double prev_quality_sum = 0.0;
+  std::uint64_t prev_shed = 0;
+
+  // --- completion side (guarded by CampaignService::completion_mutex_)
+  std::uint64_t completed = 0;
+  std::uint64_t first_results = 0;
+  std::uint64_t first_latency_sum_ns = 0;
+  double quality_sum = 0.0;
+
+  /// Current bucket depth in fixed-point units.
+  [[nodiscard]] std::int64_t burst_tokens() const noexcept {
+    double burst = cfg.burst_s * applied_rate;
+    if (burst < kMinBurstTokens) burst = kMinBurstTokens;
+    return static_cast<std::int64_t>(burst * static_cast<double>(kTokenScale));
+  }
+};
+
+}  // namespace impress::service

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "common/rng.hpp"
 
 namespace impress::common {
 namespace {
@@ -69,6 +74,150 @@ TEST(Histogram, RenderEmptyDoesNotDivideByZero) {
   const Histogram h(0.0, 1.0, 3);
   const auto out = h.render();
   EXPECT_FALSE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// HdrHistogram: log-linear latency recorder.
+
+// Exact quantile on a sorted sample, matching the documented contract:
+// sorted[ceil(q*n) - 1].
+std::uint64_t exact_quantile(const std::vector<std::uint64_t>& sorted,
+                             double q) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+TEST(HdrHistogram, EmptyIsZeroEverywhere) {
+  HdrHistogram h(7);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(0.999), 0u);
+}
+
+TEST(HdrHistogram, SmallValuesAreExact) {
+  // Values below 2^p land in width-1 linear buckets: quantiles are exact.
+  HdrHistogram h(7);
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 99u);
+  EXPECT_EQ(h.quantile(0.5), 49u);
+  EXPECT_EQ(h.quantile(1.0), 99u);
+}
+
+TEST(HdrHistogram, RecordNWeightsCounts) {
+  HdrHistogram h(7);
+  h.record_n(10, 99);
+  h.record_n(1000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.quantile(0.5), 10u);
+  EXPECT_GE(h.quantile(0.999), 1000u - 1000u / 128u);
+}
+
+TEST(HdrHistogram, QuantilesAreMonotone) {
+  common::Rng rng(0x48445221);
+  HdrHistogram h(7);
+  for (int i = 0; i < 20000; ++i) {
+    h.record(static_cast<std::uint64_t>(rng.exponential(5e6)));
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+// The core property: for seeded samples spanning many decades, every
+// quantile is an upper bound for the exact sorted-sample quantile and
+// within the documented 2^-p relative error of it.
+TEST(HdrHistogram, QuantileWithinRelativeErrorOfSortedReference) {
+  constexpr unsigned kPrecision = 7;
+  const double rel = 1.0 / static_cast<double>(1u << kPrecision);
+  common::Rng root(0x484452484953);
+  const double means[] = {100.0, 1e4, 1e7, 1e10};  // ns-ish scales
+  int dist = 0;
+  for (const double mean : means) {
+    common::Rng rng = root.fork(static_cast<std::uint64_t>(dist++));
+    HdrHistogram h(kPrecision);
+    std::vector<std::uint64_t> ref;
+    ref.reserve(30000);
+    for (int i = 0; i < 30000; ++i) {
+      const double x = (i % 3 == 0) ? rng.lognormal_mean(mean, 0.8)
+                                    : rng.exponential(mean);
+      const auto v = static_cast<std::uint64_t>(x);
+      h.record(v);
+      ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    ASSERT_EQ(h.count(), ref.size());
+    EXPECT_EQ(h.max(), ref.back());
+    EXPECT_EQ(h.min(), ref.front());
+    for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999,
+                           0.9999, 1.0}) {
+      const std::uint64_t exact = exact_quantile(ref, q);
+      const std::uint64_t got = h.quantile(q);
+      EXPECT_GE(got, exact) << "mean=" << mean << " q=" << q;
+      const double bound =
+          static_cast<double>(exact) * (1.0 + rel) + 1.0;
+      EXPECT_LE(static_cast<double>(got), bound)
+          << "mean=" << mean << " q=" << q;
+    }
+  }
+}
+
+TEST(HdrHistogram, MeanMatchesReference) {
+  common::Rng rng(0x4d45414e);
+  HdrHistogram h(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.exponential(7.5e5));
+    h.record(v);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(h.mean(), sum / 10000.0, 1e-6 * sum / 10000.0);
+}
+
+TEST(HdrHistogram, MergeEqualsCombinedRecording) {
+  common::Rng rng(0x4d4552);
+  HdrHistogram a(7);
+  HdrHistogram b(7);
+  HdrHistogram combined(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.exponential(3e4));
+    ((i % 2 == 0) ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HdrHistogram, MergeRejectsMismatchedPrecision) {
+  HdrHistogram a(7);
+  HdrHistogram b(8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HdrHistogram, ResetClears) {
+  HdrHistogram h(7);
+  h.record(123456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  h.record(7);
+  EXPECT_EQ(h.quantile(1.0), 7u);
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+#include "common/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace impress::common {
+namespace {
+
+struct Node {
+  Node* next = nullptr;
+  std::uint64_t value = 0;
+  std::uint32_t producer = 0;
+};
+
+TEST(SlabPool, AcquireReleaseRecycles) {
+  SlabPool<Node> pool(4);
+  Node* a = pool.acquire();
+  ASSERT_NE(a, nullptr);
+  a->value = 42;
+  pool.release(a);
+  // The freelist is LIFO: the recycled object comes back first, fields
+  // intact (acquire() does not re-construct).
+  Node* b = pool.acquire();
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b->value, 42u);
+  pool.release(b);
+}
+
+TEST(SlabPool, StatsTrackCapacityInUseHighWater) {
+  SlabPool<Node> pool(4);
+  std::vector<Node*> held;
+  for (int i = 0; i < 6; ++i) held.push_back(pool.acquire());
+  auto s = pool.stats();
+  EXPECT_EQ(s.capacity, 8u);  // two slabs of 4
+  EXPECT_EQ(s.in_use, 6u);
+  EXPECT_EQ(s.high_water, 6u);
+  EXPECT_EQ(s.slabs, 2u);
+  for (Node* n : held) pool.release(n);
+  s = pool.stats();
+  EXPECT_EQ(s.in_use, 0u);
+  EXPECT_EQ(s.high_water, 6u);  // high water is sticky
+}
+
+TEST(SlabPool, ReservePreCarves) {
+  SlabPool<Node> pool(8);
+  pool.reserve(20);
+  auto s = pool.stats();
+  EXPECT_GE(s.capacity, 20u);
+  EXPECT_EQ(s.in_use, 0u);
+}
+
+TEST(SlabPool, FixedPoolReturnsNullptrOnExhaustion) {
+  SlabPool<Node> pool(4, /*allow_growth=*/false);
+  pool.reserve(4);
+  std::vector<Node*> held;
+  for (int i = 0; i < 4; ++i) {
+    Node* n = pool.acquire();
+    ASSERT_NE(n, nullptr);
+    held.push_back(n);
+  }
+  EXPECT_EQ(pool.acquire(), nullptr);
+  EXPECT_EQ(pool.stats().capacity, 4u);  // did not grow
+  pool.release(held.back());
+  held.pop_back();
+  EXPECT_NE(pool.acquire(), nullptr);  // released slot is reusable
+  for (Node* n : held) pool.release(n);
+}
+
+TEST(SlabPool, FixedPoolWithoutReserveIsEmpty) {
+  SlabPool<Node> pool(4, /*allow_growth=*/false);
+  EXPECT_EQ(pool.acquire(), nullptr);
+}
+
+TEST(SlabPool, ObjectsAreDistinct) {
+  SlabPool<Node> pool(16);
+  std::set<Node*> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(pool.acquire());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(MpscInbox, DrainReturnsFifoOrder) {
+  SlabPool<Node> pool(8);
+  MpscInbox<Node> inbox;
+  EXPECT_TRUE(inbox.empty());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Node* n = pool.acquire();
+    n->value = i;
+    inbox.push(n);
+  }
+  EXPECT_FALSE(inbox.empty());
+  Node* head = inbox.drain();
+  EXPECT_TRUE(inbox.empty());
+  std::uint64_t expect = 0;
+  for (Node* n = head; n != nullptr; n = n->next) {
+    EXPECT_EQ(n->value, expect++);
+  }
+  EXPECT_EQ(expect, 5u);
+}
+
+TEST(MpscInbox, DrainEmptyIsNull) {
+  MpscInbox<Node> inbox;
+  EXPECT_EQ(inbox.drain(), nullptr);
+}
+
+TEST(MpscInbox, InterleavedPushDrainLosesNothing) {
+  SlabPool<Node> pool(64);
+  MpscInbox<Node> inbox;
+  std::uint64_t seen = 0;
+  std::uint64_t pushed = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < round; ++i) {
+      Node* n = pool.acquire();
+      n->value = pushed++;
+      inbox.push(n);
+    }
+    for (Node* n = inbox.drain(); n != nullptr;) {
+      Node* next = n->next;
+      EXPECT_EQ(n->value, seen++);  // global FIFO across rounds
+      pool.release(n);
+      n = next;
+    }
+  }
+  EXPECT_EQ(seen, pushed);
+}
+
+// Multi-producer: each producer's pushes must appear in that producer's
+// order, and nothing may be lost or duplicated.
+TEST(MpscInbox, ConcurrentProducersPreservePerProducerOrder) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  SlabPool<Node> pool(1024);
+  pool.reserve(kProducers * kPerProducer);
+  MpscInbox<Node> inbox;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&pool, &inbox, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        Node* n = pool.acquire();
+        n->producer = p;
+        n->value = i;
+        inbox.push(n);
+      }
+    });
+  }
+
+  std::uint64_t next_expected[kProducers] = {};
+  std::uint64_t total = 0;
+  while (total < kProducers * kPerProducer) {
+    for (Node* n = inbox.drain(); n != nullptr; n = n->next) {
+      ASSERT_LT(n->producer, kProducers);
+      EXPECT_EQ(n->value, next_expected[n->producer]);
+      ++next_expected[n->producer];
+      ++total;
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(inbox.empty());
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace impress::common

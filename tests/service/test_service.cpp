@@ -1,0 +1,457 @@
+// CampaignService behavior: admission property tests (quotas and caps
+// never exceeded), DRR weight shares, strict tier priority, token-bucket
+// rate limiting, shedding, and seed-determinism of the full service +
+// simulated-backend stack.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "service/sim_backend.hpp"
+
+namespace impress::service {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+/// Backend that parks every dispatched record until the test completes it
+/// explicitly — makes in-flight occupancy and completion timing exact.
+class ManualBackend final : public ExecutionBackend {
+ public:
+  void attach(CampaignService& s) noexcept { service_ = &s; }
+
+  void start(SubmissionRecord& rec, std::uint64_t /*now_ns*/) override {
+    held_.push_back(&rec);
+  }
+
+  [[nodiscard]] rp::LoadSnapshot load() const override {
+    return {held_.size(), held_.size(), 16};
+  }
+
+  [[nodiscard]] std::size_t held() const noexcept { return held_.size(); }
+
+  /// Complete the oldest `n` held records at `now_ns`.
+  void complete(std::size_t n, std::uint64_t now_ns, double quality = 0.9) {
+    while (n-- > 0 && !held_.empty()) {
+      SubmissionRecord* rec = held_.front();
+      held_.pop_front();
+      service_->on_complete(*rec, now_ns, quality);
+    }
+  }
+
+ private:
+  CampaignService* service_ = nullptr;
+  std::deque<SubmissionRecord*> held_;
+};
+
+TenantConfig tenant(const std::string& name, Tier tier, std::uint32_t weight,
+                    std::uint32_t max_open, double rate) {
+  TenantConfig t;
+  t.name = name;
+  t.tier = tier;
+  t.weight = weight;
+  t.max_open = max_open;
+  t.initial_rate = rate;
+  t.burst_s = 2.0;
+  return t;
+}
+
+ServiceConfig base_config() {
+  ServiceConfig c;
+  c.backpressure_enabled = false;  // fixed rates unless a test opts in
+  c.global_max_open = 4096;
+  c.max_dispatched = 4096;
+  c.max_dispatch_per_tick = 4096;
+  return c;
+}
+
+TEST(CampaignService, LifecycleCountsAndLatency) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("a", Tier::kStandard, 1, 64, 1e6)};
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  for (int i = 0; i < 10; ++i) {
+    const SubmitResult r =
+        svc.submit(0, /*seed=*/static_cast<std::uint64_t>(i), 1, 0);
+    ASSERT_TRUE(r.admitted());
+    EXPECT_EQ(r.seq, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(svc.open_now(), 10u);
+  EXPECT_EQ(svc.in_flight_now(), 0u);
+
+  svc.tick(0);
+  EXPECT_EQ(backend.held(), 10u);
+  EXPECT_EQ(svc.in_flight_now(), 10u);
+
+  backend.complete(10, 3 * kSecond, 0.8);
+  EXPECT_EQ(svc.open_now(), 0u);
+  EXPECT_EQ(svc.in_flight_now(), 0u);
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.submitted, 10u);
+  EXPECT_EQ(r.admitted, 10u);
+  EXPECT_EQ(r.dispatched, 10u);
+  EXPECT_EQ(r.completed, 10u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.queued_now, 0u);
+  // Completion doubled as the first result at t=3s.
+  EXPECT_EQ(r.tenants[0].first_results, 10u);
+  EXPECT_NEAR(r.tenants[0].mean_first_result_s, 3.0, 1e-9);
+  EXPECT_GE(r.first_result_p50_ns, 3 * kSecond - 3 * kSecond / 128);
+  EXPECT_NEAR(r.tenants[0].mean_quality, 0.8, 1e-12);
+  EXPECT_EQ(r.pool.in_use, 0u);
+  // The human rendering covers every headline counter.
+  const std::string table = render(r);
+  EXPECT_NE(table.find("10 admitted"), std::string::npos);
+  EXPECT_NE(table.find("a"), std::string::npos);
+}
+
+TEST(CampaignService, RejectsUnknownTenant) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("a", Tier::kStandard, 1, 64, 1e6)};
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+  const SubmitResult r = svc.submit(7, 1, 1, 0);
+  EXPECT_EQ(r.admission, Admission::kRejectedBadTenant);
+  EXPECT_FALSE(r.admitted());
+}
+
+// Property: a tenant's open submissions never exceed its quota, and the
+// quota frees up exactly as completions land.
+TEST(CampaignService, QuotaNeverExceeded) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("a", Tier::kStandard, 1, /*max_open=*/16, 1e6)};
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_quota = 0;
+  for (int i = 0; i < 100; ++i) {
+    const SubmitResult r = svc.submit(0, 1, 1, 0);
+    (r.admitted() ? admitted : rejected_quota)++;
+    ASSERT_LE(svc.open_now(), 16u);
+  }
+  EXPECT_EQ(admitted, 16u);
+  EXPECT_EQ(rejected_quota, 84u);
+
+  svc.tick(0);
+  backend.complete(10, kSecond);
+  for (int i = 0; i < 100; ++i) {
+    if (svc.submit(0, 1, 1, kSecond).admitted()) ++admitted;
+    ASSERT_LE(svc.open_now(), 16u);
+  }
+  EXPECT_EQ(admitted, 26u);
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.tenants[0].rejected_quota, r.submitted - r.admitted);
+}
+
+// Property: the global open cap holds across tenants, the record pool
+// never grows past it, and overflow is accounted as capacity rejection.
+TEST(CampaignService, GlobalCapNeverExceeded) {
+  ServiceConfig c = base_config();
+  c.global_max_open = 64;
+  for (int i = 0; i < 4; ++i) {
+    c.tenants.push_back(
+        tenant("t" + std::to_string(i), Tier::kStandard, 1, 32, 1e6));
+  }
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  for (TenantId t = 0; t < 4; ++t) {
+    for (int i = 0; i < 32; ++i) {
+      svc.submit(t, 1, 1, 0);
+      ASSERT_LE(svc.open_now(), 64u);
+    }
+  }
+  svc.tick(0);
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.admitted, 64u);
+  EXPECT_EQ(r.rejected, 64u);
+  EXPECT_EQ(r.tenants[2].rejected_capacity + r.tenants[3].rejected_capacity,
+            64u);
+  EXPECT_LE(r.pool.capacity, 64u);
+  EXPECT_LE(r.pool.high_water, 64u);
+
+  // Freeing capacity makes the cap available to any tenant again.
+  backend.complete(64, kSecond);
+  EXPECT_TRUE(svc.submit(3, 1, 1, kSecond).admitted());
+}
+
+TEST(CampaignService, TokenBucketLimitsAdmissionRate) {
+  ServiceConfig c = base_config();
+  // rate 5/s, burst 2 s -> bucket depth 10 tokens.
+  c.tenants = {tenant("a", Tier::kStandard, 1, 1024, 5.0)};
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (svc.submit(0, 1, 1, 0).admitted()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 10u);  // burst drained
+
+  svc.tick(kSecond);  // 1 s at 5/s refills 5 tokens
+  admitted = 0;
+  for (int i = 0; i < 7; ++i) {
+    if (svc.submit(0, 1, 1, kSecond).admitted()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5u);
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.tenants[0].rejected_rate, 4u);
+}
+
+// DRR: with saturated queues and equal costs, dispatch shares within a
+// tier match the configured weights exactly when the tick budget covers
+// whole rotation rounds.
+TEST(CampaignService, DrrSharesMatchWeights) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("w1", Tier::kStandard, 1, 1024, 1e6),
+               tenant("w2", Tier::kStandard, 2, 1024, 1e6),
+               tenant("w4", Tier::kStandard, 4, 1024, 1e6)};
+  c.drr_quantum = 4;
+  // One rotation round dispatches quantum * (1+2+4) = 28; 10 rounds.
+  c.max_dispatch_per_tick = 280;
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  for (TenantId t = 0; t < 3; ++t) {
+    for (int i = 0; i < 600; ++i) svc.submit(t, 1, 1, 0);
+  }
+  svc.tick(0);
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.dispatched, 280u);
+  EXPECT_EQ(r.tenants[0].dispatched, 40u);
+  EXPECT_EQ(r.tenants[1].dispatched, 80u);
+  EXPECT_EQ(r.tenants[2].dispatched, 160u);
+
+  // Completing exactly the dispatched shares gives weight-normalized
+  // completions of 40/40/40 -> a perfect Jain index.
+  backend.complete(280, kSecond);
+  EXPECT_NEAR(svc.report().fairness_jain, 1.0, 1e-9);
+}
+
+// Multi-cost submissions bill their cost against the tenant's deficit:
+// a tenant submitting cost-4 campaigns gets 1/4 the campaigns of an
+// equal-weight tenant submitting cost-1 campaigns.
+TEST(CampaignService, DrrBillsCost) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("cheap", Tier::kStandard, 1, 2048, 1e6),
+               tenant("pricey", Tier::kStandard, 1, 2048, 1e6)};
+  c.drr_quantum = 4;
+  c.max_dispatch_per_tick = 200;
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  for (int i = 0; i < 1000; ++i) {
+    svc.submit(0, 1, /*cost=*/1, 0);
+    svc.submit(1, 1, /*cost=*/4, 0);
+  }
+  svc.tick(0);
+  const ServiceReport r = svc.report();
+  ASSERT_GT(r.tenants[1].dispatched, 0u);
+  const double ratio = static_cast<double>(r.tenants[0].dispatched) /
+                       static_cast<double>(r.tenants[1].dispatched);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+// Strict priority: with a limited budget, the interactive tier drains
+// completely before the standard and batch tiers see a single dispatch.
+TEST(CampaignService, TiersAreStrictPriority) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("batch", Tier::kBatch, 8, 1024, 1e6),
+               tenant("standard", Tier::kStandard, 8, 1024, 1e6),
+               tenant("urgent", Tier::kInteractive, 1, 1024, 1e6)};
+  c.max_dispatch_per_tick = 50;
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  for (TenantId t = 0; t < 3; ++t) {
+    for (int i = 0; i < 50; ++i) svc.submit(t, 1, 1, 0);
+  }
+  svc.tick(0);
+  ServiceReport r = svc.report();
+  EXPECT_EQ(r.tenants[2].dispatched, 50u);
+  EXPECT_EQ(r.tenants[0].dispatched, 0u);
+  EXPECT_EQ(r.tenants[1].dispatched, 0u);
+
+  // Next tick: interactive is empty, standard outranks batch.
+  svc.tick(1);
+  r = svc.report();
+  EXPECT_EQ(r.tenants[1].dispatched, 50u);
+  EXPECT_EQ(r.tenants[0].dispatched, 0u);
+}
+
+TEST(CampaignService, StaleQueuedWorkIsShed) {
+  ServiceConfig c = base_config();
+  c.tenants = {tenant("a", Tier::kStandard, 1, 64, 1e6)};
+  c.max_dispatched = 1;
+  c.shed_age_ns = 1 * kSecond;
+  ManualBackend backend;
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  for (int i = 0; i < 5; ++i) svc.submit(0, 1, 1, 0);
+  svc.tick(0);  // dispatches 1, queues 4
+  EXPECT_EQ(svc.in_flight_now(), 1u);
+
+  backend.complete(1, 3 * kSecond);
+  svc.tick(3 * kSecond);  // remaining heads are 3 s old: shed, not run
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.shed, 4u);
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.queued_now, 0u);
+  EXPECT_EQ(svc.open_now(), 0u);
+  EXPECT_EQ(r.pool.in_use, 0u);
+}
+
+// Full-stack determinism: the same seed replays the exact admission
+// sequence and final report against the virtual-time backend, with
+// backpressure enabled.
+TEST(CampaignService, SeededRunsAreBitIdentical) {
+  struct Outcome {
+    std::vector<std::uint8_t> admissions;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t p99_ns = 0;
+    double fairness = 0.0;
+    double rate0 = 0.0;
+  };
+  auto run = [](std::uint64_t seed) {
+    SimulatedBackendConfig bc;
+    bc.slots = 8;
+    bc.duration_scale = 1e-3;  // ~6.4 s virtual first result
+    SimulatedBackend backend(bc);
+    ServiceConfig c;
+    c.backpressure_enabled = true;
+    c.backpressure.interval_s = 4.0;
+    c.backpressure.latency_ref_s = 30.0;
+    c.global_max_open = 256;
+    c.max_dispatched = 16;
+    c.shed_age_ns = 45 * kSecond;
+    for (int i = 0; i < 4; ++i) {
+      c.tenants.push_back(tenant("t" + std::to_string(i), Tier::kStandard,
+                                 1u << (i % 3), 64, 4.0));
+    }
+    CampaignService svc(c, backend);
+    backend.attach(svc);
+
+    common::Rng root(seed, 0x5345525631);
+    std::vector<common::Rng> rngs;
+    std::vector<std::uint64_t> next_ns(4);
+    std::vector<std::uint64_t> payload(4);
+    for (std::uint64_t t = 0; t < 4; ++t) {
+      rngs.push_back(root.fork(t));
+      next_ns[t] =
+          static_cast<std::uint64_t>(rngs[t].exponential(0.125) * 1e9);
+      payload[t] = common::splitmix64(seed ^ t);
+    }
+
+    Outcome out;
+    constexpr std::uint64_t kTick = kSecond / 10;
+    for (std::uint64_t now = 0; now <= 120 * kSecond; now += kTick) {
+      backend.advance_to(now);
+      for (TenantId t = 0; t < 4; ++t) {
+        while (next_ns[t] <= now) {
+          const SubmitResult r =
+              svc.submit(t, payload[t], 1 + (payload[t] % 3), next_ns[t]);
+          out.admissions.push_back(static_cast<std::uint8_t>(r.admission));
+          payload[t] = common::splitmix64(payload[t]);
+          next_ns[t] += static_cast<std::uint64_t>(
+              rngs[t].exponential(0.125) * 1e9);
+        }
+      }
+      svc.tick(now);
+    }
+    const ServiceReport r = svc.report();
+    out.completed = r.completed;
+    out.rejected = r.rejected;
+    out.shed = r.shed;
+    out.p99_ns = r.first_result_p99_ns;
+    out.fairness = r.fairness_jain;
+    out.rate0 = svc.admission_rate(0);
+    return out;
+  };
+
+  const Outcome a = run(0xC0FFEE);
+  const Outcome b = run(0xC0FFEE);
+  const Outcome other = run(0xBEEF);
+  EXPECT_EQ(a.admissions, b.admissions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.rate0, b.rate0);
+  EXPECT_GT(a.completed, 0u);
+  // And the seed actually matters (different arrival process).
+  EXPECT_NE(a.admissions, other.admissions);
+}
+
+// Backpressure closes the loop end-to-end: a backlogged tenant (offered
+// load well above its admission rate, which is in turn well above what
+// the fleet sustains) has its rate pulled down toward the service rate —
+// the admitted-then-shed work and the queue-delay penalty are the
+// congestion signals. Note the rate must be the binding constraint for
+// the probes to measure anything: above the offered load, utility is
+// flat in rate and the controller just random-walks (same as a PCC
+// sender with nothing to send).
+TEST(CampaignService, BackpressureAdaptsRateTowardCapacity) {
+  SimulatedBackendConfig bc;
+  bc.slots = 4;
+  bc.duration_scale = 1e-3;
+  SimulatedBackend backend(bc);
+  ServiceConfig c;
+  c.backpressure_enabled = true;
+  c.backpressure.interval_s = 4.0;
+  c.backpressure.latency_ref_s = 20.0;
+  c.global_max_open = 128;
+  c.max_dispatched = 8;
+  c.shed_age_ns = 30 * kSecond;
+  c.tenants = {tenant("greedy", Tier::kStandard, 1, 64, /*rate=*/8.0)};
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  // Fleet capacity: 4 slots / ~24.75 s per campaign ~= 0.16 campaigns/s,
+  // offered 32/s.
+  const double initial = svc.admission_rate(0);
+  common::Rng rng(0xADA97);
+  std::uint64_t next = 0;
+  std::uint64_t payload = 1;
+  constexpr std::uint64_t kTick = kSecond / 10;
+  for (std::uint64_t now = 0; now <= 600 * kSecond; now += kTick) {
+    backend.advance_to(now);
+    while (next <= now) {
+      svc.submit(0, payload, 1, next);
+      payload = common::splitmix64(payload);
+      next += static_cast<std::uint64_t>(rng.exponential(1.0 / 32.0) * 1e9);
+    }
+    svc.tick(now);
+  }
+  const double final_rate = svc.admission_rate(0);
+  EXPECT_LT(final_rate, initial / 4.0);
+  EXPECT_GE(final_rate, c.backpressure.min_rate * (1.0 - 0.05));
+  const ServiceReport r = svc.report();
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.shed, 0u);  // the loss signal the controller reacted to
+}
+
+}  // namespace
+}  // namespace impress::service

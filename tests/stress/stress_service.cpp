@@ -1,0 +1,189 @@
+// Interleaving-hostile CampaignService stress: concurrent producers on
+// the lock-free submit path, one pump thread, and a threaded execution
+// backend completing from its own workers — the full cross-thread record
+// hand-off chain (inbox -> DRR queue -> backend -> pool) under TSan.
+//
+// Time is a single global atomic "clock" (each fetch_add is a unique,
+// increasing nanosecond stamp), so latency arithmetic never underflows
+// while the schedule itself stays maximally racy.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace impress::service {
+namespace {
+
+std::atomic<std::uint64_t> g_clock{1};
+
+std::uint64_t tick_clock() {
+  return g_clock.fetch_add(1000, std::memory_order_relaxed);
+}
+
+/// Backend that completes records from its own worker threads.
+class ThreadedBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadedBackend(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+
+  ~ThreadedBackend() override { stop(); }
+
+  void attach(CampaignService& s) noexcept { service_ = &s; }
+
+  void start(SubmissionRecord& rec, std::uint64_t /*now_ns*/) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(&rec);
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] rp::LoadSnapshot load() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {pending_.size(), threads_.size(), threads_.size()};
+  }
+
+  [[nodiscard]] bool idle() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.empty() && busy_ == 0;
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+ private:
+  void worker() {
+    for (;;) {
+      SubmissionRecord* rec = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+        if (pending_.empty()) return;  // stopping and drained
+        rec = pending_.front();
+        pending_.pop_front();
+        ++busy_;
+      }
+      // Callbacks run with no backend lock held: the only lock they take
+      // is the service's leaf completion mutex.
+      service_->on_first_result(*rec, tick_clock());
+      service_->on_complete(*rec, tick_clock(),
+                            0.5 + 0.4 * static_cast<double>(rec->seq % 100) /
+                                      100.0);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --busy_;
+      }
+    }
+  }
+
+  CampaignService* service_ = nullptr;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<SubmissionRecord*> pending_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+TEST(StressService, ConcurrentProducersPumpAndThreadedCompletions) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+
+  ThreadedBackend backend(/*workers=*/3);
+  ServiceConfig c;
+  c.backpressure_enabled = true;  // roll_interval races against completions
+  c.backpressure.interval_s = 0.001;
+  c.global_max_open = 1024;
+  c.max_dispatched = 256;
+  c.max_dispatch_per_tick = 512;
+  c.shed_age_ns = 0;  // admitted == completed at the end
+  for (std::uint32_t i = 0; i < kProducers; ++i) {
+    TenantConfig t;
+    t.name = "p" + std::to_string(i);
+    t.tier = static_cast<Tier>(i % 3);
+    t.weight = 1 + i;
+    t.max_open = 256;
+    t.initial_rate = 1e9;  // quotas, not tokens, are the contended limit
+    c.tenants.push_back(t);
+  }
+  CampaignService svc(c, backend);
+  backend.attach(svc);
+
+  std::atomic<bool> producers_done{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&svc, p] {
+      std::uint64_t payload = 0x5eed + p;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        svc.submit(p, payload, 1 + static_cast<std::uint32_t>(i % 3),
+                   tick_clock());
+        payload = payload * 6364136223846793005ull + 1442695040888963407ull;
+        if (i % 512 == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::thread pump([&svc, &backend, &producers_done] {
+    // Keep pumping until the producers stop and everything in flight has
+    // drained back through the pool.
+    for (;;) {
+      svc.tick(tick_clock());
+      if (producers_done.load(std::memory_order_acquire) &&
+          svc.open_now() == 0 && backend.idle()) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  producers_done.store(true, std::memory_order_release);
+  pump.join();
+  backend.stop();
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(r.submitted, r.admitted + r.rejected);
+  EXPECT_EQ(r.admitted, r.dispatched);
+  EXPECT_EQ(r.dispatched, r.completed);  // shed disabled
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.queued_now, 0u);
+  EXPECT_EQ(r.in_flight_now, 0u);
+  EXPECT_EQ(svc.open_now(), 0u);
+  EXPECT_EQ(r.pool.in_use, 0u);
+  EXPECT_LE(r.pool.high_water, c.global_max_open);
+  EXPECT_GT(r.admitted, 0u);
+  for (const TenantReport& t : r.tenants) {
+    EXPECT_EQ(t.first_results, t.completed);
+    EXPECT_EQ(t.queued_now, 0u);
+  }
+  // Quantiles are well-formed under concurrency.
+  EXPECT_LE(r.first_result_p50_ns, r.first_result_p99_ns);
+  EXPECT_LE(r.first_result_p99_ns, r.first_result_p999_ns);
+}
+
+}  // namespace
+}  // namespace impress::service

@@ -1,0 +1,40 @@
+// Fixture: hot-path-alloc (path ends in service/service.cpp, which the
+// zero-allocation suffix list matches) plus hot-string-key, which the
+// hot-path file list also covers for the service TUs.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Record {
+  int id = 0;
+};
+
+int submit_hot_path(std::map<std::string, int>& index, int tenant) {
+  // By-value std::string and std::to_string both construct on the heap
+  // per request.
+  std::string key = std::to_string(tenant);
+
+  // Fresh per-request container: grows on the heap under load.
+  std::vector<int> scratch(4, tenant);
+
+  // Smart-pointer factories allocate too.
+  auto shared = std::make_shared<Record>();
+  auto owned = std::make_unique<Record>();
+
+  // Naked new/delete on the submit path.
+  Record* raw = new Record();
+  delete raw;
+
+  // Temporary string key in a hot-path map lookup (hot-string-key).
+  const auto it = index.find(std::to_string(tenant));
+  const int hit = it == index.end() ? 0 : it->second;
+
+  return hit + scratch.front() + shared->id + owned->id +
+         static_cast<int>(key.size());
+}
+
+}  // namespace fixture

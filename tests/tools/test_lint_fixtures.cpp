@@ -57,6 +57,17 @@ TEST(LintFixtures, EveryRuleFiresOnItsBadFixture) {
       "bad/wall_clock.cpp:wall-clock-in-deterministic-path:rand",
       "bad/wall_clock.cpp:wall-clock-in-deterministic-path:system_clock",
       "bad/wall_clock.cpp:wall-clock-in-deterministic-path:random_device",
+      // zero-allocation service TU contract (path suffix service/service.cpp
+      // puts the fixture on both the hot-path and zero-alloc lists)
+      "bad/service/service.cpp:hot-path-alloc:new",
+      "bad/service/service.cpp:hot-path-alloc:delete",
+      "bad/service/service.cpp:hot-path-alloc:make_unique",
+      "bad/service/service.cpp:hot-path-alloc:make_shared",
+      "bad/service/service.cpp:hot-path-alloc:string",
+      "bad/service/service.cpp:hot-path-alloc:to_string",
+      "bad/service/service.cpp:hot-path-alloc:vector",
+      "bad/service/service.cpp:hot-path-alloc:map",
+      "bad/service/service.cpp:hot-string-key:to_string",
       // v1 parity pack
       "bad/legacy_rules.hpp:missing-pragma-once:header",
       "bad/legacy_rules.hpp:using-namespace:std",
