@@ -189,7 +189,9 @@ CampaignResult Campaign::execute(
           if (coordinator_config.fold_cache)
             doc.fold_cache = coordinator_config.fold_cache->snapshot();
           doc.generator_state = generator->checkpoint_state();
-          save_checkpoint(doc, config_.checkpoint.path());
+          if (!config_.checkpoint.directory.empty())
+            save_checkpoint(doc, config_.checkpoint.path());
+          if (config_.checkpoint.sink) config_.checkpoint.sink(doc);
           if (config_.checkpoint.halt_after > 0 &&
               local_writes >= config_.checkpoint.halt_after &&
               session.mode() == rp::ExecutionMode::kSimulated)

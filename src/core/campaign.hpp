@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,8 +43,17 @@ struct CheckpointConfig {
   /// The interrupted run's CampaignResult is meaningless; resume from the
   /// written checkpoint instead. 0 = never halt.
   std::size_t halt_after = 0;
+  /// In-memory checkpoint delivery: invoked with each completed document
+  /// after the file write (or instead of one, when no directory is set).
+  /// The fabric's workers use this to ship CHECKPOINT_SHARD frames without
+  /// touching the filesystem. Cutting checkpoints perturbs the engine
+  /// schedule exactly like a directory sink does, so the same cadence must
+  /// be configured on both sides of any bit-identity comparison.
+  std::function<void(const CampaignCheckpoint&)> sink;
 
-  [[nodiscard]] bool enabled() const noexcept { return !directory.empty(); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return !directory.empty() || sink != nullptr;
+  }
   [[nodiscard]] std::string path() const { return directory + "/" + filename; }
 };
 

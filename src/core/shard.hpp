@@ -1,0 +1,92 @@
+// Campaign sharding: the determinism anchor for the distributed fabric
+// (docs/fabric.md).
+//
+// A shard is a subset of a campaign's design targets, run through the
+// ordinary Campaign machinery as its own independent campaign. Because
+// the coordinator's cross-pipeline heuristics (pool-median composite) and
+// the shared-pilot timing couple everything *within* one campaign, the
+// sharded result differs from the unsharded one — so the contract the
+// fabric pins is NOT "distributed == Campaign::run" for S > 1. Instead:
+//
+//   run_sharded(config, targets, plan) is the single-process baseline:
+//   each shard runs to completion in plan order and the per-shard
+//   results fold through merge_shard_results. A distributed run over any
+//   transport, any worker count, any chaos schedule, and any number of
+//   worker deaths must produce a bit-identical CampaignResult — each
+//   shard is a pure function of (config, seed, membership) and PR-5
+//   checkpoint/resume is bit-exact, so recovery lands on the same bytes.
+//
+//   For S == 1 the merge is the identity, so the distributed result also
+//   equals the plain single-process Campaign::run — the ISSUE's headline
+//   acceptance criterion — provided the checkpoint cadence matches
+//   (cutting a checkpoint parks the coordinator and perturbs the engine
+//   schedule, exactly as in PR-5).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::core {
+
+/// Membership of one shard, by target name, in plan order.
+struct ShardSpec {
+  std::uint32_t id = 0;
+  std::vector<std::string> target_names;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// The full partition of a campaign's target set. Shard ids are dense
+/// [0, shards.size()).
+struct ShardPlan {
+  std::vector<ShardSpec> shards;
+
+  bool operator==(const ShardPlan&) const = default;
+
+  /// Contiguous balanced split: n targets over k shards, first (n mod k)
+  /// shards take the extra target. k is clamped to [1, n] (never an
+  /// empty shard). Pure function of the target order.
+  [[nodiscard]] static ShardPlan contiguous(
+      const std::vector<protein::DesignTarget>& targets, std::size_t shards);
+
+  /// Resolve a shard's membership against the full target set (matched
+  /// by name; throws std::invalid_argument on unknown names).
+  [[nodiscard]] std::vector<protein::DesignTarget> targets_for(
+      std::size_t shard,
+      const std::vector<protein::DesignTarget>& all) const;
+};
+
+/// Build the per-shard campaign config: same protocol/seed/durations as
+/// `config`, checkpointing rewired to cut every `checkpoint_every`
+/// completions into an in-memory sink (no directory — workers ship
+/// documents over the wire instead of to disk). checkpoint_every == 0
+/// disables checkpointing entirely, matching a cadence-free baseline.
+[[nodiscard]] CampaignConfig shard_campaign_config(
+    const CampaignConfig& config, std::size_t checkpoint_every);
+
+/// Single-process sharded baseline: run every shard of `plan` in order
+/// (each through shard_campaign_config) and merge. The fabric's
+/// distributed result must be bit-identical to this for the same
+/// (config, targets, plan, checkpoint_every).
+[[nodiscard]] CampaignResult run_sharded(
+    const CampaignConfig& config,
+    const std::vector<protein::DesignTarget>& targets, const ShardPlan& plan,
+    std::size_t checkpoint_every = 0);
+
+/// Deterministic fold of per-shard results, in shard order (docs/fabric.md
+/// "merge semantics"). For a single shard this is the identity. Otherwise:
+/// trajectories/gantt/lockdep concatenate (gantt under per-shard headers),
+/// makespan is the max, energy and every workload/fault counter sum,
+/// phase_hours sums per key, utilization is the span-weighted average,
+/// attempts keys gain a "s<id>/" prefix (uids repeat across shard
+/// sessions), and the per-bin series / trace / metrics reset to empty —
+/// they have no meaningful cross-shard composition.
+[[nodiscard]] CampaignResult merge_shard_results(
+    std::vector<CampaignResult> shard_results);
+
+}  // namespace impress::core

@@ -43,6 +43,8 @@ struct ResourceRequest {
   std::uint32_t cores = 1;
   std::uint32_t gpus = 0;
   double mem_gb = 0.0;
+
+  bool operator==(const ResourceRequest&) const = default;
 };
 
 class ResourcePool {

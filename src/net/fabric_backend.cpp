@@ -1,0 +1,80 @@
+#include "net/fabric_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace impress::net {
+
+FabricBackend::FabricBackend(FabricBackendConfig config)
+    : config_(std::move(config)) {}
+
+void FabricBackend::start(service::SubmissionRecord& rec,
+                          std::uint64_t now_ns) {
+  const CampaignSample s = sample(rec.seed);
+  const std::uint64_t first_ns =
+      now_ns + static_cast<std::uint64_t>(
+                   static_cast<double>(s.duration_ns) *
+                   std::clamp(config_.first_result_fraction, 0.0, 1.0));
+  const std::uint64_t done_ns = now_ns + s.duration_ns;
+
+  rec.quality = s.quality;
+  Event first{first_ns, rec.seq, /*complete=*/false, &rec};
+  Event complete{done_ns, rec.seq, /*complete=*/true, &rec};
+  const auto order = [](const Event& a, const Event& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.complete < b.complete;
+  };
+  events_.insert(std::upper_bound(events_.begin(), events_.end(), first,
+                                  order),
+                 first);
+  events_.insert(std::upper_bound(events_.begin(), events_.end(), complete,
+                                  order),
+                 complete);
+  ++running_;
+  ++started_;
+}
+
+rp::LoadSnapshot FabricBackend::load() const {
+  rp::LoadSnapshot s;
+  s.running = running_;
+  s.capacity = config_.slots;
+  return s;
+}
+
+std::size_t FabricBackend::advance_to(std::uint64_t now_ns) {
+  std::size_t fired = 0;
+  while (!events_.empty() && events_.front().at_ns <= now_ns) {
+    const Event e = events_.front();
+    events_.erase(events_.begin());
+    ++fired;
+    if (e.complete) {
+      --running_;
+      ++completed_;
+      service_->on_complete(*e.rec, e.at_ns, e.rec->quality);
+    } else {
+      service_->on_first_result(*e.rec, e.at_ns);
+    }
+  }
+  return fired;
+}
+
+FabricBackend::CampaignSample FabricBackend::sample(std::uint64_t seed) {
+  if (const auto it = by_seed_.find(seed); it != by_seed_.end()) {
+    return it->second;
+  }
+  DistributedConfig run_config = config_.distributed;
+  run_config.fabric.campaign.session.seed = seed;
+  const DistributedOutcome outcome =
+      run_distributed(run_config, config_.targets);
+  CampaignSample s;
+  s.duration_ns = static_cast<std::uint64_t>(
+      std::max(0.0, outcome.result.makespan_h) * config_.ns_per_makespan_hour);
+  s.quality = static_cast<double>(outcome.result.total_trajectories());
+  by_seed_[seed] = s;
+  ++campaigns_run_;
+  return s;
+}
+
+}  // namespace impress::net

@@ -1,0 +1,90 @@
+// FabricBackend: a service ExecutionBackend that points the front door at
+// the campaign fabric (ROADMAP item 2 follow-on; docs/fabric.md).
+//
+// Each dispatched submission executes as a real multi-worker distributed
+// campaign (net::run_distributed) seeded from the record: the campaign's
+// merged makespan becomes the record's virtual completion latency and its
+// trajectory count its quality. Results are memoized per seed — the
+// fabric run is deterministic, so two records with one seed share one
+// campaign. Service callbacks fire from advance_to() in (time, seq)
+// order, mirroring service::SimulatedBackend's virtual-time contract.
+//
+// Still a stub in one deliberate way: campaigns run synchronously inside
+// start() (the fabric pump is not yet interleaved with the service pump);
+// wiring the two event loops together is the ROADMAP item 2 follow-on.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "service/service.hpp"
+
+namespace impress::net {
+
+struct FabricBackendConfig {
+  /// Template for every campaign; the record seed overrides
+  /// fabric.campaign.session.seed per submission.
+  DistributedConfig distributed;
+  /// Target set every campaign designs against (copied; campaigns of a
+  /// richer backend would carry their own).
+  std::vector<protein::DesignTarget> targets;
+  /// Virtual nanoseconds per simulated campaign hour.
+  double ns_per_makespan_hour = 3.6e12;
+  /// First result lands this fraction of the way into the campaign.
+  double first_result_fraction = 0.25;
+  /// Advertised concurrency ceiling for the load signal.
+  std::size_t slots = 8;
+};
+
+class FabricBackend final : public service::ExecutionBackend {
+ public:
+  explicit FabricBackend(FabricBackendConfig config);
+
+  /// Must be called once before the service dispatches anything.
+  void attach(service::CampaignService& service) noexcept {
+    service_ = &service;
+  }
+
+  // ExecutionBackend
+  void start(service::SubmissionRecord& rec, std::uint64_t now_ns) override;
+  [[nodiscard]] rp::LoadSnapshot load() const override;
+
+  /// Fire every pending first-result/completion callback with timestamp
+  /// <= now_ns, in (time, seq) order. Returns the number fired.
+  std::size_t advance_to(std::uint64_t now_ns);
+
+  [[nodiscard]] std::size_t started() const noexcept { return started_; }
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  /// Distinct campaigns actually executed (cache misses).
+  [[nodiscard]] std::size_t campaigns_run() const noexcept {
+    return campaigns_run_;
+  }
+
+ private:
+  struct CampaignSample {
+    std::uint64_t duration_ns = 0;
+    double quality = 0.0;
+  };
+  struct Event {
+    std::uint64_t at_ns = 0;
+    std::uint64_t seq = 0;
+    bool complete = false;  ///< false = first result
+    service::SubmissionRecord* rec = nullptr;
+  };
+
+  [[nodiscard]] CampaignSample sample(std::uint64_t seed);
+
+  FabricBackendConfig config_;
+  service::CampaignService* service_ = nullptr;
+  std::map<std::uint64_t, CampaignSample> by_seed_;
+  std::vector<Event> events_;  ///< kept sorted on insert (cold path)
+  std::size_t running_ = 0;
+  std::size_t started_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t campaigns_run_ = 0;
+};
+
+}  // namespace impress::net

@@ -1,0 +1,126 @@
+#include "net/loopback.hpp"
+
+#include <mutex>
+
+namespace impress::net {
+
+/// One endpoint of a loopback pair: sends into one queue, polls the other.
+/// Namespace scope (not anonymous) so the friend declaration in
+/// LoopbackNet binds to it.
+class LoopbackLink final : public Link {
+ public:
+  LoopbackLink(LoopbackNet* net, std::size_t tx, std::size_t rx,
+               std::string name)
+      : net_(net), tx_(tx), rx_(rx), name_(std::move(name)) {}
+
+  bool send(const Message& m) override { return net_->send_frame(tx_, m); }
+
+  std::optional<Message> poll() override { return net_->poll_frame(rx_); }
+
+  void close() override { net_->close_pair(tx_, rx_); }
+
+  bool closed() const override { return net_->queue_closed(tx_); }
+
+  std::string_view kind() const noexcept override { return "loopback"; }
+
+ private:
+  LoopbackNet* net_;
+  std::size_t tx_;
+  std::size_t rx_;
+  std::string name_;
+};
+
+LoopbackNet::LoopbackNet(ChaosConfig chaos)
+    : chaos_(chaos), rng_(chaos.seed, /*stream=*/0x10095) {}
+
+std::pair<std::shared_ptr<Link>, std::shared_ptr<Link>>
+LoopbackNet::make_link_pair(std::string a_name, std::string b_name) {
+  std::lock_guard lock(mutex_);
+  const std::size_t q_ab = queues_.size();
+  queues_.push_back(std::make_unique<Queue>());
+  const std::size_t q_ba = queues_.size();
+  queues_.push_back(std::make_unique<Queue>());
+  auto a = std::make_shared<LoopbackLink>(this, q_ab, q_ba, std::move(a_name));
+  auto b = std::make_shared<LoopbackLink>(this, q_ba, q_ab, std::move(b_name));
+  return {std::move(a), std::move(b)};
+}
+
+void LoopbackNet::advance(std::uint64_t ticks) {
+  std::lock_guard lock(mutex_);
+  tick_ += ticks;
+}
+
+std::uint64_t LoopbackNet::now() const {
+  std::lock_guard lock(mutex_);
+  return tick_;
+}
+
+LoopbackNet::Stats LoopbackNet::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+bool LoopbackNet::send_frame(std::size_t queue_index, const Message& m) {
+  // Encode outside the lock: the wire path runs even for dropped frames,
+  // so a chaos run exercises exactly the same encoder calls as a calm one.
+  std::vector<std::uint8_t> frame = encode_frame(m);
+
+  std::lock_guard lock(mutex_);
+  Queue& q = *queues_[queue_index];
+  if (q.closed) {
+    return false;
+  }
+  ++stats_.sent;
+  // Chaos draws happen for every send, in send order, whether or not any
+  // knob is non-zero — the rng stream consumed is a function of the send
+  // sequence alone, so enabling chaos never shifts later draws.
+  const bool drop = rng_.chance(chaos_.drop_rate);
+  std::uint64_t delay = chaos_.delay_min;
+  if (chaos_.delay_max > chaos_.delay_min) {
+    delay += rng_.below(chaos_.delay_max - chaos_.delay_min + 1);
+  }
+  if (rng_.chance(chaos_.reorder_rate)) {
+    ++stats_.reordered;
+    delay += 1 + rng_.below(chaos_.reorder_extra);
+  }
+  if (drop) {
+    ++stats_.dropped;
+    return true;  // accepted by the net, then lost — like a real network
+  }
+  q.frames.emplace(std::make_pair(tick_ + delay, seq_++), std::move(frame));
+  return true;
+}
+
+std::optional<Message> LoopbackNet::poll_frame(std::size_t queue_index) {
+  std::vector<std::uint8_t> frame;
+  {
+    std::lock_guard lock(mutex_);
+    Queue& q = *queues_[queue_index];
+    if (q.frames.empty()) {
+      return std::nullopt;
+    }
+    auto it = q.frames.begin();
+    if (it->first.first > tick_) {
+      return std::nullopt;  // earliest frame not yet deliverable
+    }
+    frame = std::move(it->second);
+    q.frames.erase(it);
+    ++stats_.delivered;
+  }
+  // Decode outside the lock; a loopback frame we encoded is well-formed
+  // by construction, so WireError here is a genuine bug worth propagating.
+  return decode_frame(frame);
+}
+
+void LoopbackNet::close_pair(std::size_t q_ab, std::size_t q_ba) {
+  std::lock_guard lock(mutex_);
+  queues_[q_ab]->closed = true;
+  queues_[q_ba]->closed = true;
+}
+
+bool LoopbackNet::queue_closed(std::size_t queue_index) const {
+  std::lock_guard lock(mutex_);
+  return queues_[queue_index]->closed;
+}
+
+}  // namespace impress::net

@@ -1,0 +1,91 @@
+// LoopbackNet: the deterministic in-process transport.
+//
+// All links created from one LoopbackNet share a virtual tick clock and a
+// seeded chaos stream. Every send encodes the message through the real
+// wire framer, draws (under the net mutex, in send order) a delivery
+// delay, an optional reorder penalty and a drop verdict from the seeded
+// rng, and files the encoded frame into the destination queue keyed by
+// (deliver_tick, send_seq). poll() decodes and returns frames whose
+// deliver tick has passed, in that key order — so for a fixed seed and
+// send sequence, delivery order (and every drop) replays exactly.
+//
+// Thread-safety: one TrackedMutex guards the whole net; links may be
+// pumped from worker threads (the stress suite does) at the cost of
+// send-order — and therefore chaos — determinism. Single-threaded
+// driving keeps the full determinism contract (docs/fabric.md).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/lockdep.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+
+namespace impress::net {
+
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  double drop_rate = 0.0;     ///< per-frame loss probability
+  double reorder_rate = 0.0;  ///< probability of an extra reorder penalty
+  std::uint32_t delay_min = 0;  ///< delivery delay, ticks (inclusive)
+  std::uint32_t delay_max = 0;
+  std::uint32_t reorder_extra = 4;  ///< max extra ticks a reordered frame waits
+};
+
+class LoopbackNet {
+ public:
+  struct Stats {
+    std::uint64_t sent = 0;       ///< frames offered to the net
+    std::uint64_t delivered = 0;  ///< frames handed to a poller
+    std::uint64_t dropped = 0;
+    std::uint64_t reordered = 0;  ///< frames that drew the reorder penalty
+  };
+
+  explicit LoopbackNet(ChaosConfig chaos = {});
+
+  /// Create a connected link pair; `a_to_b`/`b_to_a` name the directions
+  /// in diagnostics only.
+  [[nodiscard]] std::pair<std::shared_ptr<Link>, std::shared_ptr<Link>>
+  make_link_pair(std::string a_name, std::string b_name);
+
+  /// Advance the virtual clock: frames scheduled at or before the new
+  /// tick become deliverable.
+  void advance(std::uint64_t ticks = 1);
+  [[nodiscard]] std::uint64_t now() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  friend class LoopbackLink;
+
+  /// One direction of one pair: frames waiting for their deliver tick.
+  struct Queue {
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::vector<std::uint8_t>>
+        frames;  ///< (deliver_tick, send_seq) -> encoded frame
+    bool closed = false;
+  };
+
+  /// Called by links with the net mutex NOT held.
+  bool send_frame(std::size_t queue_index, const Message& m);
+  [[nodiscard]] std::optional<Message> poll_frame(std::size_t queue_index);
+  void close_pair(std::size_t q_ab, std::size_t q_ba);
+  [[nodiscard]] bool queue_closed(std::size_t queue_index) const;
+
+  // Mutex first: it guards everything below.
+  mutable common::TrackedMutex mutex_{"net::LoopbackNet::mutex_"};
+  ChaosConfig chaos_;
+  common::Rng rng_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  Stats stats_;
+};
+
+}  // namespace impress::net

@@ -1,0 +1,65 @@
+// SocketLink: the real-socket transport — a nonblocking stream fd pumped
+// with poll(2) and reassembled incrementally with FrameAssembler.
+//
+// Production shape is an AF_UNIX/TCP stream per worker; make_socket_pair()
+// builds a connected AF_UNIX socketpair so tests exercise the identical
+// read/write/poll machinery without touching the filesystem or network
+// namespace. Partial writes are buffered and flushed opportunistically on
+// every send()/poll() call, so the transport never blocks the caller.
+//
+// A framing error from the peer (bad magic, length lie, version skew)
+// poisons the assembler and closes the link: a byte stream has no
+// resynchronization point after a malformed header (docs/fabric.md).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace impress::net {
+
+class SocketLink final : public Link {
+ public:
+  /// Takes ownership of a connected stream fd and switches it to
+  /// non-blocking mode.
+  explicit SocketLink(int fd);
+  ~SocketLink() override;
+
+  SocketLink(const SocketLink&) = delete;
+  SocketLink& operator=(const SocketLink&) = delete;
+
+  bool send(const Message& m) override;
+  [[nodiscard]] std::optional<Message> poll() override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "socket";
+  }
+
+  /// Block up to timeout_ms for the fd to become readable (poll(2)).
+  /// Returns true if readable; false on timeout or closed link.
+  bool wait_readable(int timeout_ms);
+
+ private:
+  /// Drain as much of tx_backlog_ as the kernel will take right now.
+  void flush_tx();
+  /// Pull available bytes off the fd into the assembler.
+  void drain_rx();
+
+  int fd_;
+  bool closed_ = false;
+  std::vector<std::uint8_t> tx_backlog_;
+  std::size_t tx_offset_ = 0;  ///< bytes of tx_backlog_ already written
+  FrameAssembler assembler_;
+};
+
+/// Connected AF_UNIX socketpair wrapped as two Links. Throws
+/// std::system_error if the kernel refuses.
+[[nodiscard]] std::pair<std::unique_ptr<SocketLink>, std::unique_ptr<SocketLink>>
+make_socket_pair();
+
+}  // namespace impress::net

@@ -1,0 +1,44 @@
+// Transport abstraction for the campaign fabric: a Link is one side of a
+// bidirectional, message-framed connection between the coordinator and a
+// worker. Two implementations ship (docs/fabric.md):
+//
+//   * LoopbackNet (net/loopback.hpp) — in-process, deterministic, with
+//     seeded latency/reorder/drop chaos knobs; every frame still passes
+//     through the real wire encoder/decoder.
+//   * SocketTransport (net/socket.hpp) — real nonblocking sockets with a
+//     poll(2) loop and incremental frame reassembly.
+//
+// Both are safe to use from one thread per side; the loopback transport
+// additionally allows concurrent senders (guarded internally).
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "net/wire.hpp"
+
+namespace impress::net {
+
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Encode and enqueue one message toward the peer. Returns false when
+  /// the link is closed (the message is dropped, as a dead TCP peer
+  /// would drop it).
+  virtual bool send(const Message& m) = 0;
+
+  /// Non-blocking receive of the next fully decoded message, in delivery
+  /// order. nullopt = nothing deliverable right now. Throws WireError if
+  /// the byte stream is unrecoverably malformed (socket transport).
+  [[nodiscard]] virtual std::optional<Message> poll() = 0;
+
+  /// Tear the link down; both sides observe closed() afterwards.
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool closed() const = 0;
+
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+};
+
+}  // namespace impress::net

@@ -50,4 +50,19 @@ ServiceMetrics ServiceMetrics::registered(MetricsRegistry& registry) {
   return m;
 }
 
+FabricMetrics FabricMetrics::registered(MetricsRegistry& registry) {
+  FabricMetrics m;
+  for (std::size_t i = 0; i < kMsgTypes; ++i) {
+    const std::string suffix(names::kFabricMsgTypeNames[i]);
+    m.tx[i] = registry.counter("impress_fabric_tx_" + suffix);
+    m.rx[i] = registry.counter("impress_fabric_rx_" + suffix);
+  }
+  m.workers_dead = registry.counter(names::kFabricWorkersDead);
+  m.reassignments = registry.counter(names::kFabricReassignments);
+  m.checkpoints_stored = registry.counter(names::kFabricCheckpointsStored);
+  m.resubmits = registry.counter(names::kFabricResubmits);
+  m.stale_frames = registry.counter(names::kFabricStaleFrames);
+  return m;
+}
+
 }  // namespace impress::obs

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -86,6 +87,23 @@ inline constexpr std::string_view kServiceInFlight =
     "impress_service_in_flight";
 inline constexpr std::string_view kServiceFirstResultSeconds =
     "impress_service_first_result_seconds";
+// campaign fabric (src/net; docs/fabric.md). Per-message-type frame
+// counters follow "impress_fabric_tx_<type>" / "impress_fabric_rx_<type>"
+// with <type> from kFabricMsgTypeNames, indexed by net::type_index — the
+// array order mirrors the MsgType values in net/wire.hpp.
+inline constexpr std::array<std::string_view, 7> kFabricMsgTypeNames = {
+    "hello",     "assign_shard",     "task_submit", "task_result",
+    "heartbeat", "checkpoint_shard", "worker_dead"};
+inline constexpr std::string_view kFabricWorkersDead =
+    "impress_fabric_workers_dead";
+inline constexpr std::string_view kFabricReassignments =
+    "impress_fabric_reassignments";
+inline constexpr std::string_view kFabricCheckpointsStored =
+    "impress_fabric_checkpoints_stored";
+inline constexpr std::string_view kFabricResubmits =
+    "impress_fabric_resubmits";
+inline constexpr std::string_view kFabricStaleFrames =
+    "impress_fabric_stale_frames";
 }  // namespace names
 
 /// Pre-registered handles for every runtime metric: built once at session
@@ -143,6 +161,23 @@ struct ServiceMetrics {
   Histogram* first_result_seconds = nullptr;
 
   [[nodiscard]] static ServiceMetrics registered(MetricsRegistry& registry);
+};
+
+/// Pre-registered handles for the campaign fabric coordinator (src/net).
+/// tx/rx are indexed by net::type_index(MsgType) — same order as
+/// names::kFabricMsgTypeNames. Same contract as the bundles above: one
+/// registration up front, only atomic bumps on the message pump.
+struct FabricMetrics {
+  static constexpr std::size_t kMsgTypes = 7;
+  std::array<Counter*, kMsgTypes> tx{};
+  std::array<Counter*, kMsgTypes> rx{};
+  Counter* workers_dead = nullptr;
+  Counter* reassignments = nullptr;
+  Counter* checkpoints_stored = nullptr;
+  Counter* resubmits = nullptr;
+  Counter* stale_frames = nullptr;  ///< epoch-fenced discards
+
+  [[nodiscard]] static FabricMetrics registered(MetricsRegistry& registry);
 };
 
 /// One tracer + one registry + the runtime handle bundle. Disabled by

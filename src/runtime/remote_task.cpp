@@ -1,0 +1,173 @@
+#include "runtime/remote_task.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace impress::rp {
+
+namespace {
+
+using common::Json;
+
+double num_or(const Json& obj, const std::string& key, double fallback) {
+  return obj.contains(key) ? obj.at(key).as_number() : fallback;
+}
+
+std::string str_or(const Json& obj, const std::string& key) {
+  return obj.contains(key) ? obj.at(key).as_string() : std::string{};
+}
+
+Json phase_to_json(const TaskPhase& p) {
+  Json::Object o;
+  o["name"] = p.name;
+  o["duration_s"] = p.duration_s;
+  o["jitter_sigma"] = p.jitter_sigma;
+  o["cores"] = static_cast<double>(p.cores);
+  o["gpus"] = static_cast<double>(p.gpus);
+  o["cpu_intensity"] = p.cpu_intensity;
+  o["gpu_intensity"] = p.gpu_intensity;
+  return o;
+}
+
+TaskPhase phase_from_json(const Json& j) {
+  TaskPhase p;
+  p.name = str_or(j, "name");
+  p.duration_s = num_or(j, "duration_s", 0.0);
+  p.jitter_sigma = num_or(j, "jitter_sigma", 0.0);
+  p.cores = static_cast<std::uint32_t>(num_or(j, "cores", 0.0));
+  p.gpus = static_cast<std::uint32_t>(num_or(j, "gpus", 0.0));
+  p.cpu_intensity = num_or(j, "cpu_intensity", 1.0);
+  p.gpu_intensity = num_or(j, "gpu_intensity", 1.0);
+  return p;
+}
+
+}  // namespace
+
+TaskDescription RemoteTaskSpec::to_description() const {
+  TaskDescription d;
+  d.name = name;
+  d.resources = resources;
+  d.phases = phases;
+  d.priority = priority;
+  d.retry = retry;
+  d.metadata = metadata;
+  return d;
+}
+
+RemoteTaskSpec remote_task_spec(const TaskDescription& d) {
+  RemoteTaskSpec spec;
+  spec.name = d.name;
+  spec.resources = d.resources;
+  spec.phases = d.phases;
+  spec.priority = d.priority;
+  spec.retry = d.retry;
+  spec.metadata = d.metadata;
+  return spec;
+}
+
+Json to_json(const RemoteTaskSpec& spec) {
+  Json::Object o;
+  o["name"] = spec.name;
+  Json::Object res;
+  res["cores"] = static_cast<double>(spec.resources.cores);
+  res["gpus"] = static_cast<double>(spec.resources.gpus);
+  res["mem_gb"] = spec.resources.mem_gb;
+  o["resources"] = std::move(res);
+  Json::Array phases;
+  phases.reserve(spec.phases.size());
+  for (const TaskPhase& p : spec.phases) phases.push_back(phase_to_json(p));
+  o["phases"] = std::move(phases);
+  o["priority"] = static_cast<double>(spec.priority);
+  Json::Object retry;
+  retry["max_attempts"] = static_cast<double>(spec.retry.max_attempts);
+  retry["backoff_initial_s"] = spec.retry.backoff_initial_s;
+  retry["backoff_multiplier"] = spec.retry.backoff_multiplier;
+  retry["backoff_jitter"] = spec.retry.backoff_jitter;
+  retry["attempt_timeout_s"] = spec.retry.attempt_timeout_s;
+  o["retry"] = std::move(retry);
+  Json::Object meta;
+  for (const auto& [k, v] : spec.metadata) meta[k] = v;
+  o["metadata"] = std::move(meta);
+  return o;
+}
+
+RemoteTaskSpec remote_task_spec_from_json(const Json& json) {
+  if (!json.is_object()) {
+    throw std::invalid_argument("RemoteTaskSpec: expected a JSON object");
+  }
+  RemoteTaskSpec spec;
+  spec.name = str_or(json, "name");
+  if (json.contains("resources")) {
+    const Json& r = json.at("resources");
+    spec.resources.cores = static_cast<std::uint32_t>(num_or(r, "cores", 1.0));
+    spec.resources.gpus = static_cast<std::uint32_t>(num_or(r, "gpus", 0.0));
+    spec.resources.mem_gb = num_or(r, "mem_gb", 0.0);
+  }
+  if (json.contains("phases")) {
+    for (const Json& p : json.at("phases").as_array()) {
+      spec.phases.push_back(phase_from_json(p));
+    }
+  }
+  spec.priority = static_cast<int>(num_or(json, "priority", 0.0));
+  if (json.contains("retry")) {
+    const Json& r = json.at("retry");
+    spec.retry.max_attempts =
+        static_cast<int>(num_or(r, "max_attempts", 1.0));
+    spec.retry.backoff_initial_s = num_or(r, "backoff_initial_s", 0.0);
+    spec.retry.backoff_multiplier = num_or(r, "backoff_multiplier", 2.0);
+    spec.retry.backoff_jitter = num_or(r, "backoff_jitter", 0.0);
+    spec.retry.attempt_timeout_s = num_or(r, "attempt_timeout_s", 0.0);
+  }
+  if (json.contains("metadata")) {
+    for (const auto& [k, v] : json.at("metadata").as_object()) {
+      spec.metadata[k] = v.as_string();
+    }
+  }
+  return spec;
+}
+
+Json to_json(const RemoteTaskOutcome& outcome) {
+  Json::Object o;
+  o["name"] = outcome.name;
+  o["uid"] = outcome.uid;
+  o["state"] = outcome.state;
+  o["error"] = outcome.error;
+  o["attempts"] = static_cast<double>(outcome.attempts);
+  o["duration_s"] = outcome.duration_s;
+  return o;
+}
+
+RemoteTaskOutcome remote_task_outcome_from_json(const Json& json) {
+  if (!json.is_object()) {
+    throw std::invalid_argument("RemoteTaskOutcome: expected a JSON object");
+  }
+  RemoteTaskOutcome outcome;
+  outcome.name = str_or(json, "name");
+  outcome.uid = str_or(json, "uid");
+  outcome.state = str_or(json, "state");
+  outcome.error = str_or(json, "error");
+  outcome.attempts = static_cast<int>(num_or(json, "attempts", 1.0));
+  outcome.duration_s = num_or(json, "duration_s", 0.0);
+  return outcome;
+}
+
+RemoteTaskOutcome run_remote_task(Session& session,
+                                  const RemoteTaskSpec& spec) {
+  const double submitted_at = session.now();
+  const TaskPtr task = session.task_manager().submit(spec.to_description());
+  session.run();
+
+  RemoteTaskOutcome outcome;
+  outcome.name = spec.name;
+  outcome.uid = task->uid();
+  outcome.state = std::string(to_string(task->state()));
+  outcome.error = task->error();
+  outcome.attempts = task->attempt();
+  const double terminal_at = session.now();
+  outcome.duration_s =
+      std::isnan(terminal_at) ? 0.0 : terminal_at - submitted_at;
+  return outcome;
+}
+
+}  // namespace impress::rp

@@ -1,0 +1,74 @@
+// Remote task adapter: the serializable face of the task manager for the
+// campaign fabric (src/net).
+//
+// A TaskDescription cannot cross a process boundary — its WorkFn is a
+// closure. RemoteTaskSpec is the wire-safe subset (resources, phases,
+// retry policy, metadata) with a JSON round-trip; a fabric worker
+// rehydrates it into a TaskDescription with an empty work function (a
+// pure timing task — the simulated executors model duration/utilization
+// without running science payloads) and executes it in its own session.
+// RemoteTaskOutcome carries the terminal state back the same way.
+//
+// This mirrors RADICAL-Pilot's agent-side TaskDescription dicts: the
+// coordinator describes work, the agent owns execution (docs/fabric.md).
+
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "runtime/session.hpp"
+#include "runtime/task.hpp"
+
+namespace impress::rp {
+
+/// Wire-safe task description. Field-for-field TaskDescription minus the
+/// WorkFn closure and trace parent (trace contexts don't cross the wire;
+/// the worker opens its own spans).
+struct RemoteTaskSpec {
+  std::string name;
+  hpc::ResourceRequest resources;
+  std::vector<TaskPhase> phases;
+  int priority = 0;
+  RetryPolicy retry;
+  std::map<std::string, std::string> metadata;
+
+  /// The runnable description (empty WorkFn).
+  [[nodiscard]] TaskDescription to_description() const;
+
+  bool operator==(const RemoteTaskSpec&) const = default;
+};
+
+/// Capture the serializable fields of a description (drops work/trace).
+[[nodiscard]] RemoteTaskSpec remote_task_spec(const TaskDescription& d);
+
+[[nodiscard]] common::Json to_json(const RemoteTaskSpec& spec);
+/// Throws std::invalid_argument / Json parse errors on malformed input.
+[[nodiscard]] RemoteTaskSpec remote_task_spec_from_json(
+    const common::Json& json);
+
+/// Terminal outcome of one remotely executed task.
+struct RemoteTaskOutcome {
+  std::string name;
+  std::string uid;        ///< uid in the *worker's* session namespace
+  std::string state;      ///< to_string(TaskState) of the terminal state
+  std::string error;      ///< empty unless failed/cancelled
+  int attempts = 1;
+  double duration_s = 0.0;  ///< submit -> terminal, worker session clock
+
+  [[nodiscard]] bool ok() const noexcept { return state == "DONE"; }
+
+  bool operator==(const RemoteTaskOutcome&) const = default;
+};
+
+[[nodiscard]] common::Json to_json(const RemoteTaskOutcome& outcome);
+[[nodiscard]] RemoteTaskOutcome remote_task_outcome_from_json(
+    const common::Json& json);
+
+/// Execute one spec to completion in `session` (which must have at least
+/// one pilot submitted) and report the terminal outcome. Deterministic in
+/// simulated mode: same session seed + same spec => same outcome.
+[[nodiscard]] RemoteTaskOutcome run_remote_task(Session& session,
+                                                const RemoteTaskSpec& spec);
+
+}  // namespace impress::rp

@@ -63,6 +63,8 @@ struct RetryPolicy {
   /// factor in [1 - jitter, 1 + jitter].
   [[nodiscard]] double backoff_delay(int next_attempt,
                                      common::Rng& rng) const noexcept;
+
+  bool operator==(const RetryPolicy&) const = default;
 };
 
 /// One temporal slice of a task's execution.
@@ -74,6 +76,8 @@ struct TaskPhase {
   std::uint32_t gpus = 0;       ///< gpus actively used this phase
   double cpu_intensity = 1.0;   ///< busy fraction of the used cores [0,1]
   double gpu_intensity = 1.0;   ///< busy fraction of the used gpus [0,1]
+
+  bool operator==(const TaskPhase&) const = default;
 };
 
 class Task;

@@ -1,0 +1,105 @@
+// Remote task adapter tests: RemoteTaskSpec/RemoteTaskOutcome JSON
+// round-trips, rehydration into a runnable TaskDescription, and
+// run_remote_task determinism across fresh sessions.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/remote_task.hpp"
+
+namespace impress::rp {
+namespace {
+
+PilotDescription small_pilot() {
+  PilotDescription pd;
+  pd.nodes = {hpc::NodeSpec{.name = "n", .cores = 4, .gpus = 1, .mem_gb = 32.0}};
+  pd.policy = SchedulerPolicy::kBackfill;
+  return pd;
+}
+
+RemoteTaskSpec sample_spec() {
+  RemoteTaskSpec spec;
+  spec.name = "fold-check";
+  spec.resources = {.cores = 2, .gpus = 1, .mem_gb = 8.0};
+  spec.phases.push_back(TaskPhase{.name = "md",
+                                  .duration_s = 30.0,
+                                  .cores = 2,
+                                  .gpus = 0,
+                                  .cpu_intensity = 1.0,
+                                  .gpu_intensity = 0.0});
+  spec.phases.push_back(TaskPhase{.name = "score",
+                                  .duration_s = 10.0,
+                                  .cores = 1,
+                                  .gpus = 1,
+                                  .cpu_intensity = 0.5,
+                                  .gpu_intensity = 1.0});
+  spec.priority = 3;
+  spec.retry.max_attempts = 2;
+  spec.metadata["campaign"] = "IM-RP";
+  return spec;
+}
+
+TEST(RemoteTask, SpecJsonRoundTrips) {
+  const RemoteTaskSpec spec = sample_spec();
+  EXPECT_EQ(remote_task_spec_from_json(to_json(spec)), spec);
+}
+
+TEST(RemoteTask, SpecJsonRoundTripsThroughDump) {
+  const RemoteTaskSpec spec = sample_spec();
+  const std::string wire = to_json(spec).dump();
+  EXPECT_EQ(remote_task_spec_from_json(common::Json::parse(wire)), spec);
+}
+
+TEST(RemoteTask, EmptySpecRoundTrips) {
+  const RemoteTaskSpec spec;
+  EXPECT_EQ(remote_task_spec_from_json(to_json(spec)), spec);
+}
+
+TEST(RemoteTask, SpecCapturesDescription) {
+  TaskDescription td = sample_spec().to_description();
+  EXPECT_EQ(td.name, "fold-check");
+  EXPECT_FALSE(td.work);  // closures never cross the wire
+  const RemoteTaskSpec recaptured = remote_task_spec(td);
+  EXPECT_EQ(recaptured, sample_spec());
+}
+
+TEST(RemoteTask, OutcomeJsonRoundTrips) {
+  RemoteTaskOutcome o;
+  o.name = "fold-check";
+  o.uid = "task.0003";
+  o.state = "DONE";
+  o.error = "";
+  o.attempts = 2;
+  o.duration_s = 40.5;
+  EXPECT_EQ(remote_task_outcome_from_json(to_json(o)), o);
+  EXPECT_TRUE(o.ok());
+  o.state = "FAILED";
+  o.error = "sim boom";
+  EXPECT_EQ(remote_task_outcome_from_json(to_json(o)), o);
+  EXPECT_FALSE(o.ok());
+}
+
+TEST(RemoteTask, RunsToCompletionInSimSession) {
+  Session session{SessionConfig{}};
+  session.submit_pilot(small_pilot());
+  const RemoteTaskOutcome o = run_remote_task(session, sample_spec());
+  EXPECT_TRUE(o.ok()) << o.state << ": " << o.error;
+  EXPECT_EQ(o.name, "fold-check");
+  EXPECT_DOUBLE_EQ(o.duration_s, 40.0);  // 30 s md + 10 s score
+}
+
+TEST(RemoteTask, DeterministicAcrossFreshSessions) {
+  const auto run_once = [] {
+    Session session{SessionConfig{}};
+    session.submit_pilot(small_pilot());
+    return run_remote_task(session, sample_spec());
+  };
+  const RemoteTaskOutcome a = run_once();
+  const RemoteTaskOutcome b = run_once();
+  EXPECT_EQ(a, b);  // same seed + same spec => bit-identical outcome
+}
+
+}  // namespace
+}  // namespace impress::rp

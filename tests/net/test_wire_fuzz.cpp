@@ -1,0 +1,268 @@
+// Protocol fuzz suite (ISSUE 9 satellite): property tests that every
+// message type survives encode -> decode bit-exactly for randomized
+// contents, plus a seeded mutation fuzzer — byte flips, truncations,
+// extensions, length-field lies, version/magic/type skew — proving the
+// decoder never crashes, never over-reads (run under ASan/UBSan in CI's
+// fabric job), and never accepts a malformed frame as a different value.
+//
+// Extends the PR-4 JSON-fuzz pattern (tests/common/test_json_fuzz.cpp)
+// to the binary framing layer. Mutation counts: ≥10k seeded mutations in
+// one run (the CI acceptance floor), deterministic via fixed seeds.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace impress::net {
+namespace {
+
+std::string random_string(std::mt19937_64& rng, std::size_t max_len) {
+  static const std::string alphabet =
+      "abcXYZ 0129_{}[]\"\\\n\t\x01\x7f\xc3\xa9";
+  std::string s;
+  const std::size_t len = rng() % (max_len + 1);
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s += alphabet[rng() % alphabet.size()];
+  return s;
+}
+
+Message random_message(std::mt19937_64& rng) {
+  switch (rng() % kMsgTypeCount) {
+    case 0: {
+      HelloMsg m;
+      m.worker_id = static_cast<std::uint32_t>(rng());
+      m.wire_version = kWireVersion;
+      m.slots = static_cast<std::uint32_t>(rng() % 64);
+      m.build_tag = random_string(rng, 24);
+      return m;
+    }
+    case 1: {
+      AssignShardMsg m;
+      m.shard_id = static_cast<std::uint32_t>(rng() % 1024);
+      m.epoch = static_cast<std::uint32_t>(rng() % 1024);
+      m.seed = rng();
+      m.campaign_name = random_string(rng, 16);
+      const std::size_t n = rng() % 6;
+      for (std::size_t i = 0; i < n; ++i)
+        m.target_names.push_back(random_string(rng, 12));
+      m.checkpoint_ordinal = rng() % 100;
+      m.checkpoint_json = random_string(rng, 200);
+      return m;
+    }
+    case 2: {
+      TaskSubmitMsg m;
+      m.shard_id = static_cast<std::uint32_t>(rng());
+      m.epoch = static_cast<std::uint32_t>(rng());
+      m.task_seq = rng();
+      m.kind = rng() % 2 == 0 ? TaskSubmitMsg::Kind::kRunShard
+                              : TaskSubmitMsg::Kind::kRemoteTask;
+      m.payload = random_string(rng, 100);
+      return m;
+    }
+    case 3: {
+      TaskResultMsg m;
+      m.shard_id = static_cast<std::uint32_t>(rng());
+      m.epoch = static_cast<std::uint32_t>(rng());
+      m.task_seq = rng();
+      m.status = rng() % 2 == 0 ? TaskResultMsg::Status::kOk
+                                : TaskResultMsg::Status::kError;
+      m.payload = random_string(rng, 300);
+      return m;
+    }
+    case 4: {
+      HeartbeatMsg m;
+      m.worker_id = static_cast<std::uint32_t>(rng());
+      m.tick = rng();
+      m.active_shard = rng() % 4 == 0 ? kNoShard
+                                      : static_cast<std::uint32_t>(rng());
+      m.busy = rng() % 2 == 0 ? 0 : 1;
+      return m;
+    }
+    case 5: {
+      CheckpointShardMsg m;
+      m.shard_id = static_cast<std::uint32_t>(rng());
+      m.epoch = static_cast<std::uint32_t>(rng());
+      m.ordinal = rng();
+      m.checkpoint_json = random_string(rng, 500);
+      return m;
+    }
+    default: {
+      WorkerDeadMsg m;
+      m.worker_id = static_cast<std::uint32_t>(rng());
+      m.shard_id = static_cast<std::uint32_t>(rng());
+      m.epoch = static_cast<std::uint32_t>(rng());
+      m.reason = random_string(rng, 40);
+      return m;
+    }
+  }
+}
+
+/// Decode must either return a value or throw WireError — anything else
+/// (other exception types, crash, over-read) fails the property.
+bool decodes_cleanly(const std::vector<std::uint8_t>& frame) {
+  try {
+    (void)decode_frame(frame);
+    return true;
+  } catch (const WireError&) {
+    return false;
+  }
+}
+
+TEST(WireFuzz, RandomMessagesRoundTripBitExact) {
+  std::mt19937_64 rng(20260808);
+  for (int i = 0; i < 2000; ++i) {
+    const Message m = random_message(rng);
+    const std::vector<std::uint8_t> frame = encode_frame(m);
+    const Message back = decode_frame(frame);
+    EXPECT_EQ(back, m) << "iteration " << i;
+    // Canonical encoding: re-encoding the decoded value reproduces the
+    // original bytes exactly.
+    EXPECT_EQ(encode_frame(back), frame) << "iteration " << i;
+  }
+}
+
+TEST(WireFuzz, SeededByteFlipsNeverCrashNeverOverread) {
+  std::mt19937_64 rng(0xF00DF00D);
+  std::size_t mutations = 0;
+  std::size_t accepted_changed = 0;
+  for (int doc = 0; doc < 500; ++doc) {
+    const Message m = random_message(rng);
+    const std::vector<std::uint8_t> original = encode_frame(m);
+    for (int k = 0; k < 16; ++k, ++mutations) {
+      std::vector<std::uint8_t> mutated = original;
+      const std::size_t pos = rng() % mutated.size();
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+      try {
+        const Message back = decode_frame(mutated);
+        // Accepting a mutated frame is fine only if it decodes to a
+        // well-formed message; count how often the value changed (a
+        // payload-byte flip legitimately changes a string field).
+        if (!(back == m)) ++accepted_changed;
+      } catch (const WireError&) {
+        // rejection is always acceptable
+      }
+    }
+  }
+  EXPECT_EQ(mutations, 8000u);
+  EXPECT_GT(accepted_changed, 0u);  // the harness actually mutates payloads
+}
+
+TEST(WireFuzz, TruncationsAlwaysRejected) {
+  std::mt19937_64 rng(0xBEEF);
+  std::size_t cases = 0;
+  for (int doc = 0; doc < 200; ++doc) {
+    const std::vector<std::uint8_t> frame = encode_frame(random_message(rng));
+    // Every strict prefix must be rejected: decode_frame demands exactly
+    // one complete frame.
+    for (std::size_t cut = 0; cut < frame.size();
+         cut += 1 + rng() % 7, ++cases) {
+      const std::vector<std::uint8_t> prefix(frame.begin(),
+                                             frame.begin() + cut);
+      EXPECT_FALSE(decodes_cleanly(prefix)) << "cut=" << cut;
+    }
+  }
+  EXPECT_GT(cases, 1000u);
+}
+
+TEST(WireFuzz, ExtensionsAlwaysRejected) {
+  std::mt19937_64 rng(0xCAFE);
+  for (int doc = 0; doc < 500; ++doc) {
+    std::vector<std::uint8_t> frame = encode_frame(random_message(rng));
+    const std::size_t extra = 1 + rng() % 16;
+    for (std::size_t i = 0; i < extra; ++i)
+      frame.push_back(static_cast<std::uint8_t>(rng()));
+    EXPECT_FALSE(decodes_cleanly(frame));
+  }
+}
+
+TEST(WireFuzz, LengthFieldLiesRejected) {
+  std::mt19937_64 rng(0x1E57);
+  for (int doc = 0; doc < 500; ++doc) {
+    const std::vector<std::uint8_t> original =
+        encode_frame(random_message(rng));
+    std::vector<std::uint8_t> mutated = original;
+    // Overwrite the length field with an arbitrary lie (including huge
+    // values probing for allocation bombs / over-reads).
+    const std::uint32_t lie = static_cast<std::uint32_t>(rng());
+    mutated[4] = static_cast<std::uint8_t>(lie);
+    mutated[5] = static_cast<std::uint8_t>(lie >> 8);
+    mutated[6] = static_cast<std::uint8_t>(lie >> 16);
+    mutated[7] = static_cast<std::uint8_t>(lie >> 24);
+    const std::uint32_t true_len =
+        static_cast<std::uint32_t>(original.size() - kHeaderSize);
+    if (lie != true_len) {
+      EXPECT_FALSE(decodes_cleanly(mutated)) << "lie=" << lie;
+    }
+  }
+}
+
+TEST(WireFuzz, VersionAndMagicSkewRejected) {
+  std::mt19937_64 rng(0x5EED);
+  for (int doc = 0; doc < 300; ++doc) {
+    const std::vector<std::uint8_t> original =
+        encode_frame(random_message(rng));
+    {
+      std::vector<std::uint8_t> v = original;
+      v[2] = static_cast<std::uint8_t>(kWireVersion + 1 + rng() % 250);
+      EXPECT_FALSE(decodes_cleanly(v));
+    }
+    {
+      std::vector<std::uint8_t> v = original;
+      v[rng() % 2] ^= 0xFF;  // magic bytes
+      EXPECT_FALSE(decodes_cleanly(v));
+    }
+    {
+      std::vector<std::uint8_t> v = original;
+      v[3] = static_cast<std::uint8_t>(kMsgTypeCount + 1 + rng() % 200);
+      EXPECT_FALSE(decodes_cleanly(v));
+    }
+  }
+}
+
+TEST(WireFuzz, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(424242);
+  for (int doc = 0; doc < 2000; ++doc) {
+    std::vector<std::uint8_t> garbage(rng() % 256);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    (void)decodes_cleanly(garbage);  // must not crash / over-read
+  }
+}
+
+TEST(WireFuzz, AssemblerSurvivesMutatedStreams) {
+  std::mt19937_64 rng(777);
+  for (int doc = 0; doc < 300; ++doc) {
+    // Concatenate a few frames, flip one byte, feed in random chunks.
+    std::vector<std::uint8_t> stream;
+    const std::size_t frames = 1 + rng() % 4;
+    for (std::size_t i = 0; i < frames; ++i) {
+      const std::vector<std::uint8_t> f = encode_frame(random_message(rng));
+      stream.insert(stream.end(), f.begin(), f.end());
+    }
+    stream[rng() % stream.size()] ^=
+        static_cast<std::uint8_t>(1u << (rng() % 8));
+
+    FrameAssembler assembler;
+    std::size_t pos = 0;
+    try {
+      while (pos < stream.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng() % 64, stream.size() - pos);
+        assembler.feed(stream.data() + pos, n);
+        pos += n;
+        while (assembler.next()) {
+        }
+      }
+    } catch (const WireError&) {
+      EXPECT_TRUE(assembler.poisoned());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impress::net

@@ -1,0 +1,132 @@
+// TSan/lockdep-targeted stress for the campaign fabric: four workers
+// pumping on their own threads against a single-threaded coordinator,
+// with the loopback net injecting reorder/drop/delay churn. Threading
+// moves the chaos draw order (send-order determinism is single-threaded
+// only), so these tests pin the invariants that survive any
+// interleaving: convergence, the message-conservation identity, and a
+// merged result equal to the single-process sharded baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session_dump.hpp"
+#include "core/shard.hpp"
+#include "net/fabric.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::net {
+namespace {
+
+std::vector<protein::DesignTarget> targets4() {
+  std::vector<protein::DesignTarget> out;
+  out.push_back(
+      protein::make_target("DET-A", 86, protein::alpha_synuclein().tail(10)));
+  out.push_back(
+      protein::make_target("DET-B", 90, protein::alpha_synuclein().tail(10)));
+  out.push_back(
+      protein::make_target("DET-C", 77, protein::alpha_synuclein().tail(10)));
+  out.push_back(
+      protein::make_target("DET-D", 93, protein::alpha_synuclein().tail(10)));
+  return out;
+}
+
+void expect_conserved(const FabricStats& s) {
+  EXPECT_EQ(s.submits_opened,
+            s.submits_closed_result + s.submits_closed_death + s.submits_open());
+  EXPECT_EQ(s.submits_open(), 0u);
+}
+
+TEST(StressFabric, FourThreadedWorkersUnderChurn) {
+  const auto targets = targets4();
+  const auto config = core::im_rp_campaign(42);
+
+  DistributedConfig dc;
+  dc.fabric.campaign = config;
+  dc.num_workers = 4;
+  dc.num_shards = 4;
+  dc.threaded = true;
+  dc.chaos.seed = 17;
+  dc.chaos.drop_rate = 0.05;
+  dc.chaos.reorder_rate = 0.25;
+  dc.chaos.delay_min = 0;
+  dc.chaos.delay_max = 3;
+  dc.fabric.resubmit_after = 32;
+  const DistributedOutcome out = run_distributed(dc, targets);
+
+  EXPECT_EQ(core::to_json(out.result).dump(),
+            core::to_json(core::run_sharded(
+                              config, targets,
+                              core::ShardPlan::contiguous(targets, 4), 0))
+                .dump());
+  expect_conserved(out.stats);
+  // Frame conservation: every frame offered to the net was delivered,
+  // dropped, or is still queued at teardown — never duplicated.
+  EXPECT_GE(out.net.sent, out.net.delivered + out.net.dropped);
+  EXPECT_GT(out.net.dropped, 0u) << "churn too tame to prove anything";
+}
+
+TEST(StressFabric, ThreadedFailoverWithCheckpoints) {
+  // A worker dies mid-shard while three threaded peers keep pumping; the
+  // shard reroutes from its stored checkpoint under churn.
+  const auto targets = targets4();
+  const auto config = core::im_rp_campaign(42);
+  const std::size_t cadence = 2;
+
+  DistributedConfig dc;
+  dc.fabric.campaign = config;
+  dc.fabric.checkpoint_every = cadence;
+  // No heartbeat timeout: in threaded mode a busy worker can outlast any
+  // tick-based deadline, so death detection rides on the closed link.
+  dc.fabric.heartbeat_timeout = 0;
+  dc.fabric.resubmit_after = 64;
+  dc.num_workers = 4;
+  dc.num_shards = 4;
+  dc.threaded = true;
+  dc.chaos.seed = 3;
+  dc.chaos.delay_min = 0;
+  dc.chaos.delay_max = 2;
+  dc.kill_plans = {WorkerKillPlan{.die_at_checkpoint = 1, .ship_final = true}};
+  const DistributedOutcome out = run_distributed(dc, targets);
+
+  EXPECT_EQ(core::to_json(out.result).dump(),
+            core::to_json(core::run_sharded(
+                              config, targets,
+                              core::ShardPlan::contiguous(targets, 4),
+                              cadence))
+                .dump());
+  EXPECT_EQ(out.stats.workers_declared_dead, 1u);
+  expect_conserved(out.stats);
+}
+
+TEST(StressFabric, RepeatedRunsConvergeEveryTime) {
+  // Hammer the threaded path repeatedly: different chaos seeds, always
+  // the same merged bytes and a conserved ledger.
+  const auto targets = targets4();
+  const auto config = core::im_rp_campaign(7);
+  const std::string baseline =
+      core::to_json(core::run_sharded(config, targets,
+                                      core::ShardPlan::contiguous(targets, 2),
+                                      0))
+          .dump();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    DistributedConfig dc;
+    dc.fabric.campaign = config;
+    dc.num_workers = 2;
+    dc.num_shards = 2;
+    dc.threaded = true;
+    dc.chaos.seed = seed;
+    dc.chaos.drop_rate = 0.03;
+    dc.chaos.reorder_rate = 0.15;
+    dc.chaos.delay_max = 2;
+    dc.fabric.resubmit_after = 32;
+    const DistributedOutcome out = run_distributed(dc, targets);
+    EXPECT_EQ(core::to_json(out.result).dump(), baseline) << "seed " << seed;
+    expect_conserved(out.stats);
+  }
+}
+
+}  // namespace
+}  // namespace impress::net

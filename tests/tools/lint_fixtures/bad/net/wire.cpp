@@ -1,0 +1,23 @@
+// Fixture: raw-struct-serialization fires on struct-dumping in net TUs.
+// Both offending shapes appear: a sizeof-sized memcpy on the encode side
+// and a reinterpret_cast to a message type on the decode side.
+
+#include <cstdint>
+#include <cstring>
+
+namespace fixture {
+
+struct HelloMsg {
+  std::uint32_t worker_id = 0;
+  std::uint32_t slots = 0;
+};
+
+void encode_bad(const HelloMsg& m, unsigned char* buf) {
+  std::memcpy(buf, &m, sizeof(HelloMsg));  // struct layout onto the wire
+}
+
+HelloMsg decode_bad(const unsigned char* buf) {
+  return *reinterpret_cast<const HelloMsg*>(buf);  // bytes as struct layout
+}
+
+}  // namespace fixture

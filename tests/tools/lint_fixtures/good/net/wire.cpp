@@ -1,0 +1,45 @@
+// Fixture twin: field-by-field encode/decode stays silent, as do the
+// legal patterns the rule must not confuse with struct-dumping — a
+// memcpy with an explicit byte count and a byte-pointer cast that never
+// names a message type. One annotated struct copy proves the
+// `lint:allow` escape hatch works.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+struct HelloMsg {
+  std::uint32_t worker_id = 0;
+  std::uint32_t slots = 0;
+};
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+  out.push_back(static_cast<unsigned char>(v >> 16));
+  out.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+void encode_good(const HelloMsg& m, std::vector<unsigned char>& out) {
+  put_u32(out, m.worker_id);
+  put_u32(out, m.slots);
+}
+
+// Explicit byte counts (payload windows) are not struct dumps.
+void copy_window(unsigned char* dst, const unsigned char* src,
+                 std::uint32_t n) {
+  std::memcpy(dst, src, n);
+}
+
+// Byte-pointer casts without a message type are the WireReader::str idiom.
+const char* as_chars(const unsigned char* data) {
+  return reinterpret_cast<const char*>(data);
+}
+
+void snapshot_for_crash_dump(const HelloMsg& m, unsigned char* buf) {
+  std::memcpy(buf, &m, sizeof(m));  // lint:allow raw-struct-serialization — debug-only local dump, never framed
+}
+
+}  // namespace fixture

@@ -68,6 +68,9 @@ TEST(LintFixtures, EveryRuleFiresOnItsBadFixture) {
       "bad/service/service.cpp:hot-path-alloc:vector",
       "bad/service/service.cpp:hot-path-alloc:map",
       "bad/service/service.cpp:hot-string-key:to_string",
+      // wire-format discipline (path suffix net/wire.cpp scopes the rule)
+      "bad/net/wire.cpp:raw-struct-serialization:memcpy",
+      "bad/net/wire.cpp:raw-struct-serialization:HelloMsg",
       // v1 parity pack
       "bad/legacy_rules.hpp:missing-pragma-once:header",
       "bad/legacy_rules.hpp:using-namespace:std",

@@ -743,6 +743,73 @@ void check_hot_path_alloc(const SourceFile& f, std::vector<Violation>& out) {
   }
 }
 
+// --- v2 rule: raw-struct-serialization --------------------------------------
+//
+// Wire messages cross links through WireWriter/WireReader, field by
+// field, because struct memory layout is not a wire format: padding,
+// field order and endianness all vary by ABI, and a frame produced by
+// memcpy'ing a struct is unparseable the moment either end is rebuilt.
+// Two shapes are flagged in net TUs:
+//   * memcpy with a sizeof-sized length — a struct-sized raw copy.
+//     Explicit byte counts (header windows, payload spans) stay legal.
+//   * reinterpret_cast naming a *Msg type — casting raw bytes to/from a
+//     message struct on either the encode or decode side.
+// std::bit_cast of scalars (the f64 <-> u64 bridge) and byte-pointer
+// casts that never mention a message type are deliberately not flagged.
+
+bool is_net_wire_file(const std::string& rel) {
+  // Suffix-free prefix/infix match so the fixture twins
+  // (bad/net/wire.cpp, good/net/wire.cpp) exercise the rule too.
+  return rel.rfind("net/", 0) == 0 || rel.find("/net/") != std::string::npos;
+}
+
+bool names_message_type(const std::string& s) {
+  return s.size() > 3 && s.compare(s.size() - 3, 3, "Msg") == 0;
+}
+
+void check_raw_struct_serialization(const SourceFile& f,
+                                    std::vector<Violation>& out) {
+  if (!is_net_wire_file(f.rel)) return;
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if (t.text == "memcpy" && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      const std::size_t close = skip_balanced(toks, i + 1, "(", ")");
+      bool struct_sized = false;
+      for (std::size_t j = i + 2; j + 1 < close; ++j)
+        if (is_ident(toks[j], "sizeof")) {
+          struct_sized = true;
+          break;
+        }
+      if (!struct_sized) continue;
+      emit(f,
+           {f.rel, t.line, "raw-struct-serialization", "memcpy",
+            "memcpy with a sizeof-sized length dumps in-memory struct "
+            "layout (padding, endianness) onto the wire; encode field by "
+            "field through WireWriter/WireReader instead"},
+           out);
+      continue;
+    }
+    if (t.text == "reinterpret_cast" && i + 1 < toks.size() &&
+        toks[i + 1].text == "<") {
+      const std::size_t close = skip_balanced(toks, i + 1, "<", ">");
+      for (std::size_t j = i + 2; j + 1 < close; ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            names_message_type(toks[j].text)) {
+          emit(f,
+               {f.rel, toks[j].line, "raw-struct-serialization", toks[j].text,
+                "reinterpret_cast involving message type '" + toks[j].text +
+                    "' treats raw bytes as in-memory struct layout; decode "
+                    "through WireReader field by field instead"},
+               out);
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void run_rules(const IncludeGraph& graph, std::vector<Violation>& out) {
@@ -758,6 +825,7 @@ void run_rules(const IncludeGraph& graph, std::vector<Violation>& out) {
     check_detached_thread(f, out);
     check_unordered_iteration(f, graph.visible_unordered(i), out);
     check_wall_clock(f, out);
+    check_raw_struct_serialization(f, out);
   }
 }
 

@@ -36,6 +36,14 @@
 //                        sims; use the session clock and seeded RNGs.
 //                        (steady_clock stays legal: it is the profiler's
 //                        clock and never reaches persisted state.)
+//   raw-struct-serialization
+//                        net TUs must encode messages field by field
+//                        through WireWriter/WireReader; memcpy with a
+//                        sizeof-sized length and reinterpret_cast naming
+//                        a *Msg type bake in-memory struct layout
+//                        (padding, endianness) into the wire format.
+//                        std::bit_cast of scalars and byte-pointer casts
+//                        without a message type stay legal.
 //   hot-path-alloc       the service steady-state TUs (service.cpp,
 //                        backpressure.cpp, sim_backend.cpp) carry a
 //                        zero-allocation contract, pinned at run time by
