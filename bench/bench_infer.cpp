@@ -1,0 +1,274 @@
+// bench_infer: inference-server batching baseline.
+//
+// Self-timed (same conventions as bench_sim): one JSON document —
+// BENCH_infer.json — holding the modeled batching study (GPU-seconds
+// speedup per batch size under the setup-dominated cost model), an
+// arrival-cadence sweep showing how the linger budget erodes batching
+// when requests are sparse, the dispatch hot-path wall throughput, the
+// adaptive tuner's converged sizes per completion cadence, and a full
+// campaign run with the server enabled (the EXPERIMENTS.md §gpu-batching
+// tables come from this binary).
+//
+// Modes:
+//   bench_infer [--out FILE]          full run
+//   bench_infer --smoke [--out FILE]  seconds-scale run for CI smoke jobs
+//   bench_infer --check BASELINE      compare against a checked-in
+//                                     baseline: fail (exit 1) if the
+//                                     batch-8 speedup drops under the 3x
+//                                     acceptance gate or 0.8x its
+//                                     baseline value, or the dispatch
+//                                     path falls under the absolute
+//                                     sanity floor.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/campaign.hpp"
+#include "infer/infer.hpp"
+#include "protein/datasets.hpp"
+
+using namespace impress;
+
+namespace {
+
+struct Options {
+  std::string out = "BENCH_infer.json";
+  std::string check;
+  bool smoke = false;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Bench-grade cost model: setup 6x the per-item cost, the regime where
+/// batching pays (weight residency + launch setup amortized across the
+/// batch). A full batch of 8 models (6 + 8) vs 8 x (6 + 1): 4x.
+constexpr infer::GpuCostModel kCost{.setup_s = 6.0, .per_item_s = 1.0};
+
+infer::InferenceServer::Config bench_config(std::uint32_t max_batch) {
+  infer::InferenceServer::Config cfg;
+  cfg.policy.max_batch = max_batch;
+  cfg.policy.max_linger_s = 600.0;
+  cfg.fold_cost = kCost;
+  cfg.design_cost = kCost;
+  return cfg;
+}
+
+std::vector<mpnn::ScoredSequence> no_designs() { return {}; }
+
+/// Drive `n` design requests arriving `cadence_s` apart through a server
+/// with the given max batch and report the accounting.
+infer::StreamStats run_stream(std::uint32_t max_batch, std::size_t n,
+                              double cadence_s) {
+  infer::InferenceServer server(bench_config(max_batch));
+  for (std::size_t i = 0; i < n; ++i)
+    (void)server.design(no_designs, cadence_s * static_cast<double>(i));
+  return server.snapshot().design;
+}
+
+common::Json::Object stream_json(const infer::StreamStats& s) {
+  return common::Json::Object{
+      {"requests", s.requests},
+      {"batches", s.batches},
+      {"max_batch", static_cast<std::size_t>(s.max_batch)},
+      {"batched_gpu_s", s.batched_gpu_s},
+      {"unbatched_gpu_s", s.unbatched_gpu_s},
+      {"speedup", s.speedup()},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      opt.check = argv[++i];
+    } else {
+      std::cerr << "usage: bench_infer [--smoke] [--out FILE] "
+                   "[--check BASELINE]\n";
+      return 2;
+    }
+  }
+
+  // --- Modeled batching study: back-to-back arrivals (cadence well under
+  // the linger budget) so every batch fills to the configured size. The
+  // speedup is pure arithmetic — B(setup+per) / (setup+B*per) — so it is
+  // identical across machines and smoke/full modes.
+  const std::size_t sweep_n = opt.smoke ? 4'096 : 65'536;
+  common::Json::Object batching_sweep;
+  double speedup_b8 = 0.0;
+  for (const std::uint32_t b : {1u, 2u, 4u, 8u, 16u}) {
+    const auto s = run_stream(b, sweep_n, 0.0);
+    if (b == 8) speedup_b8 = s.speedup();
+    batching_sweep["b" + std::to_string(b)] = stream_json(s);
+    std::cout << "batching b=" << b << ": speedup " << s.speedup() << "x ("
+              << s.batches << " batches)\n";
+  }
+
+  // --- Arrival-cadence sweep at max_batch 8: as the gap between requests
+  // approaches the 600 s linger budget, batches close before they fill
+  // and the speedup decays toward 1x.
+  common::Json::Object cadence_sweep;
+  for (const double cadence : {0.0, 75.0, 150.0, 300.0, 700.0}) {
+    const auto s = run_stream(8, opt.smoke ? 1'024 : 8'192, cadence);
+    cadence_sweep["gap" + std::to_string(static_cast<int>(cadence))] =
+        stream_json(s);
+    std::cout << "cadence gap=" << cadence << "s: speedup " << s.speedup()
+              << "x (max batch " << s.max_batch << ")\n";
+  }
+
+  // --- Dispatch hot path: wall throughput of the accounting itself (the
+  // science call is a no-op here). This is what executor threads pay per
+  // request on top of the model call.
+  const std::size_t dispatch_n = opt.smoke ? 200'000 : 2'000'000;
+  infer::InferenceServer dispatch_server(bench_config(8));
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < dispatch_n; ++i)
+    (void)dispatch_server.design(no_designs, 0.0);
+  const double dispatch_wall = seconds_since(dispatch_start);
+  const double dispatch_rps = static_cast<double>(dispatch_n) / dispatch_wall;
+  std::cout << "dispatch path: " << static_cast<std::uint64_t>(dispatch_rps)
+            << " req/s\n";
+
+  // --- Adaptive tuner: converged batch size per completion cadence
+  // (linger 600 s, so the tuner targets 1 + floor(600/gap)).
+  common::Json::Object tuner_study;
+  for (const double gap : {50.0, 100.0, 300.0, 900.0}) {
+    infer::BatchTuner tuner(
+        infer::BatchTuner::Config{.ewma_alpha = 0.25,
+                                  .min_batch = 1,
+                                  .max_batch = 16,
+                                  .max_linger_s = 600.0},
+        /*initial_batch=*/8);
+    for (int i = 0; i < 64; ++i)
+      (void)tuner.observe(gap * static_cast<double>(i));
+    tuner_study["gap" + std::to_string(static_cast<int>(gap))] =
+        common::Json::Object{
+            {"batch_size", static_cast<std::size_t>(tuner.batch_size())},
+            {"decisions", tuner.decisions()},
+        };
+    std::cout << "tuner gap=" << gap << "s: batch " << tuner.batch_size()
+              << " (" << tuner.decisions() << " decisions)\n";
+  }
+
+  // --- Campaign study: the IM-RP protocol with the server enabled and
+  // the default (AlphaFold-calibrated) cost models. Virtual arrival times
+  // come from the simulated schedule, so batching here reflects what the
+  // protocol's real concurrency structure can fill.
+  auto cfg = core::im_rp_campaign(7);
+  cfg.enable_infer = true;
+  cfg.infer_config.adaptive = true;
+  std::vector<protein::DesignTarget> targets;
+  targets.push_back(
+      protein::make_target("BN-A", 84, protein::alpha_synuclein().tail(10)));
+  if (!opt.smoke)
+    targets.push_back(
+        protein::make_target("BN-B", 90, protein::alpha_synuclein().tail(10)));
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const auto r = core::Campaign(cfg).run(targets);
+  const double campaign_wall = seconds_since(campaign_start);
+  const common::Json::Object campaign{
+      {"trajectories", r.total_trajectories()},
+      {"fold", stream_json(r.infer.fold)},
+      {"design", stream_json(r.infer.design)},
+      {"cache_hits", r.infer.fold.cache_hits},
+      {"batch_size", static_cast<std::size_t>(r.infer.batch_size)},
+      {"tuner_decisions", r.infer.tuner_decisions},
+      {"wall_s", campaign_wall},
+  };
+  std::cout << "campaign: fold speedup " << r.infer.fold.speedup()
+            << "x over " << r.infer.fold.batches << " batches, design speedup "
+            << r.infer.design.speedup() << "x\n";
+
+  // Only the modeled batch-8 speedup is gated: it is pure arithmetic,
+  // identical across machines and smoke/full modes. The campaign speedup
+  // depends on the target mix, which differs between modes.
+  const common::Json::Object ratios{
+      {"speedup_b8", speedup_b8},
+  };
+
+  const common::Json doc{common::Json::Object{
+      {"schema", "impress.bench_infer.v1"},
+      {"mode", opt.smoke ? "smoke" : "full"},
+      {"hardware_threads",
+       static_cast<std::size_t>(std::thread::hardware_concurrency())},
+      {"batching_sweep", batching_sweep},
+      {"cadence_sweep", cadence_sweep},
+      {"dispatch_path",
+       common::Json::Object{{"requests", dispatch_n},
+                            {"wall_s", dispatch_wall},
+                            {"req_per_s", dispatch_rps}}},
+      {"tuner", tuner_study},
+      {"campaign", campaign},
+      {"ratios", ratios},
+  }};
+  {
+    std::ofstream out(opt.out);
+    if (!out) {
+      std::cerr << "bench_infer: cannot write " << opt.out << "\n";
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+  }
+  std::cout << "wrote " << opt.out << "\n";
+
+  if (opt.check.empty()) return 0;
+
+  // --- Regression gate against the checked-in baseline.
+  std::ifstream in(opt.check);
+  if (!in) {
+    std::cerr << "bench_infer: cannot read baseline " << opt.check << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto baseline = common::Json::parse(buf.str());
+  int failures = 0;
+  // Acceptance gate: a full batch of 8 must model at least a 3x gain
+  // over one-request-per-dispatch.
+  constexpr double kSpeedupGate = 3.0;
+  if (speedup_b8 < kSpeedupGate) {
+    std::cerr << "FAIL: batch-8 speedup " << speedup_b8 << "x under the "
+              << kSpeedupGate << "x acceptance gate\n";
+    ++failures;
+  }
+  constexpr double kRegressionFloor = 0.8;  // keep >= 80% of baseline ratio
+  for (const auto& [name, value] : ratios) {
+    if (!baseline.at("ratios").contains(name)) continue;  // schema drift
+    const double base = baseline.at("ratios").at(name).as_number();
+    const double current = value.as_number();
+    if (current < kRegressionFloor * base) {
+      std::cerr << "FAIL: ratio '" << name << "' regressed: " << current
+                << "x < " << kRegressionFloor << " * baseline " << base
+                << "x\n";
+      ++failures;
+    }
+  }
+  // Absolute sanity floor: the accounting is a mutex + a dozen counter
+  // updates; any machine clears 1e5 req/s unless the hot path grew
+  // something pathological.
+  constexpr double kAbsoluteFloor = 1e5;
+  if (dispatch_rps < kAbsoluteFloor) {
+    std::cerr << "FAIL: dispatch path " << dispatch_rps << " req/s under the "
+              << kAbsoluteFloor << " sanity floor\n";
+    ++failures;
+  }
+  if (failures == 0) std::cout << "bench_infer check: OK\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -248,7 +248,20 @@ int main(int argc, char** argv) {
     fold_cache_json["hits"] = stats.hits;
     fold_cache_json["misses"] = stats.misses;
     fold_cache_json["evictions"] = stats.evictions;
+    fold_cache_json["entries"] = stats.entries;
+    fold_cache_json["duplicate_discards"] = stats.duplicate_discards;
     fold_cache_json["hit_rate"] = stats.hit_rate();
+    // Conservation law: every miss must end up resident, evicted, or
+    // discarded as a raced duplicate — otherwise the hit-rate math above
+    // is built on leaky counters.
+    if (stats.misses !=
+        stats.entries + stats.evictions + stats.duplicate_discards) {
+      std::cerr << "fold_cache stats violate conservation: misses="
+                << stats.misses << " entries=" << stats.entries
+                << " evictions=" << stats.evictions
+                << " duplicate_discards=" << stats.duplicate_discards << "\n";
+      return 1;
+    }
     std::cout << "fold_cache workload hit_rate: " << stats.hit_rate() << "\n";
   }
 

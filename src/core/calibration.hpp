@@ -69,6 +69,20 @@ namespace impress::core::calibration {
   return pd;
 }
 
+/// A spot-tier twin of the evaluation pilot: same Amarel-class node,
+/// marked preemptible. Add to CampaignConfig::extra_pilots and schedule
+/// reclaims via session.faults.spot_reclaims against its submission index
+/// (1 when it is the only extra pilot).
+[[nodiscard]] inline rp::PilotDescription spot_pilot(
+    rp::SchedulerPolicy policy = rp::SchedulerPolicy::kBackfill) {
+  rp::PilotDescription pd = amarel_pilot(policy);
+  for (auto& node : pd.nodes) {
+    node.name = "spot-" + node.name;
+    node.preemptible = true;
+  }
+  return pd;
+}
+
 /// Paper protocol constants shared by both arms.
 inline constexpr int kCycles = 4;
 inline constexpr std::size_t kSequencesPerStructure = 10;

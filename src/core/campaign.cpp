@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -120,12 +121,25 @@ CampaignResult Campaign::execute(
                   std::to_string(config_.session.seed));
     }
   }
+  if (resume_from != nullptr &&
+      resume_from->pilots.size() != 1 + config_.extra_pilots.size())
+    throw std::invalid_argument(
+        "Campaign::resume: checkpoint has " +
+        std::to_string(resume_from->pilots.size()) + " pilot(s), config has " +
+        std::to_string(1 + config_.extra_pilots.size()));
   const auto pilot = [&] {
     if (resume_from == nullptr) return session.submit_pilot(config_.pilot);
     if (resume_from->pilots.empty())
       throw std::invalid_argument("Campaign::resume: checkpoint has no pilot");
     return session.submit_pilot(config_.pilot, resume_from->pilots.front());
   }();
+  for (std::size_t i = 0; i < config_.extra_pilots.size(); ++i) {
+    if (resume_from == nullptr)
+      (void)session.submit_pilot(config_.extra_pilots[i]);
+    else
+      (void)session.submit_pilot(config_.extra_pilots[i],
+                                 resume_from->pilots[i + 1]);
+  }
   auto coordinator_config = config_.coordinator;
   coordinator_config.trace_root = campaign_span;
   if (config_.enable_fold_cache && !coordinator_config.fold_cache)
@@ -138,6 +152,24 @@ CampaignResult Campaign::execute(
   if (resume_from != nullptr && resume_from->fold_cache &&
       coordinator_config.fold_cache)
     coordinator_config.fold_cache->restore(*resume_from->fold_cache);
+
+  if (config_.enable_infer && !coordinator_config.infer)
+    coordinator_config.infer =
+        std::make_shared<infer::InferenceServer>(config_.infer_config);
+  if (coordinator_config.infer) {
+    // The slowest GPU generation among the serving nodes bounds every
+    // batch the server dispatches.
+    double slowest = 0.0;
+    const auto scan = [&](const rp::PilotDescription& pd) {
+      for (const auto& node : pd.nodes)
+        if (node.gpus > 0)
+          slowest = slowest == 0.0 ? node.gpu_speed_factor
+                                   : std::min(slowest, node.gpu_speed_factor);
+    };
+    scan(config_.pilot);
+    for (const auto& pd : config_.extra_pilots) scan(pd);
+    if (slowest > 0.0) coordinator_config.infer->set_speed_factor(slowest);
+  }
 
   std::shared_ptr<const SequenceGenerator> generator = config_.generator;
   if (!generator)
@@ -233,15 +265,50 @@ CampaignResult Campaign::execute(
   r.trajectories = coordinator.results();
   r.targets = targets.size();
 
-  const double makespan_s = pilot->recorder().latest_end();
+  double makespan_s = pilot->recorder().latest_end();
+  for (const auto& p : session.pilots())
+    makespan_s = std::max(makespan_s, p->recorder().latest_end());
   r.makespan_h = common::seconds_to_hours(makespan_s);
-  r.utilization = pilot->recorder().summarize(0.0, makespan_s);
+  if (config_.extra_pilots.empty()) {
+    r.utilization = pilot->recorder().summarize(0.0, makespan_s);
+    r.energy_kwh = pilot->recorder().energy_kwh();
+  } else {
+    // Capacity-weighted merge across pilots (the single-pilot branch above
+    // stays bit-identical to the pre-multi-pilot harvest). Each summary is
+    // a fraction of its own pilot's capacity over the campaign span, so
+    // weights are core/GPU counts; energy is additive.
+    r.utilization.span_seconds = makespan_s;
+    double cores_sum = 0.0;
+    double gpus_sum = 0.0;
+    for (const auto& p : session.pilots()) {
+      const auto u = p->recorder().summarize(0.0, makespan_s);
+      const double cores = static_cast<double>(p->recorder().total_cores());
+      const double gpus = static_cast<double>(p->recorder().total_gpus());
+      cores_sum += cores;
+      gpus_sum += gpus;
+      r.utilization.cpu_allocated += cores * u.cpu_allocated;
+      r.utilization.cpu_active += cores * u.cpu_active;
+      r.utilization.gpu_allocated += gpus * u.gpu_allocated;
+      r.utilization.gpu_active += gpus * u.gpu_active;
+      r.energy_kwh += p->recorder().energy_kwh();
+    }
+    if (cores_sum > 0.0) {
+      r.utilization.cpu_allocated /= cores_sum;
+      r.utilization.cpu_active /= cores_sum;
+    }
+    if (gpus_sum > 0.0) {
+      r.utilization.gpu_allocated /= gpus_sum;
+      r.utilization.gpu_active /= gpus_sum;
+    }
+  }
   for (const auto& [phase, seconds] : session.profiler().phase_durations())
     r.phase_hours[phase] = common::seconds_to_hours(seconds);
+  // Timeline series stay single-recorder views: bins from different
+  // pilots' recorders have no meaningful pointwise merge, so they always
+  // render the primary pilot.
   r.cpu_series = pilot->recorder().cpu_series(100);
   r.gpu_series = pilot->recorder().gpu_series(100);
   r.gantt = hpc::render_gantt(session.profiler(), makespan_s);
-  r.energy_kwh = pilot->recorder().energy_kwh();
 
   r.root_pipelines = coordinator.pipelines_submitted();
   r.subpipelines = coordinator.subpipelines_spawned();
@@ -259,6 +326,7 @@ CampaignResult Campaign::execute(
   r.attempts = hpc::attempt_counts(session.profiler());
   if (coordinator_config.fold_cache)
     r.fold_cache = coordinator_config.fold_cache->stats();
+  if (coordinator_config.infer) r.infer = coordinator_config.infer->snapshot();
 
   // Observability harvest: close the root span at the simulated makespan
   // (the session clock already sits there) and snapshot everything. The

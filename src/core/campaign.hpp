@@ -67,8 +67,17 @@ struct CampaignConfig {
       .refine_durations = RefineDurationModel{},
       .refined_noise_factor = 0.65,
       .task_retry = {},
-      .fold_cache = {}};
+      .fold_cache = {},
+      .infer = {}};
   rp::PilotDescription pilot = calibration::amarel_pilot();
+  /// Additional pilots submitted after `pilot` (submission order defines
+  /// the fault-plan pilot index: `pilot` is 0, extra_pilots[i] is i+1).
+  /// The TaskManager routes least-loaded across all of them. Combine with
+  /// session.faults.spot_reclaims to model preemptible capacity the
+  /// campaign rides out: evicted work retries on the survivors and the
+  /// reclaimed pilot rejoins when its window ends. Empty (the default)
+  /// reproduces the single-pilot campaign exactly.
+  std::vector<rp::PilotDescription> extra_pilots;
   rp::SessionConfig session{};  // simulated mode, seed 42
   mpnn::SamplerConfig sampler = calibration::sampler_config();
   fold::PredictorConfig predictor = calibration::predictor_config();
@@ -82,6 +91,14 @@ struct CampaignConfig {
   /// Capacity of the campaign's fold cache (entries), when enabled and no
   /// cache was provided via `coordinator.fold_cache`.
   std::size_t fold_cache_capacity = 4096;
+  /// Build an inference-server surrogate (infer/infer.hpp) from
+  /// `infer_config` when none was provided via `coordinator.infer`.
+  /// Default off. Either way, a present server is speed-calibrated at
+  /// execute time to the slowest GPU generation among the configured
+  /// pilots' nodes, and its accounting lands in CampaignResult::infer.
+  /// Batching is bit-unobservable in every other result field.
+  bool enable_infer = false;
+  infer::InferenceServer::Config infer_config;
   /// Crash-consistent mid-campaign checkpointing; see CheckpointConfig.
   CheckpointConfig checkpoint;
 };
@@ -127,6 +144,13 @@ struct CampaignResult {
 
   /// Fold memo-cache behaviour over the run (all zero when disabled).
   hpc::CacheSummary fold_cache;
+
+  /// Inference-server accounting (infer/infer.hpp): batching behaviour of
+  /// the fold/design streams. `enabled` stays false (everything zero)
+  /// when the campaign ran without a server. Accounting only — it never
+  /// feeds back, so campaigns with and without a server are bit-identical
+  /// in every other field.
+  infer::ServerSnapshot infer;
 
   // Observability harvest (docs/observability.md). Both empty unless the
   // session enabled the corresponding axis

@@ -315,6 +315,7 @@ common::Json cache_to_json(const fold::FoldCache::Snapshot& s) {
   o["hits"] = hex_u64(s.hits);
   o["misses"] = hex_u64(s.misses);
   o["evictions"] = hex_u64(s.evictions);
+  o["duplicate_discards"] = hex_u64(s.duplicate_discards);
   return common::Json(std::move(o));
 }
 
@@ -331,6 +332,9 @@ fold::FoldCache::Snapshot cache_from_json(const common::Json& j) {
   s.hits = parse_hex_u64(j.at("hits"));
   s.misses = parse_hex_u64(j.at("misses"));
   s.evictions = parse_hex_u64(j.at("evictions"));
+  // Absent in pre-PR-10 documents; zero is the correct backfill.
+  if (j.contains("duplicate_discards"))
+    s.duplicate_discards = parse_hex_u64(j.at("duplicate_discards"));
   return s;
 }
 

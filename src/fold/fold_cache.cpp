@@ -91,8 +91,11 @@ void FoldCache::insert(std::uint64_t key, Prediction prediction) {
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Duplicate insert (two threads raced the same miss): refresh LRU,
-    // keep the incumbent — both computed identical predictions.
+    // keep the incumbent — both computed identical predictions. The
+    // loser's work is real, though: count the discard so the stats
+    // conserve (misses == entries + evictions + duplicate_discards).
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    duplicate_discards_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   shard.lru.emplace_front(key, std::move(prediction));
@@ -127,6 +130,7 @@ hpc::CacheSummary FoldCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.duplicate_discards = duplicate_discards_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     s.entries += shard->index.size();
@@ -148,6 +152,8 @@ FoldCache::Snapshot FoldCache::snapshot() const {
   snap.hits = hits_.load(std::memory_order_relaxed);
   snap.misses = misses_.load(std::memory_order_relaxed);
   snap.evictions = evictions_.load(std::memory_order_relaxed);
+  snap.duplicate_discards =
+      duplicate_discards_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -171,6 +177,8 @@ void FoldCache::restore(const Snapshot& snap) {
   hits_.store(snap.hits, std::memory_order_relaxed);
   misses_.store(snap.misses, std::memory_order_relaxed);
   evictions_.store(snap.evictions, std::memory_order_relaxed);
+  duplicate_discards_.store(snap.duplicate_discards,
+                            std::memory_order_relaxed);
 }
 
 void FoldCache::clear() {
@@ -182,6 +190,7 @@ void FoldCache::clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  duplicate_discards_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace impress::fold

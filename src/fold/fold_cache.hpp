@@ -91,6 +91,7 @@ class FoldCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t duplicate_discards = 0;
   };
   [[nodiscard]] Snapshot snapshot() const;
   /// Load a snapshot into an empty cache with the same Config (shard
@@ -126,6 +127,12 @@ class FoldCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  /// Inserts that found an incumbent under the same key (two threads
+  /// raced the same miss; the loser's prediction is dropped). Without
+  /// this the dropped computation is counted as neither hit nor
+  /// discard and the stats stop conserving: misses must equal
+  /// entries + evictions + duplicate_discards.
+  std::atomic<std::uint64_t> duplicate_discards_{0};
   obs::Counter* obs_hits_ = nullptr;
   obs::Counter* obs_misses_ = nullptr;
 };

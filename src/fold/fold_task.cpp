@@ -12,9 +12,13 @@ rp::TaskDescription make_fold_task(std::string name,
   const std::uint32_t cores =
       model.reuse_features ? model.inference_cores
                            : std::max(model.feature_cores, model.inference_cores);
+  // AlphaFold's model + activations nearly fill the paper's 12 GB M6000,
+  // so each inference GPU is reserved whole with a 10 GB footprint.
   td.resources = hpc::ResourceRequest{.cores = cores,
                                       .gpus = model.inference_gpus,
-                                      .mem_gb = 48.0};
+                                      .mem_gb = 48.0,
+                                      .gpu_mem_gb =
+                                          model.inference_gpus > 0 ? 10.0 : 0.0};
   if (!model.reuse_features) {
     td.phases.push_back(rp::TaskPhase{
         .name = "msa_features",

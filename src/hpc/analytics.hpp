@@ -74,6 +74,12 @@ struct CacheSummary {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t entries = 0;  ///< resident entries at sampling time
+  /// Inserts that lost a duplicate-key race: two threads missed the same
+  /// key, both computed, the second computation was discarded in favour
+  /// of the incumbent. Needed for conservation: every miss either sits
+  /// resident, was evicted, or was a duplicate discard —
+  /// misses == entries + evictions + duplicate_discards.
+  std::size_t duplicate_discards = 0;
 
   [[nodiscard]] std::size_t lookups() const noexcept { return hits + misses; }
   /// Fraction of lookups served from cache, in [0,1] (0 when unused).

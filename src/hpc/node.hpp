@@ -17,7 +17,18 @@ struct NodeSpec {
   std::uint32_t cores = 1;
   std::uint32_t gpus = 0;
   double mem_gb = 0.0;
+  /// Per-device memory (GB). 0 on a node with GPUs means the memory axis
+  /// is not modeled: its devices satisfy any gpu_mem_gb request.
   double gpu_mem_gb = 0.0;
+  /// Relative throughput of this node's GPU generation (1.0 = the paper's
+  /// M6000 baseline). Accounting-only: the inference surrogate divides
+  /// modeled batch latency by it, but task timing never reads it — mixed
+  /// generations are bit-unobservable in campaign results.
+  double gpu_speed_factor = 1.0;
+  /// Preemptible/spot capacity marker. Informational on the node itself;
+  /// evictions are driven by FaultConfig::spot_reclaims against the pilot
+  /// hosting the node (see runtime/fault.hpp).
+  bool preemptible = false;
 };
 
 /// The evaluation node from the paper (§III).
@@ -40,18 +51,21 @@ struct NodeSpec {
     const std::string suffix = std::to_string(i);
     switch (i % 4) {
       case 0:
+        // Modern generation: A100-class — 3x the M6000 baseline.
         nodes.push_back(NodeSpec{.name = "gpu-" + suffix,
                                  .cores = 64,
                                  .gpus = 8,
                                  .mem_gb = 256.0,
-                                 .gpu_mem_gb = 40.0});
+                                 .gpu_mem_gb = 40.0,
+                                 .gpu_speed_factor = 3.0});
         break;
       case 1:
         nodes.push_back(NodeSpec{.name = "amarel-" + suffix,
                                  .cores = 28,
                                  .gpus = 4,
                                  .mem_gb = 128.0,
-                                 .gpu_mem_gb = 12.0});
+                                 .gpu_mem_gb = 12.0,
+                                 .gpu_speed_factor = 1.0});
         break;
       case 2:
         nodes.push_back(NodeSpec{.name = "cpu-" + suffix,
@@ -61,11 +75,13 @@ struct NodeSpec {
                                  .gpu_mem_gb = 0.0});
         break;
       default:
+        // Thin nodes model the spot/preemptible tier of the cluster.
         nodes.push_back(NodeSpec{.name = "thin-" + suffix,
                                  .cores = 16,
                                  .gpus = 0,
                                  .mem_gb = 64.0,
-                                 .gpu_mem_gb = 0.0});
+                                 .gpu_mem_gb = 0.0,
+                                 .preemptible = true});
         break;
     }
   }

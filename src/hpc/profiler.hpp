@@ -51,6 +51,8 @@ inline constexpr std::string_view kRetry = "retry";        ///< retry scheduled
 inline constexpr std::string_view kTimeout = "timeout";    ///< deadline hit
 inline constexpr std::string_view kRequeue = "requeue";    ///< re-routed off a dead pilot
 inline constexpr std::string_view kPilotFailed = "pilot_failed";
+/// Spot capacity returned: a reclaimed pilot re-entered ACTIVE.
+inline constexpr std::string_view kPilotReactivated = "pilot_reactivated";
 }  // namespace events
 
 class Profiler {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace impress::hpc {
@@ -32,6 +34,40 @@ void take_lowest(std::vector<std::uint64_t>& words, std::uint32_t want,
   }
 }
 
+/// Device memory of one of this node's GPUs as the pool tracks it. A node
+/// that declares GPUs without declaring their memory (gpu_mem_gb == 0)
+/// does not model that axis: its devices satisfy any gpu_mem_gb request,
+/// represented as infinite per-device free memory.
+double node_gpu_mem(const NodeSpec& n) noexcept {
+  return n.gpu_mem_gb > 0.0 ? n.gpu_mem_gb
+                            : std::numeric_limits<double>::infinity();
+}
+
+/// Slices of the requested shape one device can still host: limited by
+/// free compute milli and, when the request reserves device memory, by
+/// free memory. Whole-GPU requests degenerate to 1 iff fully free.
+std::uint32_t slice_capacity(std::uint32_t milli_free, double mem_free,
+                             const ResourceRequest& req) noexcept {
+  std::uint32_t cap = milli_free / req.gpu_slice_milli;
+  if (req.gpu_mem_gb > 0.0) {
+    // Double-side comparison so an unmodeled device (mem_free = inf)
+    // never narrows — and never hits a float-to-int cast of infinity.
+    const double by_mem = std::floor(mem_free / req.gpu_mem_gb);
+    if (by_mem < static_cast<double>(cap))
+      cap = by_mem <= 0.0 ? 0u : static_cast<std::uint32_t>(by_mem);
+  }
+  return cap;
+}
+
+/// Exact fit against a pristine (all-free) node: every device offers 1000
+/// milli and full memory, so per-device capacity is uniform.
+bool pristine_fits_gpus(const NodeSpec& n, const ResourceRequest& req) noexcept {
+  if (req.gpus == 0) return true;
+  if (n.gpus == 0) return false;
+  const std::uint32_t per = slice_capacity(kGpuSliceFull, node_gpu_mem(n), req);
+  return static_cast<std::uint64_t>(per) * n.gpus >= req.gpus;
+}
+
 }  // namespace
 
 ResourcePool::ResourcePool(std::vector<NodeSpec> nodes)
@@ -40,9 +76,11 @@ ResourcePool::ResourcePool(std::vector<NodeSpec> nodes)
   for (const auto& n : nodes_) {
     NodeState st;
     set_all_free(st.core_free, n.cores);
-    set_all_free(st.gpu_free, n.gpus);
+    st.gpu_milli_free.assign(n.gpus, static_cast<std::uint16_t>(kGpuSliceFull));
+    st.gpu_mem_free.assign(n.gpus, node_gpu_mem(n));
     st.cores_free = n.cores;
-    st.gpus_free = n.gpus;
+    st.gpus_full_free = n.gpus;
+    st.gpu_milli_total = n.gpus * kGpuSliceFull;
     st.mem_free_gb = n.mem_gb;
     st.core_base = total_cores_;
     st.gpu_base = total_gpus_;
@@ -52,71 +90,147 @@ ResourcePool::ResourcePool(std::vector<NodeSpec> nodes)
   }
   free_cores_ = total_cores_;
   free_gpus_ = total_gpus_;
+  free_gpu_milli_ = static_cast<std::uint64_t>(total_gpus_) * kGpuSliceFull;
 
   cap_ = std::bit_ceil(std::max<std::size_t>(nodes_.size(), 1));
   free_seg_.assign(2 * cap_, SegNode{});
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    free_seg_[cap_ + i] =
-        SegNode{nodes_[i].cores, nodes_[i].gpus, nodes_[i].mem_gb};
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    free_seg_[cap_ + i] = SegNode{
+        .cores = n.cores,
+        .mem = n.mem_gb,
+        .gpu_milli_total = n.gpus * kGpuSliceFull,
+        .gpu_milli_max = n.gpus > 0 ? kGpuSliceFull : 0,
+        .gpu_mem_max = n.gpus > 0 ? node_gpu_mem(n) : -1.0};
+  }
   for (std::size_t i = cap_ - 1; i >= 1; --i) {
-    free_seg_[i].cores =
-        std::max(free_seg_[2 * i].cores, free_seg_[2 * i + 1].cores);
-    free_seg_[i].gpus =
-        std::max(free_seg_[2 * i].gpus, free_seg_[2 * i + 1].gpus);
-    free_seg_[i].mem =
-        std::max(free_seg_[2 * i].mem, free_seg_[2 * i + 1].mem);
+    const SegNode& l = free_seg_[2 * i];
+    const SegNode& r = free_seg_[2 * i + 1];
+    free_seg_[i] = SegNode{.cores = std::max(l.cores, r.cores),
+                           .mem = std::max(l.mem, r.mem),
+                           .gpu_milli_total =
+                               std::max(l.gpu_milli_total, r.gpu_milli_total),
+                           .gpu_milli_max =
+                               std::max(l.gpu_milli_max, r.gpu_milli_max),
+                           .gpu_mem_max = std::max(l.gpu_mem_max, r.gpu_mem_max)};
   }
   // Capacity never changes, so fits_ever reuses the freshly-built
   // all-free tree verbatim.
   capacity_seg_ = free_seg_;
 }
 
+bool ResourcePool::node_fits_gpus(const NodeState& st, std::uint32_t n_gpus,
+                                  const ResourceRequest& req) const noexcept {
+  if (req.gpus == 0) return true;
+  std::uint32_t need = req.gpus;
+  for (std::uint32_t g = 0; g < n_gpus; ++g) {
+    const std::uint32_t cap =
+        slice_capacity(st.gpu_milli_free[g], st.gpu_mem_free[g], req);
+    need -= std::min(cap, need);
+    if (need == 0) return true;
+  }
+  return false;
+}
+
 std::size_t ResourcePool::find_node(const std::vector<SegNode>& seg,
-                                    std::size_t i,
-                                    const ResourceRequest& req)
-    const noexcept {
+                                    std::size_t i, const ResourceRequest& req,
+                                    bool live) const noexcept {
   const SegNode& s = seg[i];
-  if (s.cores < req.cores || s.gpus < req.gpus || s.mem < req.mem_gb)
-    return nodes_.size();
-  if (i >= cap_) return i - cap_;  // leaf maxima are exact: it fits
-  const std::size_t left = find_node(seg, 2 * i, req);
+  if (s.cores < req.cores || s.mem < req.mem_gb) return nodes_.size();
+  if (req.gpus > 0) {
+    // Conservative prune: the subtree maxima may come from different
+    // nodes/devices, so passing here does not guarantee a fit — the leaf
+    // re-checks exactly.
+    if (s.gpu_milli_max < req.gpu_slice_milli ||
+        static_cast<std::uint64_t>(s.gpu_milli_total) <
+            static_cast<std::uint64_t>(req.gpus) * req.gpu_slice_milli ||
+        s.gpu_mem_max < req.gpu_mem_gb)
+      return nodes_.size();
+  }
+  if (i >= cap_) {
+    const std::size_t ni = i - cap_;
+    // Cores and host memory are exact at the leaf; the packed-GPU check
+    // is the only axis needing per-device state.
+    const bool ok = live ? node_fits_gpus(states_[ni], nodes_[ni].gpus, req)
+                         : pristine_fits_gpus(nodes_[ni], req);
+    return ok ? ni : nodes_.size();
+  }
+  const std::size_t left = find_node(seg, 2 * i, req, live);
   if (left != nodes_.size()) return left;
-  return find_node(seg, 2 * i + 1, req);
+  return find_node(seg, 2 * i + 1, req, live);
 }
 
 void ResourcePool::update_leaf(std::size_t ni) {
   const auto& st = states_[ni];
-  free_seg_[cap_ + ni] = SegNode{st.cores_free, st.gpus_free, st.mem_free_gb};
+  SegNode leaf{.cores = st.cores_free,
+               .mem = st.mem_free_gb,
+               .gpu_milli_total = st.gpu_milli_total,
+               .gpu_milli_max = 0,
+               .gpu_mem_max = -1.0};
+  for (std::size_t g = 0; g < st.gpu_milli_free.size(); ++g) {
+    leaf.gpu_milli_max =
+        std::max(leaf.gpu_milli_max, std::uint32_t{st.gpu_milli_free[g]});
+    leaf.gpu_mem_max = std::max(leaf.gpu_mem_max, st.gpu_mem_free[g]);
+  }
+  free_seg_[cap_ + ni] = leaf;
   for (std::size_t i = (cap_ + ni) / 2; i >= 1; i /= 2) {
-    free_seg_[i].cores =
-        std::max(free_seg_[2 * i].cores, free_seg_[2 * i + 1].cores);
-    free_seg_[i].gpus =
-        std::max(free_seg_[2 * i].gpus, free_seg_[2 * i + 1].gpus);
-    free_seg_[i].mem =
-        std::max(free_seg_[2 * i].mem, free_seg_[2 * i + 1].mem);
+    const SegNode& l = free_seg_[2 * i];
+    const SegNode& r = free_seg_[2 * i + 1];
+    free_seg_[i] = SegNode{.cores = std::max(l.cores, r.cores),
+                           .mem = std::max(l.mem, r.mem),
+                           .gpu_milli_total =
+                               std::max(l.gpu_milli_total, r.gpu_milli_total),
+                           .gpu_milli_max =
+                               std::max(l.gpu_milli_max, r.gpu_milli_max),
+                           .gpu_mem_max = std::max(l.gpu_mem_max, r.gpu_mem_max)};
     if (i == 1) break;
   }
 }
 
 std::optional<Allocation> ResourcePool::allocate(const ResourceRequest& req) {
+  if (req.gpu_slice_milli == 0 || req.gpu_slice_milli > kGpuSliceFull)
+    throw std::invalid_argument(
+        "ResourcePool::allocate: gpu_slice_milli must be in (0, 1000]");
   std::lock_guard lock(mutex_);
   if (nodes_.empty()) return std::nullopt;
-  const std::size_t ni = find_node(free_seg_, 1, req);
+  const std::size_t ni = find_node(free_seg_, 1, req, /*live=*/true);
   if (ni >= nodes_.size()) return std::nullopt;
   auto& st = states_[ni];
 
   Allocation alloc;
   alloc.node = static_cast<std::uint32_t>(ni);
   alloc.mem_gb = req.mem_gb;
+  alloc.gpu_slice_milli = req.gpu_slice_milli;
+  alloc.gpu_mem_gb = req.gpu_mem_gb;
   alloc.cores.reserve(req.cores);
   alloc.gpus.reserve(req.gpus);
   take_lowest(st.core_free, req.cores, st.core_base, alloc.cores);
-  take_lowest(st.gpu_free, req.gpus, st.gpu_base, alloc.gpus);
+
+  // First-fit slice packing in device-id order (guaranteed to place all
+  // req.gpus slices by the exact leaf check above). Slices are uniform,
+  // so taking each device's full capacity in order is complete.
+  std::uint32_t need = req.gpus;
+  for (std::uint32_t g = 0; g < st.gpu_milli_free.size() && need > 0; ++g) {
+    const std::uint32_t take = std::min(
+        slice_capacity(st.gpu_milli_free[g], st.gpu_mem_free[g], req), need);
+    if (take == 0) continue;
+    if (st.gpu_milli_free[g] == kGpuSliceFull) {
+      --st.gpus_full_free;
+      --free_gpus_;
+    }
+    const std::uint32_t milli = take * req.gpu_slice_milli;
+    st.gpu_milli_free[g] = static_cast<std::uint16_t>(st.gpu_milli_free[g] - milli);
+    st.gpu_mem_free[g] -= take * req.gpu_mem_gb;
+    st.gpu_milli_total -= milli;
+    free_gpu_milli_ -= milli;
+    for (std::uint32_t k = 0; k < take; ++k)
+      alloc.gpus.push_back(st.gpu_base + g);
+    need -= take;
+  }
+
   st.cores_free -= req.cores;
-  st.gpus_free -= req.gpus;
   st.mem_free_gb -= req.mem_gb;
   free_cores_ -= req.cores;
-  free_gpus_ -= req.gpus;
   update_leaf(ni);
   return alloc;
 }
@@ -134,26 +248,36 @@ void ResourcePool::release(const Allocation& alloc) {
   }
   for (auto g : alloc.gpus) {
     const std::uint32_t local = g - st.gpu_base;
-    const std::uint64_t bit = std::uint64_t{1} << (local % kWordBits);
     if (local >= nodes_[alloc.node].gpus ||
-        (st.gpu_free[local / kWordBits] & bit) != 0)
-      throw std::logic_error("ResourcePool::release: gpu not allocated");
-    st.gpu_free[local / kWordBits] |= bit;
+        st.gpu_milli_free[local] + alloc.gpu_slice_milli > kGpuSliceFull)
+      throw std::logic_error("ResourcePool::release: gpu slice not allocated");
+    st.gpu_milli_free[local] =
+        static_cast<std::uint16_t>(st.gpu_milli_free[local] +
+                                   alloc.gpu_slice_milli);
+    st.gpu_mem_free[local] = std::min(st.gpu_mem_free[local] + alloc.gpu_mem_gb,
+                                      node_gpu_mem(nodes_[alloc.node]));
+    st.gpu_milli_total += alloc.gpu_slice_milli;
+    free_gpu_milli_ += alloc.gpu_slice_milli;
+    if (st.gpu_milli_free[local] == kGpuSliceFull) {
+      ++st.gpus_full_free;
+      ++free_gpus_;
+    }
   }
   st.cores_free += static_cast<std::uint32_t>(alloc.cores.size());
-  st.gpus_free += static_cast<std::uint32_t>(alloc.gpus.size());
   st.mem_free_gb =
       std::min(st.mem_free_gb + alloc.mem_gb, nodes_[alloc.node].mem_gb);
   free_cores_ += static_cast<std::uint32_t>(alloc.cores.size());
-  free_gpus_ += static_cast<std::uint32_t>(alloc.gpus.size());
   update_leaf(alloc.node);
 }
 
 bool ResourcePool::fits_ever(const ResourceRequest& req) const noexcept {
   // The capacity tree is immutable, so no lock; same leftmost search as
-  // allocate, against full-node capacities.
+  // allocate, against full-node capacities. Malformed slice sizes never
+  // fit (allocate would throw).
+  if (req.gpu_slice_milli == 0 || req.gpu_slice_milli > kGpuSliceFull)
+    return false;
   if (nodes_.empty()) return false;
-  return find_node(capacity_seg_, 1, req) < nodes_.size();
+  return find_node(capacity_seg_, 1, req, /*live=*/false) < nodes_.size();
 }
 
 std::uint32_t ResourcePool::free_cores() const {
@@ -164,6 +288,11 @@ std::uint32_t ResourcePool::free_cores() const {
 std::uint32_t ResourcePool::free_gpus() const {
   std::lock_guard lock(mutex_);
   return free_gpus_;
+}
+
+std::uint64_t ResourcePool::free_gpu_milli() const {
+  std::lock_guard lock(mutex_);
+  return free_gpu_milli_;
 }
 
 }  // namespace impress::hpc

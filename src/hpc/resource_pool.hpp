@@ -1,16 +1,30 @@
 // Slot allocator over one or more nodes.
 //
-// The scheduler asks for (cores, gpus, mem) and receives an Allocation
-// naming concrete core and GPU ids, or nothing if the request cannot be
-// satisfied right now. First-fit within a node; a single allocation never
-// spans nodes (matching how RP's agent scheduler places non-MPI tasks).
-// Thread-safe so the threaded executor can free slots from worker threads.
+// The scheduler asks for (cores, gpus, mem, gpu mem, gpu slice) and
+// receives an Allocation naming concrete core and GPU ids, or nothing if
+// the request cannot be satisfied right now. First-fit within a node; a
+// single allocation never spans nodes (matching how RP's agent scheduler
+// places non-MPI tasks). Thread-safe so the threaded executor can free
+// slots from worker threads.
+//
+// GPUs are MPS-style shareable devices: each physical GPU exposes 1000
+// milli-slices of compute plus its NodeSpec::gpu_mem_gb of memory (a node
+// that declares GPUs but leaves gpu_mem_gb at 0 does not model the memory
+// axis — its devices accept any gpu_mem_gb request), and a
+// request's `gpus` field counts *slices* of `gpu_slice_milli` each, every
+// slice also reserving `gpu_mem_gb` of device memory. Whole-GPU requests
+// (the default, slice = 1000) behave exactly as the pre-slicing pool:
+// lowest fully-free device ids first. Fractional slices pack first-fit in
+// device-id order and may co-locate several slices of one allocation on
+// one device (the Allocation then repeats that GPU id).
 //
 // Scale: the pool is built for O(10k) heterogeneous nodes. Node selection
 // walks a segment tree of per-subtree free-resource maxima (leftmost-
 // first, so placement order is identical to the naive linear first-fit),
-// per-node core/GPU occupancy is a bitmask (lowest-id-first extraction
-// via countr_zero), and free totals are running counters — allocate and
+// with a conservative prune at internal nodes and an exact per-device
+// check at the leaf. Per-node core occupancy is a bitmask (lowest-id-
+// first extraction via countr_zero); GPU occupancy is per-device
+// milli/memory counters. Free totals are running counters — allocate and
 // release are O(log n + slots), free_cores()/free_gpus() are O(1).
 
 #pragma once
@@ -26,12 +40,19 @@
 
 namespace impress::hpc {
 
-/// A concrete placement: which node, which cores, which GPUs.
+/// Number of compute milli-slices one physical GPU exposes.
+inline constexpr std::uint32_t kGpuSliceFull = 1000;
+
+/// A concrete placement: which node, which cores, which GPUs. A GPU id
+/// appears once per slice placed on it (whole-GPU allocations list each
+/// device exactly once).
 struct Allocation {
   std::uint32_t node = 0;
   std::vector<std::uint32_t> cores;  ///< global core ids
-  std::vector<std::uint32_t> gpus;   ///< global gpu ids
+  std::vector<std::uint32_t> gpus;   ///< global gpu ids, one per slice
   double mem_gb = 0.0;
+  std::uint32_t gpu_slice_milli = kGpuSliceFull;  ///< per entry in `gpus`
+  double gpu_mem_gb = 0.0;                        ///< per entry in `gpus`
 
   [[nodiscard]] bool empty() const noexcept {
     return cores.empty() && gpus.empty();
@@ -41,8 +62,13 @@ struct Allocation {
 /// Resource request attached to a task description.
 struct ResourceRequest {
   std::uint32_t cores = 1;
-  std::uint32_t gpus = 0;
+  std::uint32_t gpus = 0;  ///< GPU slices wanted (devices when slice=1000)
   double mem_gb = 0.0;
+  /// Device memory reserved per requested slice (GB). 0 = unconstrained.
+  double gpu_mem_gb = 0.0;
+  /// MPS-style compute fraction per slice, in (0, 1000]. 1000 = a whole
+  /// device — the pre-slicing behaviour and the default.
+  std::uint32_t gpu_slice_milli = kGpuSliceFull;
 
   bool operator==(const ResourceRequest&) const = default;
 };
@@ -56,7 +82,8 @@ class ResourcePool {
 
   /// Try to allocate; returns nullopt if no node can satisfy the request.
   /// Requests exceeding the capacity of every node always fail — callers
-  /// should pre-validate with fits_ever().
+  /// should pre-validate with fits_ever(). Throws std::invalid_argument
+  /// on a malformed request (gpu_slice_milli outside (0, 1000]).
   [[nodiscard]] std::optional<Allocation> allocate(const ResourceRequest& req);
 
   /// Return an allocation's resources to the pool. Double-free is an
@@ -69,38 +96,50 @@ class ResourcePool {
   [[nodiscard]] std::uint32_t total_cores() const noexcept { return total_cores_; }
   [[nodiscard]] std::uint32_t total_gpus() const noexcept { return total_gpus_; }
   [[nodiscard]] std::uint32_t free_cores() const;
+  /// Count of *fully free* devices (no slice outstanding).
   [[nodiscard]] std::uint32_t free_gpus() const;
+  /// Sum of free compute milli-slices across every device.
+  [[nodiscard]] std::uint64_t free_gpu_milli() const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] const NodeSpec& node(std::size_t i) const { return nodes_.at(i); }
 
  private:
   struct NodeState {
     std::vector<std::uint64_t> core_free;  ///< bit set = core is free
-    std::vector<std::uint64_t> gpu_free;
+    std::vector<std::uint16_t> gpu_milli_free;  ///< per-device, 0..1000
+    std::vector<double> gpu_mem_free;           ///< per-device free GB
     std::uint32_t cores_free = 0;
-    std::uint32_t gpus_free = 0;
+    std::uint32_t gpus_full_free = 0;   ///< devices with 1000 milli free
+    std::uint32_t gpu_milli_total = 0;  ///< sum of gpu_milli_free
     double mem_free_gb = 0.0;
     std::uint32_t core_base = 0;  ///< global id of this node's core 0
     std::uint32_t gpu_base = 0;
   };
 
-  /// Per-subtree maxima over (free cores, free gpus, free mem). A subtree
-  /// whose maxima fail the request on any axis cannot contain a fitting
-  /// node; the converse does not hold (the maxima may come from different
-  /// nodes), so lookup backtracks — leftmost-first, preserving first-fit.
+  /// Per-subtree maxima over the per-node fit axes. A subtree whose
+  /// maxima fail the request on any axis cannot contain a fitting node;
+  /// the converse does not hold (the maxima may come from different nodes
+  /// or different devices within a node), so lookup backtracks leftmost-
+  /// first and re-checks exactly at the leaf — preserving first-fit.
   struct SegNode {
     std::uint32_t cores = 0;
-    std::uint32_t gpus = 0;
     double mem = -1.0;  ///< padding leaves: below any legal request
+    std::uint32_t gpu_milli_total = 0;  ///< max per-node free-milli sum
+    std::uint32_t gpu_milli_max = 0;    ///< max single-device free milli
+    double gpu_mem_max = -1.0;          ///< max single-device free GB
   };
 
-  /// Leftmost leaf under seg[i] satisfying the request on all three axes,
-  /// or node_count() if none. `seg` is either the live free-resource tree
-  /// or the immutable capacity tree (fits_ever).
+  /// Leftmost leaf under seg[i] satisfying the request, or node_count()
+  /// if none. `seg` is either the live free-resource tree (`live`, exact
+  /// leaf check against states_) or the immutable capacity tree
+  /// (fits_ever, exact check against pristine NodeSpecs).
   [[nodiscard]] std::size_t find_node(const std::vector<SegNode>& seg,
-                                      std::size_t i,
-                                      const ResourceRequest& req)
-      const noexcept;
+                                      std::size_t i, const ResourceRequest& req,
+                                      bool live) const noexcept;
+  /// Exact check: can `req.gpus` slices be packed onto the node's devices
+  /// in id order given current per-device free milli/memory?
+  [[nodiscard]] bool node_fits_gpus(const NodeState& st, std::uint32_t n_gpus,
+                                    const ResourceRequest& req) const noexcept;
   /// Recompute the leaf for node `ni` from states_[ni] and fix its path.
   void update_leaf(std::size_t ni);
 
@@ -113,7 +152,8 @@ class ResourcePool {
   std::vector<NodeState> states_;
   std::vector<SegNode> free_seg_;  ///< guarded by mutex_
   std::uint32_t free_cores_ = 0;   ///< guarded by mutex_
-  std::uint32_t free_gpus_ = 0;    ///< guarded by mutex_
+  std::uint32_t free_gpus_ = 0;    ///< fully-free devices; guarded by mutex_
+  std::uint64_t free_gpu_milli_ = 0;  ///< guarded by mutex_
 };
 
 }  // namespace impress::hpc

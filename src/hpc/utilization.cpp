@@ -6,23 +6,28 @@
 namespace impress::hpc {
 
 void UtilizationRecorder::record(UsageInterval interval) {
+  // Normalize at the door: the campaign clock starts at 0, so a negative
+  // start is a recording artifact, not usage. Clamping here (instead of
+  // per-query) keeps every downstream path — running totals, windowed
+  // scans, energy — in agreement on the same interval. Before this fix
+  // the energy term used the raw, unclamped span while the utilization
+  // totals used the clamped one, so the O(1) energy path silently
+  // overcounted pre-zero time relative to a windowed scan.
+  if (interval.start < 0.0) interval.start = 0.0;
   if (interval.end < interval.start) interval.end = interval.start;
   std::lock_guard lock(mutex_);
   // Full-span overlap as the default summarize() would compute it
   // (window [0, max end], so min(end, t1) == end).
-  const double overlap =
-      std::max(0.0, interval.end - std::max(interval.start, 0.0));
-  if (overlap > 0.0) {
-    totals_.core_alloc_s += overlap * interval.cores;
-    totals_.core_active_s += overlap * interval.cores * interval.cpu_intensity;
-    totals_.gpu_alloc_s += overlap * interval.gpus;
-    totals_.gpu_active_s += overlap * interval.gpus * interval.gpu_intensity;
-  }
   const double dt = interval.end - interval.start;
-  if (dt > 0.0)
+  if (dt > 0.0) {
+    totals_.core_alloc_s += dt * interval.cores;
+    totals_.core_active_s += dt * interval.cores * interval.cpu_intensity;
+    totals_.gpu_alloc_s += dt * interval.gpus;
+    totals_.gpu_active_s += dt * interval.gpus * interval.gpu_intensity;
     totals_.joules_default +=
         dt * (interval.cores * interval.cpu_intensity * kDefaultWattsPerCore +
               interval.gpus * interval.gpu_intensity * kDefaultWattsPerGpu);
+  }
   latest_end_raw_ = std::max(latest_end_raw_, interval.end);
   intervals_.push_back(std::move(interval));
 }

@@ -58,7 +58,10 @@ class UtilizationRecorder {
   /// aggregates (summarize defaults, latest_end, default-wattage energy)
   /// are maintained incrementally, in record order, so those queries are
   /// O(1) *and* bit-identical to the O(n) scans they replaced — a
-  /// 10k-node campaign records millions of intervals.
+  /// 10k-node campaign records millions of intervals. Intervals are
+  /// normalized on entry (start clamped to >= 0, end to >= start) so the
+  /// running totals, windowed scans and energy paths all see the same
+  /// span — see tests/hpc/test_utilization.cpp's equivalence property.
   void record(UsageInterval interval);
 
   /// Average utilization between t0 and t1 (t1 defaults to the latest

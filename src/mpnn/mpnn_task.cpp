@@ -7,9 +7,11 @@ rp::TaskDescription make_mpnn_task(std::string name, std::size_t n_structures,
                                    rp::WorkFn work) {
   rp::TaskDescription td;
   td.name = std::move(name);
+  // ProteinMPNN is a ~1.6M-parameter model; 2 GB covers weights + batch.
   td.resources = hpc::ResourceRequest{.cores = model.cores,
                                       .gpus = model.gpus,
-                                      .mem_gb = 8.0};
+                                      .mem_gb = 8.0,
+                                      .gpu_mem_gb = model.gpus > 0 ? 2.0 : 0.0};
   td.phases.push_back(rp::TaskPhase{
       .name = "design",
       .duration_s =

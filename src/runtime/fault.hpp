@@ -25,6 +25,18 @@ struct PilotOutage {
   double at_s = 0.0;
 };
 
+/// One spot/preemptible-capacity reclaim: the pilot created by the
+/// `pilot_index`-th submit_pilot() call is evicted at `at_s` (exactly the
+/// PilotOutage fail path — queued tasks requeue, executing tasks evict)
+/// and the capacity returns `down_s` seconds later, re-entering ACTIVE.
+/// Meant for pilots on preemptible nodes (NodeSpec::preemptible), though
+/// the schedule is honored for any pilot.
+struct SpotReclaim {
+  std::size_t pilot_index = 0;
+  double at_s = 0.0;
+  double down_s = 0.0;
+};
+
 struct FaultConfig {
   /// Probability that a task attempt crashes partway through execution
   /// (ends kFailed with an "injected fault" error, no usage recorded).
@@ -35,11 +47,14 @@ struct FaultConfig {
   double slow_factor = 4.0;
   /// Pilot/node outages, armed by the session at submit_pilot time.
   std::vector<PilotOutage> pilot_outages;
+  /// Spot-capacity reclaims (eviction + later return), armed alongside
+  /// pilot_outages against the session clock.
+  std::vector<SpotReclaim> spot_reclaims;
 
   /// True when any fault source is configured.
   [[nodiscard]] bool any() const noexcept {
     return task_failure_rate > 0.0 || slow_task_rate > 0.0 ||
-           !pilot_outages.empty();
+           !pilot_outages.empty() || !spot_reclaims.empty();
   }
 };
 

@@ -173,6 +173,19 @@ void Pilot::fail() {
   }
 }
 
+void Pilot::reactivate() {
+  std::lock_guard lock(mutex_);
+  if (state_ != PilotState::kFailed) return;
+  state_ = PilotState::kActive;
+  profiler_.record(now_(), uid_, hpc::events::kPilotReactivated);
+  IMPRESS_LOG(kInfo, "pilot") << uid_ << " reactivated (spot capacity back)";
+  // fail() released nothing — evicted tasks return their allocations via
+  // the executor's cancel path — so by the time work routes back here the
+  // pool has drained naturally. Kick the (empty) scheduler anyway in case
+  // a task was enqueued between the state flip and now.
+  run_scheduler();
+}
+
 void Pilot::place(TaskPtr task, hpc::Allocation alloc) {
   // Called from scheduler.try_schedule() with mutex_ held.
   if (executor_ == nullptr)

@@ -132,6 +132,12 @@ class Pilot {
   /// them on another pilot.
   void fail();
 
+  /// Spot capacity returned: a FAILED pilot re-enters ACTIVE with its
+  /// (empty) queue and full resource pool, and the TaskManager may route
+  /// to it again. No-op unless the pilot is FAILED — a DONE pilot stays
+  /// done. Used by the session's FaultConfig::spot_reclaims schedule.
+  void reactivate();
+
  private:
   void place(TaskPtr task, hpc::Allocation alloc);
   void on_complete(const TaskPtr& task);

@@ -111,6 +111,24 @@ void Session::arm_outages(const PilotPtr& pilot, std::size_t index,
         << "pilot " << pilot->uid() << " will fail at t=" << outage.at_s;
     call_after(delay, [pilot] { pilot->fail(); });
   }
+  for (const auto& reclaim : config_.faults.spot_reclaims) {
+    if (reclaim.pilot_index != index) continue;
+    // The eviction and the capacity return are armed independently against
+    // the horizon: a checkpoint cut during the outage window re-arms only
+    // the return, so a resumed run reactivates the pilot on schedule.
+    if (reclaim.at_s > horizon_s) {
+      IMPRESS_LOG(kInfo, "session")
+          << "pilot " << pilot->uid() << " spot capacity reclaimed at t="
+          << reclaim.at_s << " for " << reclaim.down_s << "s";
+      call_after(std::max(0.0, reclaim.at_s - now()),
+                 [pilot] { pilot->fail(); });
+    }
+    const double back_s = reclaim.at_s + reclaim.down_s;
+    if (back_s > horizon_s) {
+      call_after(std::max(0.0, back_s - now()),
+                 [pilot] { pilot->reactivate(); });
+    }
+  }
 }
 
 PilotPtr Session::submit_pilot(const PilotDescription& description) {

@@ -37,6 +37,12 @@ double RetryPolicy::backoff_delay(int next_attempt,
 void TaskDescription::validate_and_normalize() {
   if (resources.cores == 0 && resources.gpus == 0)
     throw std::invalid_argument("task '" + name + "': requests no resources");
+  if (resources.gpu_slice_milli == 0 ||
+      resources.gpu_slice_milli > hpc::kGpuSliceFull)
+    throw std::invalid_argument("task '" + name +
+                                "': gpu_slice_milli outside (0, 1000]");
+  if (resources.gpu_mem_gb < 0.0 || resources.mem_gb < 0.0)
+    throw std::invalid_argument("task '" + name + "': negative memory request");
   if (retry.max_attempts < 1)
     throw std::invalid_argument("task '" + name + "': max_attempts < 1");
   if (retry.backoff_initial_s < 0.0 || retry.attempt_timeout_s < 0.0)

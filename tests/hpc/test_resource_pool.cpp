@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <optional>
 #include <random>
 #include <set>
@@ -164,14 +165,18 @@ INSTANTIATE_TEST_SUITE_P(RequestShapes, PoolConservation,
 // like the naive linear first-fit it replaced (placement order feeds the
 // determinism contract), and must stay fast at 10k heterogeneous nodes.
 
-/// The pre-scale-up allocator, kept verbatim as the reference model.
+/// Linear first-fit reference model, updated in lockstep with the pool's
+/// GPU-memory/slice semantics: scan nodes in order, place the first that
+/// fits every axis, pack GPU slices onto devices in id order. The segment
+/// tree must be placement-identical to this under any churn.
 class NaivePool {
  public:
   explicit NaivePool(const std::vector<NodeSpec>& nodes) : nodes_(nodes) {
     for (const auto& n : nodes_) {
       State st;
       st.core_busy.assign(n.cores, false);
-      st.gpu_busy.assign(n.gpus, false);
+      st.gpu_milli_free.assign(n.gpus, 1000u);
+      st.gpu_mem_free.assign(n.gpus, gpu_mem(n));
       st.mem_free_gb = n.mem_gb;
       st.core_base = total_cores_;
       st.gpu_base = total_gpus_;
@@ -179,6 +184,27 @@ class NaivePool {
       total_gpus_ += n.gpus;
       states_.push_back(std::move(st));
     }
+  }
+
+  /// Unmodeled device memory (gpu_mem_gb = 0 with GPUs present) never
+  /// constrains — mirrored from the pool.
+  static double gpu_mem(const NodeSpec& n) {
+    return n.gpu_mem_gb > 0.0 ? n.gpu_mem_gb
+                              : std::numeric_limits<double>::infinity();
+  }
+
+  /// Same per-device capacity formula as the pool (identical float ops so
+  /// the placement comparison is bitwise-meaningful).
+  static std::uint32_t slice_capacity(std::uint32_t milli_free,
+                                      double mem_free,
+                                      const ResourceRequest& req) {
+    std::uint32_t cap = milli_free / req.gpu_slice_milli;
+    if (req.gpu_mem_gb > 0.0) {
+      const double by_mem = std::floor(mem_free / req.gpu_mem_gb);
+      if (by_mem < static_cast<double>(cap))
+        cap = by_mem <= 0.0 ? 0u : static_cast<std::uint32_t>(by_mem);
+    }
+    return cap;
   }
 
   std::optional<Allocation> allocate(const ResourceRequest& req) {
@@ -190,19 +216,32 @@ class NaivePool {
            c < st.core_busy.size() && cores.size() < req.cores; ++c)
         if (!st.core_busy[c]) cores.push_back(c);
       if (cores.size() < req.cores) continue;
-      std::vector<std::uint32_t> gpus;
-      for (std::uint32_t g = 0;
-           g < st.gpu_busy.size() && gpus.size() < req.gpus; ++g)
-        if (!st.gpu_busy[g]) gpus.push_back(g);
-      if (gpus.size() < req.gpus) continue;
+      // Greedy slice packing in device-id order; (device, count) pairs.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> slices;
+      std::uint32_t need = req.gpus;
+      for (std::uint32_t g = 0; g < st.gpu_milli_free.size() && need > 0; ++g) {
+        const std::uint32_t take = std::min(
+            slice_capacity(st.gpu_milli_free[g], st.gpu_mem_free[g], req),
+            need);
+        if (take == 0) continue;
+        slices.emplace_back(g, take);
+        need -= take;
+      }
+      if (need > 0) continue;
       for (auto c : cores) st.core_busy[c] = true;
-      for (auto g : gpus) st.gpu_busy[g] = true;
-      st.mem_free_gb -= req.mem_gb;
       Allocation alloc;
       alloc.node = static_cast<std::uint32_t>(ni);
       alloc.mem_gb = req.mem_gb;
+      alloc.gpu_slice_milli = req.gpu_slice_milli;
+      alloc.gpu_mem_gb = req.gpu_mem_gb;
       for (auto c : cores) alloc.cores.push_back(st.core_base + c);
-      for (auto g : gpus) alloc.gpus.push_back(st.gpu_base + g);
+      for (const auto& [g, take] : slices) {
+        st.gpu_milli_free[g] -= take * req.gpu_slice_milli;
+        st.gpu_mem_free[g] -= take * req.gpu_mem_gb;
+        for (std::uint32_t k = 0; k < take; ++k)
+          alloc.gpus.push_back(st.gpu_base + g);
+      }
+      st.mem_free_gb -= req.mem_gb;
       return alloc;
     }
     return std::nullopt;
@@ -211,7 +250,13 @@ class NaivePool {
   void release(const Allocation& alloc) {
     auto& st = states_.at(alloc.node);
     for (auto c : alloc.cores) st.core_busy[c - st.core_base] = false;
-    for (auto g : alloc.gpus) st.gpu_busy[g - st.gpu_base] = false;
+    for (auto g : alloc.gpus) {
+      const std::uint32_t local = g - st.gpu_base;
+      st.gpu_milli_free[local] += alloc.gpu_slice_milli;
+      st.gpu_mem_free[local] =
+          std::min(st.gpu_mem_free[local] + alloc.gpu_mem_gb,
+                   gpu_mem(nodes_[alloc.node]));
+    }
     st.mem_free_gb =
         std::min(st.mem_free_gb + alloc.mem_gb, nodes_[alloc.node].mem_gb);
   }
@@ -219,7 +264,8 @@ class NaivePool {
  private:
   struct State {
     std::vector<bool> core_busy;
-    std::vector<bool> gpu_busy;
+    std::vector<std::uint32_t> gpu_milli_free;
+    std::vector<double> gpu_mem_free;
     double mem_free_gb = 0.0;
     std::uint32_t core_base = 0;
     std::uint32_t gpu_base = 0;
@@ -238,6 +284,8 @@ void expect_same_allocation(const std::optional<Allocation>& a,
   EXPECT_EQ(a->cores, b->cores);
   EXPECT_EQ(a->gpus, b->gpus);
   EXPECT_EQ(a->mem_gb, b->mem_gb);
+  EXPECT_EQ(a->gpu_slice_milli, b->gpu_slice_milli);
+  EXPECT_EQ(a->gpu_mem_gb, b->gpu_mem_gb);
 }
 
 TEST(ResourcePoolScale, PlacementMatchesNaiveFirstFitUnderChurn) {
@@ -263,6 +311,45 @@ TEST(ResourcePoolScale, PlacementMatchesNaiveFirstFitUnderChurn) {
       held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
     }
   }
+}
+
+TEST(ResourcePoolScale, SlicedPlacementMatchesNaiveFirstFitUnderChurn) {
+  // Same churn harness, but requests carry GPU memory and fractional
+  // slices — the axes the memory-enforcement fix added. The segment-tree
+  // prune + exact leaf check must stay placement-identical to the linear
+  // reference.
+  const auto nodes = make_cluster(23);
+  ResourcePool pool(nodes);
+  NaivePool naive(nodes);
+  std::mt19937_64 rng(2024);
+  constexpr std::uint32_t kSlices[] = {125, 250, 500, 1000};
+  std::vector<Allocation> held;
+  for (int op = 0; op < 5000; ++op) {
+    if (held.empty() || rng() % 3 != 0) {
+      const ResourceRequest req{
+          .cores = static_cast<std::uint32_t>(rng() % 16),
+          .gpus = static_cast<std::uint32_t>(rng() % 7),
+          .mem_gb = static_cast<double>(rng() % 128),
+          .gpu_mem_gb = static_cast<double>(rng() % 14),
+          .gpu_slice_milli = kSlices[rng() % 4]};
+      const auto a = pool.allocate(req);
+      const auto b = naive.allocate(req);
+      expect_same_allocation(a, b);
+      if (a) held.push_back(*a);
+    } else {
+      const std::size_t pick = rng() % held.size();
+      pool.release(held[pick]);
+      naive.release(held[pick]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  for (const auto& a : held) {
+    pool.release(a);
+    naive.release(a);
+  }
+  EXPECT_EQ(pool.free_gpus(), pool.total_gpus());
+  EXPECT_EQ(pool.free_gpu_milli(),
+            static_cast<std::uint64_t>(pool.total_gpus()) * kGpuSliceFull);
 }
 
 TEST(ResourcePoolScale, TenThousandNodesAllocateReleaseChurn) {
@@ -321,6 +408,132 @@ TEST(ResourcePoolScale, MakeClusterIsDeterministicAndHeterogeneous) {
   std::set<std::uint32_t> core_counts;
   for (const auto& n : a) core_counts.insert(n.cores);
   EXPECT_EQ(core_counts.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// GPU memory enforcement + MPS-style slices (the PR-10 accounting fix: a
+// request's device-memory footprint used to be entirely unchecked, so a
+// 12 GB-GPU node would happily host a 40 GB-per-GPU model).
+
+TEST(ResourcePoolGpu, DeviceMemoryIsEnforced) {
+  ResourcePool pool(amarel_node());  // 4x 12 GB GPUs
+  EXPECT_FALSE(pool.fits_ever({.cores = 1, .gpus = 1, .gpu_mem_gb = 40.0}));
+  EXPECT_FALSE(pool.allocate({.cores = 1, .gpus = 1, .gpu_mem_gb = 40.0}));
+  EXPECT_TRUE(pool.fits_ever({.cores = 1, .gpus = 1, .gpu_mem_gb = 12.0}));
+  EXPECT_TRUE(pool.allocate({.cores = 1, .gpus = 1, .gpu_mem_gb = 12.0}));
+}
+
+TEST(ResourcePoolGpu, UnmodeledDeviceMemoryNeverConstrains) {
+  // Regression: platforms that declare GPUs but never modeled device
+  // memory (gpu_mem_gb left at 0) must keep accepting tasks that reserve
+  // GPU memory — enforcement applies only where the node declares the
+  // axis. Before the fix, mixed-platform campaigns starved with "no pilot
+  // can run task" as soon as task factories started requesting gpu_mem_gb.
+  ResourcePool pool(
+      NodeSpec{.name = "legacy", .cores = 8, .gpus = 1, .mem_gb = 64.0});
+  const ResourceRequest req{
+      .cores = 1, .gpus = 1, .gpu_mem_gb = 40.0, .gpu_slice_milli = 500};
+  EXPECT_TRUE(pool.fits_ever(req));
+  const auto a = pool.allocate(req);
+  const auto b = pool.allocate(req);  // co-locates: memory never narrows
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(pool.allocate(req)) << "compute, not memory, is the limit";
+  pool.release(*a);
+  pool.release(*b);
+  // Release round-trips cleanly (no clamp against the unmodeled axis).
+  EXPECT_TRUE(pool.allocate({.cores = 1, .gpus = 1, .gpu_mem_gb = 99.0}));
+}
+
+TEST(ResourcePoolGpu, FractionalSlicesShareOneDevice) {
+  ResourcePool pool(NodeSpec{.name = "g", .cores = 4, .gpus = 1,
+                             .mem_gb = 32.0, .gpu_mem_gb = 12.0});
+  std::vector<Allocation> held;
+  for (int i = 0; i < 4; ++i) {
+    auto a = pool.allocate(
+        {.cores = 1, .gpus = 1, .gpu_mem_gb = 3.0, .gpu_slice_milli = 250});
+    ASSERT_TRUE(a) << "slice " << i;
+    EXPECT_EQ(a->gpus, std::vector<std::uint32_t>{0});
+    held.push_back(*a);
+  }
+  // Device is saturated on both compute and memory.
+  EXPECT_FALSE(pool.allocate(
+      {.cores = 0, .gpus = 1, .gpu_mem_gb = 3.0, .gpu_slice_milli = 250}));
+  EXPECT_EQ(pool.free_gpus(), 0u);   // no *fully free* device
+  EXPECT_EQ(pool.free_gpu_milli(), 0u);
+  pool.release(held.back());
+  held.pop_back();
+  EXPECT_EQ(pool.free_gpu_milli(), 250u);
+  EXPECT_TRUE(pool.allocate(
+      {.cores = 0, .gpus = 1, .gpu_mem_gb = 3.0, .gpu_slice_milli = 250}));
+}
+
+TEST(ResourcePoolGpu, SliceMemoryLimitsCoLocation) {
+  // Compute would admit 4 quarter-slices, but 6 GB per slice on a 12 GB
+  // device caps co-location at 2.
+  ResourcePool pool(NodeSpec{.name = "g", .cores = 4, .gpus = 1,
+                             .mem_gb = 32.0, .gpu_mem_gb = 12.0});
+  const ResourceRequest req{
+      .cores = 0, .gpus = 1, .gpu_mem_gb = 6.0, .gpu_slice_milli = 250};
+  EXPECT_TRUE(pool.allocate(req));
+  EXPECT_TRUE(pool.allocate(req));
+  EXPECT_FALSE(pool.allocate(req));
+  EXPECT_EQ(pool.free_gpu_milli(), 500u);  // compute left, memory gone
+}
+
+TEST(ResourcePoolGpu, MultiSliceRequestPacksDevicesInOrder) {
+  ResourcePool pool(NodeSpec{.name = "g", .cores = 4, .gpus = 2,
+                             .mem_gb = 32.0, .gpu_mem_gb = 12.0});
+  const auto a = pool.allocate({.cores = 0, .gpus = 3, .gpu_slice_milli = 500});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->gpus, (std::vector<std::uint32_t>{0, 0, 1}));
+  // Remaining half of device 1 is still placeable; a whole device is not.
+  EXPECT_TRUE(pool.allocate({.cores = 0, .gpus = 1, .gpu_slice_milli = 500}));
+  EXPECT_FALSE(pool.allocate({.cores = 0, .gpus = 1}));
+}
+
+TEST(ResourcePoolGpu, SliceDoubleReleaseThrows) {
+  ResourcePool pool(NodeSpec{.name = "g", .cores = 1, .gpus = 1,
+                             .mem_gb = 4.0, .gpu_mem_gb = 12.0});
+  auto a = pool.allocate({.cores = 0, .gpus = 1, .gpu_slice_milli = 750});
+  ASSERT_TRUE(a);
+  pool.release(*a);
+  EXPECT_THROW(pool.release(*a), std::logic_error);
+}
+
+TEST(ResourcePoolGpu, MalformedSliceRequests) {
+  ResourcePool pool(amarel_node());
+  EXPECT_FALSE(pool.fits_ever({.cores = 1, .gpus = 1, .gpu_slice_milli = 0}));
+  EXPECT_FALSE(
+      pool.fits_ever({.cores = 1, .gpus = 1, .gpu_slice_milli = 1001}));
+  EXPECT_THROW(
+      (void)pool.allocate({.cores = 1, .gpus = 1, .gpu_slice_milli = 0}),
+      std::invalid_argument);
+}
+
+TEST(ResourcePoolGpu, FitsEverPacksSlicesAcrossDevicesOfOneNode) {
+  // 8 half-slices fit on one 4-GPU node; 9 never can.
+  ResourcePool pool(amarel_node());
+  EXPECT_TRUE(pool.fits_ever({.cores = 0, .gpus = 8, .gpu_slice_milli = 500}));
+  EXPECT_FALSE(pool.fits_ever({.cores = 0, .gpus = 9, .gpu_slice_milli = 500}));
+  // Memory-bound: 8 GB per half-slice allows one per 12 GB device.
+  EXPECT_FALSE(pool.fits_ever(
+      {.cores = 0, .gpus = 5, .gpu_mem_gb = 8.0, .gpu_slice_milli = 500}));
+  EXPECT_TRUE(pool.fits_ever(
+      {.cores = 0, .gpus = 4, .gpu_mem_gb = 8.0, .gpu_slice_milli = 500}));
+}
+
+TEST(ResourcePoolGpu, WholeGpuRequestsSkipPartiallySlicedDevices) {
+  // A whole-device request must not land on a device with outstanding
+  // slices — it takes the lowest *fully free* id, as the bitmask pool did.
+  ResourcePool pool(NodeSpec{.name = "g", .cores = 4, .gpus = 3,
+                             .mem_gb = 32.0, .gpu_mem_gb = 12.0});
+  const auto s = pool.allocate({.cores = 0, .gpus = 1, .gpu_slice_milli = 100});
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->gpus, std::vector<std::uint32_t>{0});
+  const auto w = pool.allocate({.cores = 0, .gpus = 2});
+  ASSERT_TRUE(w);
+  EXPECT_EQ(w->gpus, (std::vector<std::uint32_t>{1, 2}));
 }
 
 TEST(ResourcePoolScale, WideNodeCrossesBitmaskWordBoundary) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "hpc/node.hpp"
+
 namespace impress::hpc {
 namespace {
 
@@ -141,6 +145,78 @@ TEST(Utilization, EnergyScalesWithDraw) {
   EXPECT_NEAR(rec.energy_kwh(24.0, 500.0), 2.0 * rec.energy_kwh(12.0, 250.0),
               1e-12);
   EXPECT_EQ(UtilizationRecorder(4, 1).energy_kwh(), 0.0);
+}
+
+TEST(Utilization, NegativeStartClampedConsistentlyAcrossPaths) {
+  // Regression (PR 10): utilization clamped a negative interval start to 0
+  // but the energy term used the raw span, so the O(1) energy total
+  // disagreed with any windowed recomputation. Both must see 10 s here.
+  UtilizationRecorder rec(4, 2);
+  rec.record(interval(-5.0, 10.0, 4, 2, 0.5, 0.5));
+  ASSERT_EQ(rec.intervals().size(), 1u);
+  EXPECT_EQ(rec.intervals()[0].start, 0.0);  // normalized at the door
+  const auto s = rec.summarize(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(s.cpu_active, 0.5);
+  const double expected =
+      10.0 * (4 * 0.5 * 12.0 + 2 * 0.5 * 250.0) / 3.6e6;
+  EXPECT_NEAR(rec.energy_kwh(), expected, 1e-15);
+}
+
+TEST(Utilization, RunningTotalsMatchWindowedScanOnHeterogeneousCluster) {
+  // Property test: thousands of seeded intervals over a heterogeneous
+  // cluster — including negative starts, inverted spans and zero-length
+  // intervals — must leave the O(1) running-total paths *bit-identical*
+  // to the O(n) windowed scans they shortcut.
+  const auto nodes = make_cluster(13);
+  std::uint32_t cores = 0, gpus = 0;
+  for (const auto& n : nodes) {
+    cores += n.cores;
+    gpus += n.gpus;
+  }
+  UtilizationRecorder rec(cores, gpus);
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 4000; ++i) {
+    const auto& n = nodes[rng() % nodes.size()];
+    const double start = static_cast<double>(rng() % 1000) - 20.0;
+    const double end = start + static_cast<double>(rng() % 300) - 10.0;
+    rec.record(UsageInterval{
+        .start = start,
+        .end = end,
+        .cores = static_cast<std::uint32_t>(rng() % (n.cores + 1)),
+        .gpus = static_cast<std::uint32_t>(rng() % (n.gpus + 1)),
+        .cpu_intensity = static_cast<double>(rng() % 101) / 100.0,
+        .gpu_intensity = static_cast<double>(rng() % 101) / 100.0,
+        .task_uid = "p"});
+  }
+  // Full-span O(1) summarize vs the explicit-window O(n) scan.
+  const auto fast = rec.summarize();
+  const auto slow = rec.summarize(0.0, rec.latest_end());
+  EXPECT_EQ(fast.span_seconds, slow.span_seconds);
+  EXPECT_EQ(fast.cpu_allocated, slow.cpu_allocated);
+  EXPECT_EQ(fast.cpu_active, slow.cpu_active);
+  EXPECT_EQ(fast.gpu_allocated, slow.gpu_allocated);
+  EXPECT_EQ(fast.gpu_active, slow.gpu_active);
+  // O(1) default-wattage energy vs a manual O(n) scan with the same terms.
+  double joules = 0.0;
+  for (const auto& iv : rec.intervals()) {
+    const double dt = iv.end - iv.start;
+    if (dt <= 0.0) continue;
+    joules += dt * (iv.cores * iv.cpu_intensity *
+                        UtilizationRecorder::kDefaultWattsPerCore +
+                    iv.gpus * iv.gpu_intensity *
+                        UtilizationRecorder::kDefaultWattsPerGpu);
+  }
+  EXPECT_EQ(rec.energy_kwh(), joules / 3.6e6);
+  // The custom-wattage O(n) member path, pinned against its own manual
+  // scan (non-default draws force the slow branch).
+  double joules_custom = 0.0;
+  for (const auto& iv : rec.intervals()) {
+    const double dt = iv.end - iv.start;
+    if (dt <= 0.0) continue;
+    joules_custom += dt * (iv.cores * iv.cpu_intensity * 17.0 +
+                           iv.gpus * iv.gpu_intensity * 400.0);
+  }
+  EXPECT_EQ(rec.energy_kwh(17.0, 400.0), joules_custom / 3.6e6);
 }
 
 TEST(Utilization, ZeroCapacityGpuStaysZero) {

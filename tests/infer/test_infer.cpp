@@ -1,0 +1,236 @@
+// Inference-server surrogate (infer/infer.hpp): the deterministic
+// batching accounting, the cost model, the cache-aware fold path's
+// bit-identity with FoldCache::predict, and the adaptive batch tuner.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "infer/infer.hpp"
+#include "protein/datasets.hpp"
+
+namespace impress::infer {
+namespace {
+
+/// Bench-grade cost model: setup 6x the per-item cost, so a full batch of
+/// 8 models the classic 56/14 = 4x gain.
+InferenceServer::Config toy_config(std::uint32_t max_batch = 8) {
+  InferenceServer::Config cfg;
+  cfg.policy.max_batch = max_batch;
+  cfg.policy.max_linger_s = 600.0;
+  cfg.fold_cost = GpuCostModel{.setup_s = 6.0, .per_item_s = 1.0};
+  cfg.design_cost = GpuCostModel{.setup_s = 6.0, .per_item_s = 1.0};
+  return cfg;
+}
+
+std::vector<mpnn::ScoredSequence> no_designs() { return {}; }
+
+TEST(GpuCostModelTest, BatchLatencyIsSetupPlusLinear) {
+  const GpuCostModel m{.setup_s = 6.0, .per_item_s = 1.0};
+  EXPECT_DOUBLE_EQ(m.batch_latency_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.batch_latency_s(1), 7.0);
+  EXPECT_DOUBLE_EQ(m.batch_latency_s(8), 14.0);
+  // A 2x-faster GPU generation halves the whole dispatch.
+  EXPECT_DOUBLE_EQ(m.batch_latency_s(8, 2.0), 7.0);
+}
+
+TEST(InferenceServerTest, FullBatchesModelFourXSpeedupAtEight) {
+  InferenceServer server(toy_config(8));
+  for (int i = 0; i < 16; ++i)
+    (void)server.design(no_designs, /*now_s=*/0.0);
+  const auto snap = server.snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(snap.design.requests, 16u);
+  EXPECT_EQ(snap.design.batches, 2u);
+  EXPECT_EQ(snap.design.max_batch, 8u);
+  EXPECT_DOUBLE_EQ(snap.design.batched_gpu_s, 2.0 * 14.0);
+  EXPECT_DOUBLE_EQ(snap.design.unbatched_gpu_s, 16.0 * 7.0);
+  EXPECT_DOUBLE_EQ(snap.design.speedup(), 4.0);
+}
+
+TEST(InferenceServerTest, LingerExpiryClosesAStaleBatch) {
+  InferenceServer server(toy_config(8));
+  for (int i = 0; i < 3; ++i) (void)server.design(no_designs, 0.0);
+  // Arrives 1000 s after the open batch's first member (> 600 s linger):
+  // the stale batch of 3 is dispatched, this request starts the next one.
+  (void)server.design(no_designs, 1000.0);
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.design.batches, 2u);  // closed(3) + flushed open(1)
+  EXPECT_EQ(snap.design.max_batch, 3u);
+  EXPECT_DOUBLE_EQ(snap.design.batched_gpu_s, (6.0 + 3.0) + (6.0 + 1.0));
+}
+
+TEST(InferenceServerTest, SnapshotFlushDoesNotMutateLiveAccounting) {
+  InferenceServer server(toy_config(8));
+  for (int i = 0; i < 3; ++i) (void)server.design(no_designs, 0.0);
+  const auto a = server.snapshot();
+  const auto b = server.snapshot();
+  EXPECT_EQ(a.design.batches, b.design.batches);
+  EXPECT_DOUBLE_EQ(a.design.batched_gpu_s, b.design.batched_gpu_s);
+  // The open batch keeps filling after a snapshot.
+  for (int i = 0; i < 5; ++i) (void)server.design(no_designs, 0.0);
+  const auto c = server.snapshot();
+  EXPECT_EQ(c.design.batches, 1u);
+  EXPECT_EQ(c.design.max_batch, 8u);
+}
+
+TEST(InferenceServerTest, SpeedFactorDividesModeledLatency) {
+  auto cfg = toy_config(8);
+  InferenceServer server(cfg);
+  server.set_speed_factor(2.0);
+  for (int i = 0; i < 8; ++i) (void)server.design(no_designs, 0.0);
+  const auto snap = server.snapshot();
+  EXPECT_DOUBLE_EQ(snap.speed_factor, 2.0);
+  EXPECT_DOUBLE_EQ(snap.design.batched_gpu_s, 7.0);
+  EXPECT_DOUBLE_EQ(snap.design.unbatched_gpu_s, 8.0 * 3.5);
+  // The speedup ratio is speed-factor invariant.
+  EXPECT_DOUBLE_EQ(snap.design.speedup(), 4.0);
+}
+
+TEST(InferenceServerTest, FoldWithoutCacheMatchesDirectPredictBitwise) {
+  const auto target =
+      protein::make_target("INF-A", 86, protein::alpha_synuclein().tail(10));
+  const fold::AlphaFold folder;
+  InferenceServer server(toy_config(8));
+
+  common::Rng via_server(7);
+  common::Rng direct(7);
+  const auto a = server.fold(folder, nullptr, target.start_complex(),
+                             target.landscape, via_server, 0.0);
+  const auto b =
+      folder.predict(target.start_complex(), target.landscape, direct);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_DOUBLE_EQ(a.best().metrics.plddt, b.best().metrics.plddt);
+  EXPECT_DOUBLE_EQ(a.best().metrics.ptm, b.best().metrics.ptm);
+  EXPECT_DOUBLE_EQ(a.best().metrics.ipae, b.best().metrics.ipae);
+  // The server advanced the rng exactly as the direct call did.
+  EXPECT_EQ(via_server.fingerprint(), direct.fingerprint());
+}
+
+TEST(InferenceServerTest, CacheHitSkipsDispatchAndMatchesCacheSemantics) {
+  const auto target =
+      protein::make_target("INF-B", 90, protein::alpha_synuclein().tail(10));
+  const fold::AlphaFold folder;
+  auto cache = std::make_shared<fold::FoldCache>();
+  InferenceServer server(toy_config(8));
+
+  common::Rng first(3);
+  common::Rng second(3);  // same fingerprint => same cache key
+  const auto a = server.fold(folder, cache, target.start_complex(),
+                             target.landscape, first, 0.0);
+  const auto b = server.fold(folder, cache, target.start_complex(),
+                             target.landscape, second, 10.0);
+  EXPECT_DOUBLE_EQ(a.best().metrics.plddt, b.best().metrics.plddt);
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.fold.requests, 2u);
+  EXPECT_EQ(snap.fold.cache_hits, 1u);
+  EXPECT_EQ(snap.fold.batches, 1u);  // only the miss dispatched
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().misses, 1u);
+  // A hit leaves the rng untouched, exactly like FoldCache::predict.
+  EXPECT_EQ(second.fingerprint(), common::Rng(3).fingerprint());
+}
+
+TEST(BatchTunerTest, PicksLargestBatchThatFillsWithinLinger) {
+  BatchTuner tuner(
+      BatchTuner::Config{
+          .ewma_alpha = 1.0, .min_batch = 1, .max_batch = 16,
+          .max_linger_s = 600.0},
+      /*initial_batch=*/8);
+  EXPECT_FALSE(tuner.observe(0.0).has_value());  // first sample: no gap yet
+  // Completions every 100 s: 1 + floor(600/100) = 7.
+  const auto first = tuner.observe(100.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 7u);
+  EXPECT_FALSE(tuner.observe(200.0).has_value());  // steady cadence: no change
+  // Cadence collapses to simultaneous completions: saturate at max.
+  (void)tuner.observe(200.0);
+  EXPECT_EQ(tuner.batch_size(), 16u);
+  EXPECT_EQ(tuner.decisions(), 2u);
+}
+
+TEST(BatchTunerTest, DecisionsAreDeterministicInTheTimestamps) {
+  const auto run = [] {
+    BatchTuner tuner(BatchTuner::Config{}, 8);
+    std::vector<std::uint32_t> sizes;
+    for (int i = 0; i < 50; ++i) {
+      const double t = 37.0 * i + (i % 7) * 11.0;
+      if (const auto b = tuner.observe(t)) sizes.push_back(*b);
+    }
+    sizes.push_back(tuner.batch_size());
+    return sizes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(InferenceServerTest, NonAdaptiveServerIgnoresCompletions) {
+  InferenceServer server(toy_config(8));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(server.observe_completion(100.0 * i).has_value());
+  EXPECT_EQ(server.snapshot().tuner_decisions, 0u);
+}
+
+TEST(InferenceServerTest, AdaptiveServerAppliesTunedSizeToLaterBatches) {
+  auto cfg = toy_config(8);
+  cfg.adaptive = true;
+  cfg.tuner = BatchTuner::Config{.ewma_alpha = 1.0,
+                                 .min_batch = 1,
+                                 .max_batch = 16,
+                                 .max_linger_s = 200.0};
+  InferenceServer server(cfg);
+  // Completions every 100 s: tuned size 1 + floor(200/100) = 3.
+  EXPECT_FALSE(server.observe_completion(0.0).has_value());
+  const auto tuned = server.observe_completion(100.0);
+  ASSERT_TRUE(tuned.has_value());
+  EXPECT_EQ(*tuned, 3u);
+  for (int i = 0; i < 6; ++i) (void)server.design(no_designs, 0.0);
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.batch_size, 3u);
+  EXPECT_EQ(snap.design.batches, 2u);
+  EXPECT_EQ(snap.design.max_batch, 3u);
+  EXPECT_EQ(snap.tuner_decisions, 1u);
+}
+
+// TSan target: concurrent executors dispatching into both streams while a
+// foreign thread polls snapshots and retunes — the accounting mutex is
+// the only synchronization.
+TEST(InferenceServerTest, ConcurrentDispatchesAccountExactly) {
+  auto cfg = toy_config(8);
+  cfg.adaptive = true;
+  InferenceServer server(cfg);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      (void)server.snapshot();
+      (void)server.observe_completion(1.0);
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        (void)server.design(no_designs, static_cast<double>(t));
+    });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  poller.join();
+  const auto snap = server.snapshot();
+  EXPECT_EQ(snap.design.requests,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Every dispatched item was also accounted at its unbatched cost.
+  EXPECT_DOUBLE_EQ(snap.design.unbatched_gpu_s,
+                   static_cast<double>(kThreads * kPerThread) * 7.0);
+  EXPECT_GE(snap.design.batches, snap.design.requests / 16u);
+  EXPECT_LE(snap.design.batches, snap.design.requests);
+}
+
+}  // namespace
+}  // namespace impress::infer

@@ -216,6 +216,60 @@ TEST_P(CadenceSweep, DeterminismRandomizedBoundaries) {
 
 INSTANTIATE_TEST_SUITE_P(Boundaries, CadenceSweep, ::testing::Range(0, 4));
 
+// Campaign with a preemptible second pilot whose capacity is reclaimed
+// mid-run for a 4-hour window (PR-2 eviction path in, PR-10 return path
+// out). Evicted attempts retry on the durable pilot.
+CampaignConfig spot_campaign(std::uint64_t seed) {
+  auto cfg = im_rp_campaign(seed);
+  cfg.protocol.spawn_subpipelines = false;
+  cfg.extra_pilots.push_back(calibration::spot_pilot());
+  cfg.session.faults.spot_reclaims.push_back(
+      rp::SpotReclaim{.pilot_index = 1, .at_s = 7200.0, .down_s = 14400.0});
+  cfg.coordinator.task_retry = rp::RetryPolicy{.max_attempts = 3,
+                                               .backoff_initial_s = 30.0,
+                                               .backoff_multiplier = 2.0,
+                                               .backoff_jitter = 0.25,
+                                               .attempt_timeout_s = 0.0};
+  return cfg;
+}
+
+class SpotReclaimSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("impress_spot_" + std::to_string(GetParam()));
+    fs::create_directories(base_ / "ref");
+    fs::create_directories(base_ / "kill");
+  }
+  void TearDown() override { fs::remove_all(base_); }
+  fs::path base_;
+};
+
+TEST_P(SpotReclaimSweep, DeterminismKillResumeAcrossReclaimWindow) {
+  // Sweep the kill point across the reclaim window's boundaries: cuts
+  // land before the eviction, inside the outage (the spot pilot is
+  // checkpointed FAILED and must reactivate on schedule after resume),
+  // and after the capacity returns. Every resume must reproduce the
+  // uninterrupted spot-reclaimed run bit for bit.
+  const KillSpec spec{.every_n_completions = 3,
+                      .every_n_pipelines = 0,
+                      .halt_after = 1 + static_cast<std::size_t>(GetParam())};
+  run_kill_resume(spot_campaign, 42, spec, (base_ / "ref").string(),
+                  (base_ / "kill").string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Window, SpotReclaimSweep, ::testing::Range(0, 3));
+
+TEST_F(CheckpointResume, DeterminismSpotReclaimRunSurvivesAndRecovers) {
+  // The uninterrupted spot-reclaimed run itself: one pilot failure, work
+  // rerouted/retried, and the campaign completes with science recorded.
+  const auto targets = targets2();
+  const auto r = Campaign(spot_campaign(42)).run(targets);
+  EXPECT_EQ(r.pilot_failures, 1u);
+  EXPECT_GT(r.task_retries + r.task_requeues, 0u);
+  EXPECT_GT(r.total_trajectories(), 0u);
+}
+
 TEST_F(CheckpointResume, DeterminismDoubleKillChainedResume) {
   // Crash, resume, crash again, resume again: ordinals keep counting and
   // the final result still matches the uninterrupted reference.

@@ -6,6 +6,7 @@
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "core/session_dump.hpp"
 #include "protein/datasets.hpp"
 
 namespace impress::core {
@@ -158,6 +159,108 @@ TEST(Determinism, FullObservabilityOnOffBitIdentical) {
     const auto off = Campaign(make(42)).run(targets);
     expect_identical(on, off);
   }
+}
+
+TEST(Determinism, InferServerOnOffBitIdentical) {
+  // The inference-server surrogate must be a pure observer, like the
+  // tracer: science is computed synchronously with the caller's rng, so
+  // switching the server on (even adaptive) perturbs nothing — including
+  // the fold cache's own statistics, which the server path replicates.
+  const auto targets = targets2();
+  auto on_cfg = im_rp_campaign(42);
+  on_cfg.enable_infer = true;
+  on_cfg.infer_config.adaptive = true;
+  const auto on = Campaign(on_cfg).run(targets);
+  const auto off = Campaign(im_rp_campaign(42)).run(targets);
+  expect_identical(on, off);
+  EXPECT_EQ(on.fold_cache.hits, off.fold_cache.hits);
+  EXPECT_EQ(on.fold_cache.misses, off.fold_cache.misses);
+  EXPECT_TRUE(on.infer.enabled);
+  EXPECT_FALSE(off.infer.enabled);
+  EXPECT_EQ(on.infer.fold.requests, on.fold_tasks);
+  EXPECT_EQ(on.infer.design.requests, on.generator_tasks);
+  EXPECT_EQ(on.infer.fold.cache_hits, on.fold_cache.hits);
+  EXPECT_GT(on.infer.fold.batches, 0u);
+}
+
+TEST(Determinism, BatchSizeUnobservableInSessionDump) {
+  // The acceptance check, in session-dump form: a batched (B=8) and an
+  // unbatched (B=1) campaign produce byte-identical dumps once the
+  // "infer" accounting section — whose whole job is to report the
+  // batching — is removed. Everything else is bit-identical.
+  const auto targets = targets2();
+  const auto run_with = [&](std::uint32_t batch) {
+    auto cfg = im_rp_campaign(42);
+    cfg.enable_infer = true;
+    cfg.infer_config.policy.max_batch = batch;
+    return Campaign(cfg).run(targets);
+  };
+  const auto batched = run_with(8);
+  const auto unbatched = run_with(1);
+  expect_identical(batched, unbatched);
+  auto batched_doc = to_json(batched);
+  auto unbatched_doc = to_json(unbatched);
+  EXPECT_NE(batched_doc.dump(2), unbatched_doc.dump(2))
+      << "the accounting itself should see the batch size";
+  batched_doc.as_object().erase("infer");
+  unbatched_doc.as_object().erase("infer");
+  EXPECT_EQ(batched_doc.dump(2), unbatched_doc.dump(2));
+  // The accounting sees what it should: same work, fewer dispatches,
+  // modeled speedup from coalescing.
+  EXPECT_EQ(batched.infer.fold.requests, unbatched.infer.fold.requests);
+  EXPECT_LE(batched.infer.fold.batches, unbatched.infer.fold.batches);
+  EXPECT_GE(batched.infer.fold.speedup(), unbatched.infer.fold.speedup());
+  // And the dump round-trips the section it reports.
+  const auto reread = campaign_result_from_json(to_json(batched));
+  EXPECT_TRUE(reread.infer.enabled);
+  EXPECT_EQ(reread.infer.fold.batches, batched.infer.fold.batches);
+  EXPECT_DOUBLE_EQ(reread.infer.fold.batched_gpu_s,
+                   batched.infer.fold.batched_gpu_s);
+}
+
+TEST(Determinism, SpotPreemptionScheduleUnobservableInScience) {
+  // Same two-pilot campaign with and without a spot-reclaim window on the
+  // preemptible pilot: timing shifts (evictions, retries, a 4h capacity
+  // hole) but the science is bit-identical — fold rngs are derived from
+  // task *content*, so a re-attempted fold recomputes exactly what the
+  // evicted attempt would have produced, and with independent pipelines
+  // each trajectory depends only on its own stage results.
+  const auto targets = targets2();
+  auto make = [](bool reclaim) {
+    auto cfg = im_rp_campaign(42);
+    cfg.protocol.spawn_subpipelines = false;
+    cfg.extra_pilots.push_back(calibration::spot_pilot());
+    cfg.coordinator.task_retry = rp::RetryPolicy{.max_attempts = 3,
+                                                 .backoff_initial_s = 30.0,
+                                                 .backoff_multiplier = 2.0,
+                                                 .backoff_jitter = 0.25,
+                                                 .attempt_timeout_s = 0.0};
+    if (reclaim)
+      cfg.session.faults.spot_reclaims.push_back(
+          rp::SpotReclaim{.pilot_index = 1, .at_s = 7200.0, .down_s = 14400.0});
+    return cfg;
+  };
+  const auto calm = Campaign(make(false)).run(targets);
+  const auto preempted = Campaign(make(true)).run(targets);
+  ASSERT_EQ(calm.trajectories.size(), preempted.trajectories.size());
+  for (std::size_t i = 0; i < calm.trajectories.size(); ++i) {
+    const auto& ta = calm.trajectories[i];
+    const auto& tb = preempted.trajectories[i];
+    EXPECT_EQ(ta.pipeline_id, tb.pipeline_id);
+    ASSERT_EQ(ta.history.size(), tb.history.size());
+    for (std::size_t j = 0; j < ta.history.size(); ++j) {
+      EXPECT_EQ(ta.history[j].sequence, tb.history[j].sequence);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.plddt,
+                       tb.history[j].metrics.plddt);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.ptm, tb.history[j].metrics.ptm);
+      EXPECT_DOUBLE_EQ(ta.history[j].metrics.ipae,
+                       tb.history[j].metrics.ipae);
+    }
+  }
+  // The preemption is visible in the *computational* record, as it
+  // should be — only the science is invariant.
+  EXPECT_EQ(calm.pilot_failures, 0u);
+  EXPECT_EQ(preempted.pilot_failures, 1u);
 }
 
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};

@@ -204,6 +204,81 @@ TEST(Retry, NoSurvivingPilotMeansTerminalFailure) {
   EXPECT_EQ(session.task_manager().outstanding(), 0u);
 }
 
+TEST(Retry, SpotReclaimEvictsAndPilotReturns) {
+  // Spot capacity on pilot 0 is reclaimed at t=50 for 100s: executing
+  // work is evicted onto the survivor (the PR-2 outage path) and the
+  // pilot re-enters ACTIVE when the window ends — unlike a plain
+  // PilotOutage, which is forever.
+  SessionConfig cfg;
+  cfg.faults.spot_reclaims.push_back(
+      SpotReclaim{.pilot_index = 0, .at_s = 50.0, .down_s = 100.0});
+  Session session{cfg};
+  auto spot = session.submit_pilot(node(4));
+  session.submit_pilot(node(4));
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i < 8; ++i) {
+    auto td = make_simple_task("t" + std::to_string(i), 2, 0, 100.0);
+    td.retry = RetryPolicy{.max_attempts = 3, .backoff_initial_s = 1.0};
+    tasks.push_back(session.task_manager().submit(std::move(td)));
+  }
+  session.run();
+  for (const auto& t : tasks) EXPECT_EQ(t->state(), TaskState::kDone);
+  // The window closed before the workload drained, so the pilot is back.
+  EXPECT_EQ(spot->state(), PilotState::kActive);
+  EXPECT_GT(session.task_manager().retried() +
+                session.task_manager().requeued(),
+            0u);
+  bool reactivated = false;
+  for (const auto& e : session.profiler().events())
+    if (e.event == hpc::events::kPilotReactivated) reactivated = true;
+  EXPECT_TRUE(reactivated);
+}
+
+TEST(Retry, ReturnedSpotPilotAcceptsNewWork) {
+  // Single spot pilot, no survivor: work submitted after the window ends
+  // lands on the returned pilot. (Work evicted *during* the window would
+  // fail terminally — there is nowhere to retry — which is why campaigns
+  // pair spot pilots with at least one durable one.)
+  SessionConfig cfg;
+  cfg.faults.spot_reclaims.push_back(
+      SpotReclaim{.pilot_index = 0, .at_s = 10.0, .down_s = 40.0});
+  Session session{cfg};
+  auto spot = session.submit_pilot(node(4));
+  TaskPtr late;
+  session.call_after(60.0, [&] {
+    auto td = make_simple_task("late", 1, 0, 5.0);
+    late = session.task_manager().submit(std::move(td));
+  });
+  session.run();
+  EXPECT_EQ(spot->state(), PilotState::kActive);
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->state(), TaskState::kDone);
+}
+
+TEST(Retry, SpotReclaimedRunIsDeterministic) {
+  auto run_once = [] {
+    SessionConfig cfg;
+    cfg.seed = 77;
+    cfg.faults.spot_reclaims.push_back(
+        SpotReclaim{.pilot_index = 1, .at_s = 30.0, .down_s = 60.0});
+    Session session{cfg};
+    session.submit_pilot(node(4));
+    session.submit_pilot(node(4));
+    for (int i = 0; i < 12; ++i) {
+      auto td = make_simple_task("t" + std::to_string(i), 2, 0, 50.0);
+      td.retry = RetryPolicy{.max_attempts = 3, .backoff_initial_s = 2.0};
+      (void)session.task_manager().submit(std::move(td));
+    }
+    session.run();
+    return std::tuple{session.task_manager().done(),
+                      session.task_manager().failed(),
+                      session.task_manager().retried(),
+                      session.task_manager().requeued(), session.now(),
+                      session.profiler().events().size()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
 TEST(Retry, FaultedRunIsDeterministic) {
   auto run_once = [] {
     SessionConfig cfg;

@@ -117,6 +117,36 @@ TEST(StressFaults, PilotOutageDrainsAndReroutesUnderLoad) {
   EXPECT_GT(tmgr.retried() + tmgr.requeued(), 0u);
 }
 
+TEST(StressFaults, SpotReclaimRacesEvictionAndReturn) {
+  // Spot capacity reclaimed and returned while real worker threads churn:
+  // the eviction path (drain + executor cancel), the reactivation path
+  // (FAILED -> ACTIVE + scheduler kick) and retry resubmission all race.
+  // TSan/lockdep catch ordering bugs; the invariants below catch leaks.
+  auto cfg = threaded(61);
+  cfg.faults.spot_reclaims.push_back(
+      SpotReclaim{.pilot_index = 0, .at_s = 3000.0, .down_s = 5000.0});
+  Session session{cfg};
+  auto spot = session.submit_pilot(node(8));
+  session.submit_pilot(node(8));
+  const int n = 32;
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i < n; ++i) {
+    auto td = make_simple_task("t" + std::to_string(i), 2, 0, 2000.0);
+    td.retry = RetryPolicy{.max_attempts = 3, .backoff_initial_s = 5.0};
+    tasks.push_back(session.task_manager().submit(std::move(td)));
+  }
+  session.run();
+  auto& tmgr = session.task_manager();
+  EXPECT_EQ(tmgr.outstanding(), 0u);
+  EXPECT_EQ(tmgr.done() + tmgr.failed() + tmgr.cancelled(),
+            static_cast<std::size_t>(n));
+  for (const auto& t : tasks) EXPECT_TRUE(is_terminal(t->state()));
+  EXPECT_GT(tmgr.retried() + tmgr.requeued(), 0u);
+  // The window (500 ms wall) closes long before the retried workload
+  // drains, so the pilot must have come back.
+  EXPECT_EQ(spot->state(), PilotState::kActive);
+}
+
 // Regression (wait_all early return) under churn: terminal callbacks keep
 // submitting follow-on work; wait_all must observe the full chain.
 TEST(StressFaults, WaitAllSurvivesCallbackResubmissionChurn) {

@@ -9,6 +9,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <thread>
+#include <vector>
 
 #include "protein/datasets.hpp"
 
@@ -147,6 +149,51 @@ TEST(FoldCache, DuplicateInsertKeepsIncumbent) {
   ASSERT_TRUE(got.has_value());
   EXPECT_DOUBLE_EQ(got->models[0].metrics.ptm, 0.25);
   EXPECT_EQ(cache.stats().entries, 1u);
+  // Regression (PR 10): the losing insert used to vanish from the stats —
+  // neither hit nor discard — breaking conservation.
+  EXPECT_EQ(cache.stats().duplicate_discards, 1u);
+}
+
+TEST(FoldCache, StatsConserveUnderThreadedDuplicateRaces) {
+  // N threads all miss the same keys, compute, and insert concurrently.
+  // Whatever the interleaving, every miss must be accounted for exactly
+  // once: resident, evicted, or discarded as a duplicate — the
+  // conservation law the BENCH_kernels hit-rate math relies on.
+  FoldCache cache(FoldCache::Config{.capacity = 64, .shards = 4});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 16;
+  Prediction p;
+  p.models.push_back(ModelPrediction{});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, p] {
+      for (std::uint64_t k = 1; k <= kKeys; ++k) {
+        if (!cache.lookup(k).has_value()) cache.insert(k, p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kKeys);
+  // Every key fits (64 >= 16), so no evictions; each miss either created
+  // the resident entry or was discarded as a duplicate.
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, kKeys);
+  EXPECT_EQ(s.misses, s.entries + s.evictions + s.duplicate_discards);
+}
+
+TEST(FoldCache, SnapshotRoundTripsDuplicateDiscards) {
+  FoldCache cache(FoldCache::Config{.capacity = 4, .shards = 1});
+  Prediction p;
+  p.models.push_back(ModelPrediction{});
+  cache.insert(1, p);
+  cache.insert(1, p);  // one duplicate discard
+  const auto snap = cache.snapshot();
+  EXPECT_EQ(snap.duplicate_discards, 1u);
+  FoldCache restored(FoldCache::Config{.capacity = 4, .shards = 1});
+  restored.restore(snap);
+  EXPECT_EQ(restored.stats().duplicate_discards, 1u);
 }
 
 TEST(FoldCache, ClearResetsEverything) {
